@@ -1,0 +1,69 @@
+// Reproduces Figure 5: recall of the error-bound re-ranking rule as a
+// function of eps0, on SIFT-like (D=128) and GIST-like (D=960) data.
+// Protocol follows Section 5.2.4: estimate distances for ALL data vectors
+// (full probe), keep a vector for exact re-ranking iff its lower bound
+// beats the current k-th best exact distance; a true neighbor pruned by the
+// bound is lost for good.
+//
+// Expected shape: both curves rise with eps0 and reach ~perfect recall at
+// eps0 ~ 1.9 -- the knee is dataset- and dimension-independent.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "index/ivf.h"
+
+using namespace rabitq;
+
+int main() {
+  std::printf("=== Fig. 5: recall vs eps0 (error-bound re-ranking) ===\n\n");
+  const std::size_t k = 100;
+  const double scale = bench::EnvScale();
+
+  std::vector<SyntheticSpec> specs = {
+      SiftLikeSpec(static_cast<std::size_t>(15000 * scale), 30),
+      GistLikeSpec(static_cast<std::size_t>(6000 * scale), 20)};
+
+  TablePrinter table({"dataset", "eps0", "recall@100 (%)",
+                      "reranked/query"});
+  for (const SyntheticSpec& spec : specs) {
+    Matrix base, queries;
+    bench::CheckOk(GenerateDataset(spec, &base, &queries), spec.name.c_str());
+    GroundTruth gt;
+    bench::CheckOk(ComputeGroundTruth(base, queries, k, &gt), "ground truth");
+
+    IvfConfig ivf;
+    ivf.num_lists = 64;
+    IvfRabitqIndex index;
+    bench::CheckOk(index.Build(base, ivf, RabitqConfig{}), "build");
+
+    for (const float eps0 : {0.0f, 0.5f, 1.0f, 1.5f, 1.9f, 2.5f, 3.0f, 4.0f}) {
+      double recall = 0.0;
+      std::size_t reranked = 0;
+      for (std::size_t q = 0; q < queries.rows(); ++q) {
+        Rng rng(500 + q);  // same quantization randomness across eps0 values
+        IvfSearchParams params;
+        params.k = k;
+        params.nprobe = index.num_lists();  // full probe
+        params.epsilon0_override = eps0;
+        std::vector<Neighbor> result;
+        IvfSearchStats stats;
+        bench::CheckOk(
+            index.Search(queries.Row(q), params, &rng, &result, &stats),
+            "search");
+        recall += RecallAtK(gt, q, result, k);
+        reranked += stats.candidates_reranked;
+      }
+      table.AddRow({spec.name + " (D=" + std::to_string(spec.dim) + ")",
+                    TablePrinter::FormatDouble(eps0, 1),
+                    TablePrinter::FormatDouble(100 * recall / queries.rows(), 2),
+                    std::to_string(reranked / queries.rows())});
+    }
+  }
+  table.Print();
+  std::printf("\nShape check: recall ~100%% from eps0 ~ 1.9 on BOTH "
+              "datasets (no tuning).\n");
+  return 0;
+}

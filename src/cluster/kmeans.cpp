@@ -1,0 +1,170 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/vector_ops.h"
+#include "util/prng.h"
+#include "util/thread_pool.h"
+
+namespace rabitq {
+
+namespace {
+
+// kmeans++ seeding over the (possibly subsampled) training rows.
+void SeedPlusPlus(const Matrix& data, const std::vector<std::size_t>& rows,
+                  std::size_t k, Rng* rng, Matrix* centroids) {
+  const std::size_t dim = data.cols();
+  centroids->Reset(k, dim);
+  const std::size_t n = rows.size();
+
+  std::vector<float> min_dist(n, std::numeric_limits<float>::max());
+  const std::size_t first = rows[rng->UniformInt(n)];
+  std::copy_n(data.Row(first), dim, centroids->Row(0));
+
+  for (std::size_t c = 1; c < k; ++c) {
+    const float* last = centroids->Row(c - 1);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float d = L2SqrDistance(data.Row(rows[i]), last, dim);
+      min_dist[i] = std::min(min_dist[i], d);
+      total += min_dist[i];
+    }
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng->UniformDouble() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        target -= min_dist[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng->UniformInt(n);
+    }
+    std::copy_n(data.Row(rows[chosen]), dim, centroids->Row(c));
+  }
+}
+
+}  // namespace
+
+std::uint32_t NearestCentroid(const float* vec, const Matrix& centroids,
+                              float* dist_out) {
+  std::uint32_t best = 0;
+  float best_dist = std::numeric_limits<float>::max();
+  for (std::size_t c = 0; c < centroids.rows(); ++c) {
+    const float d = L2SqrDistance(vec, centroids.Row(c), centroids.cols());
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<std::uint32_t>(c);
+    }
+  }
+  if (dist_out != nullptr) *dist_out = best_dist;
+  return best;
+}
+
+void AssignToNearestCentroid(const Matrix& data, const Matrix& centroids,
+                             std::vector<std::uint32_t>* assignments) {
+  assignments->resize(data.rows());
+  GlobalThreadPool().ParallelFor(
+      data.rows(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          (*assignments)[i] = NearestCentroid(data.Row(i), centroids);
+        }
+      });
+}
+
+Status RunKMeans(const Matrix& data, const KMeansConfig& config,
+                 KMeansResult* result) {
+  if (result == nullptr) return Status::InvalidArgument("null result");
+  if (data.rows() == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  if (config.num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  const std::size_t n = data.rows();
+  const std::size_t dim = data.cols();
+  const std::size_t k = config.num_clusters;
+  Rng rng(config.seed);
+
+  // Training subsample (indices into `data`).
+  std::vector<std::size_t> rows(n);
+  for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+  if (config.max_training_points > 0 && n > config.max_training_points) {
+    for (std::size_t i = 0; i < config.max_training_points; ++i) {
+      std::swap(rows[i], rows[i + rng.UniformInt(n - i)]);
+    }
+    rows.resize(config.max_training_points);
+  }
+
+  SeedPlusPlus(data, rows, k, &rng, &result->centroids);
+  Matrix& centroids = result->centroids;
+
+  std::vector<std::uint32_t> train_assign(rows.size());
+  double prev_objective = std::numeric_limits<double>::max();
+  int iterations = 0;
+  for (; iterations < config.max_iterations; ++iterations) {
+    // Assignment step (threaded over the training rows).
+    std::vector<double> partial_obj(rows.size(), 0.0);
+    GlobalThreadPool().ParallelFor(
+        rows.size(), [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            float d = 0.0f;
+            train_assign[i] = NearestCentroid(data.Row(rows[i]), centroids, &d);
+            partial_obj[i] = d;
+          }
+        });
+    double objective = 0.0;
+    for (const double d : partial_obj) objective += d;
+    objective /= static_cast<double>(rows.size());
+
+    // Update step.
+    Matrix sums(k, dim);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const std::uint32_t c = train_assign[i];
+      Axpy(1.0f, data.Row(rows[i]), sums.Row(c), dim);
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Empty-cluster repair: re-seed at the point farthest from its
+        // centroid among the training rows.
+        std::size_t farthest = 0;
+        float max_d = -1.0f;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          const float d = L2SqrDistance(data.Row(rows[i]),
+                                        centroids.Row(train_assign[i]), dim);
+          if (d > max_d) {
+            max_d = d;
+            farthest = i;
+          }
+        }
+        std::copy_n(data.Row(rows[farthest]), dim, centroids.Row(c));
+        continue;
+      }
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      for (std::size_t j = 0; j < dim; ++j) {
+        centroids.At(c, j) = sums.At(c, j) * inv;
+      }
+    }
+
+    result->final_objective = objective;
+    if (prev_objective - objective <
+        config.convergence_threshold * std::max(prev_objective, 1e-12)) {
+      ++iterations;
+      break;
+    }
+    prev_objective = objective;
+  }
+  result->iterations_run = iterations;
+
+  // Final assignment over the full dataset.
+  AssignToNearestCentroid(data, centroids, &result->assignments);
+  return Status::Ok();
+}
+
+}  // namespace rabitq

@@ -1,0 +1,51 @@
+// KMeans clustering: kmeans++ seeding, Lloyd iterations with multi-threaded
+// assignment, and empty-cluster repair. Used as (1) the IVF coarse quantizer
+// that also provides RaBitQ's normalization centroids (paper Sections 3.1.1
+// and 4) and (2) the sub-codebook trainer for PQ/OPQ/LSQ.
+
+#ifndef RABITQ_CLUSTER_KMEANS_H_
+#define RABITQ_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace rabitq {
+
+struct KMeansConfig {
+  std::size_t num_clusters = 16;
+  int max_iterations = 25;
+  /// Relative improvement of the objective below which training stops early.
+  double convergence_threshold = 1e-4;
+  /// Training subsample cap; 0 means "use all points". Sampling keeps the
+  /// index phase cheap on large N without changing centroid quality much.
+  std::size_t max_training_points = 0;
+  std::uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  Matrix centroids;                       // num_clusters x dim
+  std::vector<std::uint32_t> assignments; // size N (for the full input)
+  double final_objective = 0.0;           // mean squared distance to centroid
+  int iterations_run = 0;
+};
+
+/// Runs KMeans over `data` (N x dim). Requires N >= 1 and num_clusters >= 1;
+/// if N < num_clusters the surplus centroids duplicate data points.
+Status RunKMeans(const Matrix& data, const KMeansConfig& config,
+                 KMeansResult* result);
+
+/// Assigns each row of `data` to its nearest centroid (exhaustive, threaded).
+void AssignToNearestCentroid(const Matrix& data, const Matrix& centroids,
+                             std::vector<std::uint32_t>* assignments);
+
+/// Index of the centroid nearest to `vec`, and optionally its squared
+/// distance through `dist_out`.
+std::uint32_t NearestCentroid(const float* vec, const Matrix& centroids,
+                              float* dist_out = nullptr);
+
+}  // namespace rabitq
+
+#endif  // RABITQ_CLUSTER_KMEANS_H_

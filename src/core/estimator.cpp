@@ -1,0 +1,114 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/fastscan.h"
+#include "util/bit_ops.h"
+
+namespace rabitq {
+
+namespace {
+
+// Assembles the distance estimate from the raw bit dot product S = <x_b, qu>.
+inline DistanceEstimate Assemble(const QuantizedQuery& query,
+                                 const RabitqCodeView& code, std::uint32_t s,
+                                 float epsilon0, bool unbias) {
+  DistanceEstimate est;
+  if (code.dist_to_centroid == 0.0f) {
+    est.dist_sq = query.q_dist * query.q_dist;
+    est.lower_bound_sq = est.dist_sq;
+    est.ip = 1.0f;
+    return est;
+  }
+  if (query.q_dist == 0.0f) {
+    est.dist_sq = code.dist_to_centroid * code.dist_to_centroid;
+    est.lower_bound_sq = est.dist_sq;
+    est.ip = 1.0f;
+    return est;
+  }
+  // Eq. 20: <x-bar, q-bar>.
+  const float x_qbar = query.ip_scale * static_cast<float>(s) +
+                       query.pop_scale * static_cast<float>(code.bit_count) +
+                       query.bias;
+  // Thm 3.2: divide by <o-bar, o> for unbiasedness; the biased ablation
+  // (Appendix F.2) keeps <o-bar, q> as-is.
+  const float o_o = std::max(code.o_o, 1e-9f);
+  est.ip = unbias ? x_qbar / o_o : x_qbar;
+  const float cross = 2.0f * code.dist_to_centroid * query.q_dist;
+  est.dist_sq = code.dist_to_centroid * code.dist_to_centroid +
+                query.q_dist * query.q_dist - cross * est.ip;
+  if (epsilon0 > 0.0f) {
+    est.ip_error = IpErrorBound(o_o, epsilon0, query.total_bits);
+    est.lower_bound_sq = est.dist_sq - cross * est.ip_error;
+  } else {
+    est.lower_bound_sq = est.dist_sq;
+  }
+  return est;
+}
+
+}  // namespace
+
+float IpErrorBound(float o_o, float epsilon0, std::size_t total_bits) {
+  const float o_o_sq = std::max(o_o * o_o, 1e-12f);
+  return std::sqrt((1.0f - o_o_sq) / o_o_sq) * epsilon0 /
+         std::sqrt(static_cast<float>(total_bits - 1));
+}
+
+std::uint32_t BitwiseDotQuery(const QuantizedQuery& query,
+                              const std::uint64_t* code_bits) {
+  return BitPlaneDot(code_bits, query.bit_planes.data(),
+                     static_cast<std::size_t>(query.query_bits),
+                     query.num_words);
+}
+
+DistanceEstimate EstimateDistance(const QuantizedQuery& query,
+                                  const RabitqCodeView& code, float epsilon0) {
+  const std::uint32_t s = BitwiseDotQuery(query, code.bits);
+  return Assemble(query, code, s, epsilon0, /*unbias=*/true);
+}
+
+DistanceEstimate EstimateDistanceBiased(const QuantizedQuery& query,
+                                        const RabitqCodeView& code) {
+  const std::uint32_t s = BitwiseDotQuery(query, code.bits);
+  return Assemble(query, code, s, /*epsilon0=*/0.0f, /*unbias=*/false);
+}
+
+void EstimateBlock(const QuantizedQuery& query, const RabitqCodeStore& store,
+                   std::size_t block, float epsilon0, float* dist_sq,
+                   float* lower_bounds) {
+  const FastScanCodes& packed = store.packed();
+  std::uint32_t s[kFastScanBlockSize];
+  FastScanAccumulateBlock(packed.BlockPtr(block), packed.num_segments,
+                          query.luts.data(), s);
+  const std::size_t begin = block * kFastScanBlockSize;
+  const std::size_t end = std::min(begin + kFastScanBlockSize, store.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    const DistanceEstimate est =
+        Assemble(query, store.View(i), s[i - begin], epsilon0, /*unbias=*/true);
+    dist_sq[i - begin] = est.dist_sq;
+    if (lower_bounds != nullptr) lower_bounds[i - begin] = est.lower_bound_sq;
+  }
+}
+
+void EstimateAll(const QuantizedQuery& query, const RabitqCodeStore& store,
+                 float epsilon0, float* dist_sq, float* lower_bounds) {
+  if (!query.has_exact_luts || !store.finalized()) {
+    // B_q > 6 has no lossless u8 LUTs; fall back to the bitwise path.
+    for (std::size_t i = 0; i < store.size(); ++i) {
+      const DistanceEstimate est =
+          EstimateDistance(query, store.View(i), epsilon0);
+      dist_sq[i] = est.dist_sq;
+      if (lower_bounds != nullptr) lower_bounds[i] = est.lower_bound_sq;
+    }
+    return;
+  }
+  const std::size_t num_blocks = store.packed().num_blocks;
+  for (std::size_t block = 0; block < num_blocks; ++block) {
+    const std::size_t begin = block * kFastScanBlockSize;
+    EstimateBlock(query, store, block, epsilon0, dist_sq + begin,
+                  lower_bounds == nullptr ? nullptr : lower_bounds + begin);
+  }
+}
+
+}  // namespace rabitq

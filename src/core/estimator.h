@@ -1,0 +1,60 @@
+// RaBitQ distance estimation (paper Sections 3.2-3.3):
+//   est <o,q>      = <x-bar, q-bar> / <o-bar, o>        (unbiased, Thm 3.2)
+//   est ||or-qr||^2 = d_o^2 + d_q^2 - 2 d_o d_q est<o,q> (Eq. 2)
+//   error bound    = sqrt((1-<o,o-bar>^2)/<o,o-bar>^2) * eps0/sqrt(B-1)
+//                                                        (Eq. 14/16)
+// Two execution paths:
+//   * single code: B_q bitwise and+popcount passes (Eq. 22),
+//   * packed batch of 32 codes: the shared fast-scan kernel (Section 3.3.2).
+
+#ifndef RABITQ_CORE_ESTIMATOR_H_
+#define RABITQ_CORE_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "core/query.h"
+#include "core/rabitq.h"
+
+namespace rabitq {
+
+/// One estimated distance plus its confidence information.
+struct DistanceEstimate {
+  float ip = 0.0f;             // estimate of <o, q> (unit vectors)
+  float dist_sq = 0.0f;        // estimate of ||o_r - q_r||^2
+  float lower_bound_sq = 0.0f; // dist_sq lower bound at confidence eps0
+  float ip_error = 0.0f;       // half-width of the <o,q> confidence interval
+};
+
+/// Half-width of the confidence interval on <o,q> (Eq. 16).
+float IpErrorBound(float o_o, float epsilon0, std::size_t total_bits);
+
+/// <x_b, q-bar_u> via B_q bitwise-and + popcount passes (Eq. 22).
+std::uint32_t BitwiseDotQuery(const QuantizedQuery& query,
+                              const std::uint64_t* code_bits);
+
+/// Full single-code estimate. `epsilon0` <= 0 skips the bound computation
+/// (lower_bound_sq = dist_sq).
+DistanceEstimate EstimateDistance(const QuantizedQuery& query,
+                                  const RabitqCodeView& code, float epsilon0);
+
+/// Naive (PQ-style, biased) estimator <o-bar, q> used by the Table 7
+/// ablation: same bit arithmetic but WITHOUT dividing by <o-bar, o>.
+DistanceEstimate EstimateDistanceBiased(const QuantizedQuery& query,
+                                        const RabitqCodeView& code);
+
+/// Batch estimation over one packed fast-scan block (32 codes). Writes
+/// estimated squared distances for codes [block*32, block*32 + count) and,
+/// when `lower_bounds` is non-null, their eps0 lower bounds. Requires
+/// query.has_exact_luts (B_q <= 6) and store.finalized().
+void EstimateBlock(const QuantizedQuery& query, const RabitqCodeStore& store,
+                   std::size_t block, float epsilon0, float* dist_sq,
+                   float* lower_bounds);
+
+/// Estimates all codes in `store` through the fast-scan path; `dist_sq`
+/// (and `lower_bounds` if non-null) must hold store.size() floats.
+void EstimateAll(const QuantizedQuery& query, const RabitqCodeStore& store,
+                 float epsilon0, float* dist_sq, float* lower_bounds);
+
+}  // namespace rabitq
+
+#endif  // RABITQ_CORE_ESTIMATOR_H_

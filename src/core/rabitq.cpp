@@ -1,0 +1,112 @@
+#include "core/rabitq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+
+namespace rabitq {
+
+void RabitqCodeStore::Append(const std::uint64_t* bits, float dist_to_centroid,
+                             float o_o, std::uint32_t bit_count) {
+  bits_.insert(bits_.end(), bits, bits + words_per_code_);
+  dist_to_centroid_.push_back(dist_to_centroid);
+  o_o_.push_back(o_o);
+  bit_count_.push_back(bit_count);
+}
+
+void RabitqCodeStore::Finalize() {
+  const std::size_t n = size();
+  const std::size_t num_segments = total_bits_ / 4;
+  // Expand each code into one nibble value per byte, then pack.
+  std::vector<std::uint8_t> nibbles(n * num_segments);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t* code = BitsAt(i);
+    for (std::size_t t = 0; t < num_segments; ++t) {
+      nibbles[i * num_segments + t] = GetNibble(code, t);
+    }
+  }
+  PackFastScanCodes(nibbles.data(), n, num_segments, &packed_);
+}
+
+Status RabitqEncoder::Init(std::size_t dim, const RabitqConfig& config) {
+  if (dim == 0) return Status::InvalidArgument("dim must be positive");
+  if (config.query_bits < 1 || config.query_bits > 8) {
+    return Status::InvalidArgument("query_bits must be in [1, 8]");
+  }
+  if (config.epsilon0 < 0.0f) {
+    return Status::InvalidArgument("epsilon0 must be non-negative");
+  }
+  config_ = config;
+  dim_ = dim;
+  std::size_t padded =
+      config.total_bits == 0 ? DefaultPaddedDim(dim) : config.total_bits;
+  if (padded < dim) {
+    return Status::InvalidArgument("total_bits must be >= dim");
+  }
+  if (padded % 64 != 0) {
+    return Status::InvalidArgument("total_bits must be a multiple of 64");
+  }
+  RABITQ_RETURN_IF_ERROR(
+      CreateRotator(dim, padded, config.rotator, config.seed, &rotator_));
+  total_bits_ = rotator_->padded_dim();  // kFht may round up to a power of 2
+  return Status::Ok();
+}
+
+Status RabitqEncoder::EncodeAppend(const float* vec, const float* centroid,
+                                   RabitqCodeStore* store) const {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  if (store->total_bits() != total_bits_) {
+    return Status::FailedPrecondition("store bit width mismatch");
+  }
+  const std::size_t b = total_bits_;
+  const std::size_t words = WordsForBits(b);
+
+  // Residual o_r - c and its norm.
+  std::vector<float> residual(dim_);
+  if (centroid != nullptr) {
+    Subtract(vec, centroid, residual.data(), dim_);
+  } else {
+    std::copy_n(vec, dim_, residual.data());
+  }
+  const float dist = Norm(residual.data(), dim_);
+  std::vector<std::uint64_t> bits(words, 0);
+  if (dist == 0.0f) {
+    // Residual-free vector: the estimator short-circuits on
+    // dist_to_centroid == 0, so the code content is irrelevant; o_o = 1
+    // keeps downstream arithmetic finite.
+    store->Append(bits.data(), 0.0f, 1.0f, 0);
+    return Status::Ok();
+  }
+  ScaleInPlace(residual.data(), 1.0f / dist, dim_);
+
+  // o' = P^T o; sign bits form x_b (Section 3.1.3), and
+  // <o-bar, o> = <x-bar, o'> = ||o'||_1 / sqrt(B) (Appendix B, Eq. 30).
+  std::vector<float> rotated(b);
+  rotator_->InverseRotate(residual.data(), rotated.data());
+  std::uint32_t ones = 0;
+  float l1 = 0.0f;
+  for (std::size_t i = 0; i < b; ++i) {
+    l1 += std::fabs(rotated[i]);
+    if (rotated[i] >= 0.0f) {
+      SetBit(bits.data(), i);
+      ++ones;
+    }
+  }
+  const float o_o = l1 / std::sqrt(static_cast<float>(b));
+  store->Append(bits.data(), dist, o_o, ones);
+  return Status::Ok();
+}
+
+void RabitqEncoder::ReconstructQuantizedUnit(const std::uint64_t* bits,
+                                             float* out) const {
+  const std::size_t b = total_bits_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(b));
+  std::vector<float> x_bar(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    x_bar[i] = GetBit(bits, i) ? scale : -scale;
+  }
+  rotator_->Rotate(x_bar.data(), out);
+}
+
+}  // namespace rabitq

@@ -1,0 +1,145 @@
+// RaBitQ index-phase machinery (paper Section 3.1 and Algorithm 1):
+// normalize data vectors against a centroid, inverse-rotate by the sampled
+// orthogonal P, and store the sign bit string x_b together with the
+// per-vector factors the estimator needs:
+//   dist_to_centroid = ||o_r - c||        (Eq. 2)
+//   o_o              = <o-bar, o> = ||P^T o||_1 / sqrt(B)   (Eq. 30)
+//   bit_count        = popcount(x_b)      (Eq. 20)
+// Codes live in an SoA store that also keeps the packed fast-scan layout for
+// the batch estimator.
+
+#ifndef RABITQ_CORE_RABITQ_H_
+#define RABITQ_CORE_RABITQ_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/rotator.h"
+#include "linalg/matrix.h"
+#include "quant/fastscan.h"
+#include "util/aligned_buffer.h"
+#include "util/bit_ops.h"
+#include "util/status.h"
+
+namespace rabitq {
+
+struct RabitqConfig {
+  /// Quantization-code length B in bits; 0 selects the paper default, the
+  /// smallest multiple of 64 >= D. Values > D implement the zero-padding
+  /// accuracy knob of Section 5.1.
+  std::size_t total_bits = 0;
+  /// Confidence parameter of the error bound (Eq. 14); 1.9 gives the
+  /// near-perfect confidence used throughout the paper (Section 5.2.4).
+  float epsilon0 = 1.9f;
+  /// Bits per entry of the quantized query (B_q, Section 3.3.1); 4 makes the
+  /// scalar-quantization error negligible (Theorem 3.3, Section 5.2.5).
+  int query_bits = 4;
+  RotatorKind rotator = RotatorKind::kDense;
+  std::uint64_t seed = 0x5A17B1D5EEDULL;
+};
+
+/// Read-only view of one stored code.
+struct RabitqCodeView {
+  const std::uint64_t* bits = nullptr;  // B / 64 words
+  float dist_to_centroid = 0.0f;        // ||o_r - c||
+  float o_o = 0.0f;                     // <o-bar, o>
+  std::uint32_t bit_count = 0;          // popcount(x_b)
+};
+
+/// Structure-of-arrays storage for RaBitQ codes; append during the index
+/// phase, then Finalize() to build the packed fast-scan layout.
+class RabitqCodeStore {
+ public:
+  RabitqCodeStore() = default;
+  explicit RabitqCodeStore(std::size_t total_bits) { Init(total_bits); }
+
+  void Init(std::size_t total_bits) {
+    total_bits_ = total_bits;
+    words_per_code_ = WordsForBits(total_bits);
+    Clear();
+  }
+
+  void Clear() {
+    bits_.clear();
+    dist_to_centroid_.clear();
+    o_o_.clear();
+    bit_count_.clear();
+    packed_ = FastScanCodes{};
+  }
+
+  void Reserve(std::size_t n) {
+    bits_.reserve(n * words_per_code_);
+    dist_to_centroid_.reserve(n);
+    o_o_.reserve(n);
+    bit_count_.reserve(n);
+  }
+
+  std::size_t size() const { return dist_to_centroid_.size(); }
+  std::size_t total_bits() const { return total_bits_; }
+  std::size_t words_per_code() const { return words_per_code_; }
+
+  RabitqCodeView View(std::size_t i) const {
+    return RabitqCodeView{bits_.data() + i * words_per_code_,
+                          dist_to_centroid_[i], o_o_[i], bit_count_[i]};
+  }
+
+  const std::uint64_t* BitsAt(std::size_t i) const {
+    return bits_.data() + i * words_per_code_;
+  }
+  float dist_to_centroid(std::size_t i) const { return dist_to_centroid_[i]; }
+  float o_o(std::size_t i) const { return o_o_[i]; }
+  std::uint32_t bit_count(std::size_t i) const { return bit_count_[i]; }
+
+  /// Appends a code; `bits` must hold words_per_code() words.
+  void Append(const std::uint64_t* bits, float dist_to_centroid, float o_o,
+              std::uint32_t bit_count);
+
+  /// Builds the packed fast-scan layout (4-bit nibbles of the bit strings).
+  /// Call once after the last Append.
+  void Finalize();
+
+  bool finalized() const { return packed_.num_vectors == size() && size() > 0; }
+  const FastScanCodes& packed() const { return packed_; }
+
+ private:
+  std::size_t total_bits_ = 0;
+  std::size_t words_per_code_ = 0;
+  AlignedVector<std::uint64_t> bits_;
+  std::vector<float> dist_to_centroid_;
+  std::vector<float> o_o_;
+  std::vector<std::uint32_t> bit_count_;
+  FastScanCodes packed_;
+};
+
+/// Stateless-per-vector encoder; owns the rotator (the conceptual codebook:
+/// the paper stores only P, never the 2^B codebook vectors).
+class RabitqEncoder {
+ public:
+  /// Prepares the encoder for vectors of dimensionality `dim`.
+  Status Init(std::size_t dim, const RabitqConfig& config);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t total_bits() const { return total_bits_; }
+  const RabitqConfig& config() const { return config_; }
+  const Rotator& rotator() const { return *rotator_; }
+
+  /// Quantizes `vec` relative to `centroid` (nullptr = origin) and appends
+  /// the code to `store` (which must be Init'ed with total_bits()).
+  Status EncodeAppend(const float* vec, const float* centroid,
+                      RabitqCodeStore* store) const;
+
+  /// Reconstructs the quantized unit vector o-bar = P x-bar of a code
+  /// (B floats). Used by tests and the concentration study.
+  void ReconstructQuantizedUnit(const std::uint64_t* bits, float* out) const;
+
+ private:
+  RabitqConfig config_;
+  std::size_t dim_ = 0;
+  std::size_t total_bits_ = 0;
+  std::unique_ptr<Rotator> rotator_;
+};
+
+}  // namespace rabitq
+
+#endif  // RABITQ_CORE_RABITQ_H_

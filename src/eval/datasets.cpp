@@ -1,0 +1,285 @@
+#include "eval/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "util/prng.h"
+
+namespace rabitq {
+
+namespace {
+
+// Shared mixture machinery: `post` hooks transform each sampled row.
+struct MixtureParams {
+  std::size_t num_clusters;
+  float center_scale = 10.0f;
+  float spread = 1.0f;
+};
+
+void FillGaussian(Rng* rng, float* out, std::size_t n, float scale) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(rng->Gaussian()) * scale;
+  }
+}
+
+// Samples `rows` rows of an anisotropic Gaussian mixture. Per-cluster,
+// per-dimension std devs are drawn once so clusters have different shapes.
+void SampleMixture(const SyntheticSpec& spec, const MixtureParams& params,
+                   Rng* rng, const Matrix& centers, const Matrix& stds,
+                   Matrix* out) {
+  const std::size_t dim = spec.dim;
+  for (std::size_t i = 0; i < out->rows(); ++i) {
+    const std::size_t c = rng->UniformInt(params.num_clusters);
+    float* row = out->Row(i);
+    const float* center = centers.Row(c);
+    const float* std_dev = stds.Row(c);
+    for (std::size_t j = 0; j < dim; ++j) {
+      row[j] = center[j] + static_cast<float>(rng->Gaussian()) * std_dev[j];
+    }
+  }
+}
+
+void MakeMixtureModel(const SyntheticSpec& spec, const MixtureParams& params,
+                      Rng* rng, Matrix* centers, Matrix* stds) {
+  centers->Reset(params.num_clusters, spec.dim);
+  stds->Reset(params.num_clusters, spec.dim);
+  FillGaussian(rng, centers->data(), centers->size(), params.center_scale);
+  for (std::size_t c = 0; c < params.num_clusters; ++c) {
+    for (std::size_t j = 0; j < spec.dim; ++j) {
+      // Anisotropy: std dev uniform in [0.5, 1.5] * spread.
+      stds->At(c, j) = params.spread * (0.5f + rng->UniformFloat());
+    }
+  }
+}
+
+}  // namespace
+
+Status GenerateDataset(const SyntheticSpec& spec, Matrix* base,
+                       Matrix* queries) {
+  if (base == nullptr || queries == nullptr) {
+    return Status::InvalidArgument("null outputs");
+  }
+  if (spec.n == 0 || spec.dim == 0) {
+    return Status::InvalidArgument("empty spec");
+  }
+  Rng rng(spec.seed);
+  base->Reset(spec.n, spec.dim);
+  queries->Reset(spec.num_queries, spec.dim);
+
+  MixtureParams params;
+  params.num_clusters = std::max<std::size_t>(1, spec.num_clusters);
+  params.spread = spec.cluster_spread;
+
+  switch (spec.kind) {
+    case DatasetKind::kGaussianMixture: {
+      Matrix centers, stds;
+      MakeMixtureModel(spec, params, &rng, &centers, &stds);
+      SampleMixture(spec, params, &rng, centers, stds, base);
+      SampleMixture(spec, params, &rng, centers, stds, queries);
+      return Status::Ok();
+    }
+    case DatasetKind::kCorrelatedMixture: {
+      // Low-rank mixing: sample in a rank-r latent space, then map through
+      // a fixed random r x D matrix; add small isotropic noise. Produces the
+      // strong inter-dimension correlation of GIST-style descriptors.
+      const std::size_t rank = std::clamp<std::size_t>(spec.mixing_rank, 2,
+                                                       spec.dim);
+      SyntheticSpec latent_spec = spec;
+      latent_spec.dim = rank;
+      Matrix centers, stds;
+      MixtureParams latent_params = params;
+      MakeMixtureModel(latent_spec, latent_params, &rng, &centers, &stds);
+      Matrix mix(rank, spec.dim);
+      FillGaussian(&rng, mix.data(), mix.size(), 1.0f / std::sqrt(rank));
+      auto emit = [&](Matrix* out) {
+        Matrix latent(out->rows(), rank);
+        SampleMixture(latent_spec, latent_params, &rng, centers, stds, &latent);
+        for (std::size_t i = 0; i < out->rows(); ++i) {
+          MatTVec(mix, latent.Row(i), out->Row(i));
+          for (std::size_t j = 0; j < spec.dim; ++j) {
+            out->At(i, j) += 0.05f * static_cast<float>(rng.Gaussian());
+          }
+        }
+      };
+      emit(base);
+      emit(queries);
+      return Status::Ok();
+    }
+    case DatasetKind::kHeavyTailed: {
+      // Two MSong-style pathologies combined:
+      //  * per-dimension log-normal scales (sigma ~ 2): a handful of dims
+      //    carry most of the energy, so their segments dominate PQx4fs's
+      //    global u8 LUT scale and crush the other segments' tables;
+      //  * high-kurtosis within-cluster noise (cube of a Gaussian): most
+      //    mass sits near the cluster center with rare huge excursions,
+      //    which 16-entry (4-bit) sub-codebooks cannot cover -- 256-entry
+      //    (8-bit) ones largely can, reproducing "PQx8 fine, PQx4fs
+      //    disastrous".
+      std::vector<float> dim_scale(spec.dim);
+      for (std::size_t j = 0; j < spec.dim; ++j) {
+        dim_scale[j] = std::exp(spec.scale_sigma *
+                                static_cast<float>(rng.Gaussian()));
+      }
+      Matrix centers, stds;
+      MakeMixtureModel(spec, params, &rng, &centers, &stds);
+      // Var(g^3) = 15 for standard g; rescale to unit variance.
+      const float kCubeNorm = 1.0f / std::sqrt(15.0f);
+      auto emit = [&](Matrix* out) {
+        for (std::size_t i = 0; i < out->rows(); ++i) {
+          const std::size_t c = rng.UniformInt(params.num_clusters);
+          float* row = out->Row(i);
+          for (std::size_t j = 0; j < spec.dim; ++j) {
+            const float g = static_cast<float>(rng.Gaussian());
+            const float noise = g * g * g * kCubeNorm * stds.At(c, j);
+            row[j] = (centers.At(c, j) * 0.1f + noise) * dim_scale[j];
+          }
+        }
+      };
+      emit(base);
+      emit(queries);
+      return Status::Ok();
+    }
+    case DatasetKind::kAngular: {
+      // Heavy-tailed coordinates (Gaussian^3 keeps direction but fattens the
+      // tails), normalized to the unit sphere -- word-embedding style.
+      auto emit = [&](Matrix* out) {
+        for (std::size_t i = 0; i < out->rows(); ++i) {
+          float* row = out->Row(i);
+          for (std::size_t j = 0; j < spec.dim; ++j) {
+            const float g = static_cast<float>(rng.Gaussian());
+            row[j] = g * g * g;
+          }
+          NormalizeInPlace(row, spec.dim);
+        }
+      };
+      emit(base);
+      emit(queries);
+      return Status::Ok();
+    }
+    case DatasetKind::kUniformSphere: {
+      auto emit = [&](Matrix* out) {
+        for (std::size_t i = 0; i < out->rows(); ++i) {
+          FillGaussian(&rng, out->Row(i), spec.dim, 1.0f);
+          NormalizeInPlace(out->Row(i), spec.dim);
+        }
+      };
+      emit(base);
+      emit(queries);
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument("unknown dataset kind");
+}
+
+std::vector<SyntheticSpec> PaperSuite(double scale) {
+  auto scaled = [scale](std::size_t n) {
+    return std::max<std::size_t>(1000, static_cast<std::size_t>(n * scale));
+  };
+  std::vector<SyntheticSpec> suite;
+
+  SyntheticSpec msong;
+  msong.name = "MSong-like";
+  msong.n = scaled(60000);
+  msong.dim = 420;
+  msong.num_queries = 100;
+  msong.kind = DatasetKind::kHeavyTailed;
+  msong.num_clusters = 60;
+  msong.scale_sigma = 2.0f;
+  msong.seed = 420001;
+  suite.push_back(msong);
+
+  SyntheticSpec sift;
+  sift.name = "SIFT-like";
+  sift.n = scaled(100000);
+  sift.dim = 128;
+  sift.num_queries = 200;
+  sift.kind = DatasetKind::kGaussianMixture;
+  sift.num_clusters = 100;
+  sift.seed = 128001;
+  suite.push_back(sift);
+
+  SyntheticSpec deep;
+  deep.name = "DEEP-like";
+  deep.n = scaled(100000);
+  deep.dim = 256;
+  deep.num_queries = 200;
+  deep.kind = DatasetKind::kCorrelatedMixture;
+  deep.num_clusters = 80;
+  deep.mixing_rank = 96;
+  deep.seed = 256001;
+  suite.push_back(deep);
+
+  SyntheticSpec word2vec;
+  word2vec.name = "Word2Vec-like";
+  word2vec.n = scaled(100000);
+  word2vec.dim = 300;
+  word2vec.num_queries = 200;
+  word2vec.kind = DatasetKind::kAngular;
+  word2vec.seed = 300001;
+  suite.push_back(word2vec);
+
+  SyntheticSpec gist;
+  gist.name = "GIST-like";
+  gist.n = scaled(30000);
+  gist.dim = 960;
+  gist.num_queries = 100;
+  gist.kind = DatasetKind::kCorrelatedMixture;
+  gist.num_clusters = 60;
+  gist.mixing_rank = 128;
+  gist.seed = 960001;
+  suite.push_back(gist);
+
+  SyntheticSpec image;
+  image.name = "Image-like";
+  image.n = scaled(120000);
+  image.dim = 150;
+  image.num_queries = 200;
+  image.kind = DatasetKind::kGaussianMixture;
+  image.num_clusters = 120;
+  image.cluster_spread = 0.7f;
+  image.seed = 150001;
+  suite.push_back(image);
+
+  return suite;
+}
+
+SyntheticSpec SiftLikeSpec(std::size_t n, std::size_t num_queries) {
+  SyntheticSpec spec;
+  spec.name = "SIFT-like";
+  spec.n = n;
+  spec.dim = 128;
+  spec.num_queries = num_queries;
+  spec.kind = DatasetKind::kGaussianMixture;
+  spec.num_clusters = 100;
+  spec.seed = 128001;
+  return spec;
+}
+
+SyntheticSpec GistLikeSpec(std::size_t n, std::size_t num_queries) {
+  SyntheticSpec spec;
+  spec.name = "GIST-like";
+  spec.n = n;
+  spec.dim = 960;
+  spec.num_queries = num_queries;
+  spec.kind = DatasetKind::kCorrelatedMixture;
+  spec.num_clusters = 60;
+  spec.mixing_rank = 128;
+  spec.seed = 960001;
+  return spec;
+}
+
+SyntheticSpec MsongLikeSpec(std::size_t n, std::size_t num_queries) {
+  SyntheticSpec spec;
+  spec.name = "MSong-like";
+  spec.n = n;
+  spec.dim = 420;
+  spec.num_queries = num_queries;
+  spec.kind = DatasetKind::kHeavyTailed;
+  spec.num_clusters = 60;
+  spec.scale_sigma = 2.0f;
+  spec.seed = 420001;
+  return spec;
+}
+
+}  // namespace rabitq

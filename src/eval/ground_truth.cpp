@@ -1,0 +1,36 @@
+#include "eval/ground_truth.h"
+
+#include "util/thread_pool.h"
+
+namespace rabitq {
+
+Status ComputeGroundTruth(const Matrix& base, const Matrix& queries,
+                          std::size_t k, GroundTruth* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output");
+  if (base.rows() == 0 || queries.rows() == 0) {
+    return Status::InvalidArgument("empty base/query set");
+  }
+  if (base.cols() != queries.cols()) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+  k = std::min(k, base.rows());
+  out->k = k;
+  out->ids.assign(queries.rows() * k, 0);
+  out->dist_sq.assign(queries.rows() * k, 0.0f);
+  GlobalThreadPool().ParallelFor(
+      queries.rows(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t q = begin; q < end; ++q) {
+          const std::vector<Neighbor> nn =
+              BruteForceSearch(base, queries.Row(q), k);
+          for (std::size_t j = 0; j < nn.size(); ++j) {
+            out->ids[q * k + j] = nn[j].second;
+            out->dist_sq[q * k + j] = nn[j].first;
+          }
+        }
+      },
+      /*min_chunk=*/1);
+  return Status::Ok();
+}
+
+}  // namespace rabitq

@@ -1,0 +1,33 @@
+// Exact K-nearest-neighbor ground truth (multi-threaded brute force), the
+// reference for recall and average-distance-ratio metrics.
+
+#ifndef RABITQ_EVAL_GROUND_TRUTH_H_
+#define RABITQ_EVAL_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/brute_force.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace rabitq {
+
+struct GroundTruth {
+  std::size_t k = 0;
+  /// ids[q * k + j] = id of the j-th nearest base vector of query q.
+  std::vector<std::uint32_t> ids;
+  /// dist_sq[q * k + j] = its exact squared distance.
+  std::vector<float> dist_sq;
+
+  const std::uint32_t* IdsFor(std::size_t q) const { return ids.data() + q * k; }
+  const float* DistFor(std::size_t q) const { return dist_sq.data() + q * k; }
+};
+
+/// Computes exact top-k for every query row.
+Status ComputeGroundTruth(const Matrix& base, const Matrix& queries,
+                          std::size_t k, GroundTruth* out);
+
+}  // namespace rabitq
+
+#endif  // RABITQ_EVAL_GROUND_TRUTH_H_

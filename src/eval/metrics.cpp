@@ -1,0 +1,129 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+
+namespace rabitq {
+
+void RelativeErrorAccumulator::Add(double estimated, double exact,
+                                   double min_true) {
+  if (std::fabs(exact) < min_true) return;
+  const double rel = std::fabs(estimated - exact) / std::fabs(exact);
+  sum_ += rel;
+  max_ = std::max(max_, rel);
+  ++count_;
+}
+
+RelativeErrorStats RelativeErrorAccumulator::Stats() const {
+  RelativeErrorStats stats;
+  stats.count = count_;
+  stats.maximum = max_;
+  stats.average = count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  return stats;
+}
+
+double RecallAtK(const GroundTruth& gt, std::size_t query,
+                 const std::vector<Neighbor>& result, std::size_t k) {
+  k = std::min(k, gt.k);
+  if (k == 0) return 0.0;
+  std::unordered_set<std::uint32_t> truth(gt.IdsFor(query),
+                                          gt.IdsFor(query) + k);
+  std::size_t hits = 0;
+  const std::size_t limit = std::min(result.size(), k);
+  for (std::size_t j = 0; j < limit; ++j) {
+    hits += truth.count(result[j].second);
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double AverageDistanceRatio(const GroundTruth& gt, std::size_t query,
+                            const std::vector<Neighbor>& result,
+                            std::size_t k) {
+  k = std::min(k, gt.k);
+  if (k == 0) return 0.0;
+  const float* true_dist = gt.DistFor(query);
+  double sum = 0.0;
+  std::size_t counted = 0;
+  const double worst = std::sqrt(std::max(true_dist[k - 1], 0.0f));
+  for (std::size_t j = 0; j < k; ++j) {
+    const double truth = std::sqrt(std::max(true_dist[j], 0.0f));
+    if (truth <= 0.0) continue;
+    const double returned =
+        j < result.size() ? std::sqrt(std::max(result[j].first, 0.0f)) : worst;
+    sum += returned / truth;
+    ++counted;
+  }
+  return counted > 0 ? sum / static_cast<double>(counted) : 1.0;
+}
+
+LinearFit FitLinear(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  LinearFit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return fit;
+  double mean_x = 0.0, mean_y = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.r2 = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+std::string TablePrinter::FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void TablePrinter::Print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::printf("|");
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    for (std::size_t i = 0; i < widths[c] + 2; ++i) std::printf("-");
+    std::printf("|");
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace rabitq

@@ -1,0 +1,78 @@
+// Accuracy metrics of the paper's evaluation (Section 5.1):
+//   * average / maximum relative error of estimated squared distances,
+//   * recall@K against exact ground truth,
+//   * average distance ratio of the returned K w.r.t. the true K-NN,
+//   * least-squares linear regression (slope/intercept) for the
+//     unbiasedness study of Fig. 7,
+// plus a fixed-width table printer for the bench harness output.
+
+#ifndef RABITQ_EVAL_METRICS_H_
+#define RABITQ_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/ground_truth.h"
+#include "index/brute_force.h"
+
+namespace rabitq {
+
+struct RelativeErrorStats {
+  double average = 0.0;  // mean |est - true| / true
+  double maximum = 0.0;
+  std::size_t count = 0;
+};
+
+/// Accumulates relative errors of estimated vs exact squared distances.
+class RelativeErrorAccumulator {
+ public:
+  /// Pairs with |true| below `min_true` are skipped (ratio undefined).
+  void Add(double estimated, double exact, double min_true = 1e-12);
+  RelativeErrorStats Stats() const;
+
+ private:
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// Fraction of the true top-k ids present in `result` (any order).
+double RecallAtK(const GroundTruth& gt, std::size_t query,
+                 const std::vector<Neighbor>& result, std::size_t k);
+
+/// Average of dist(returned_j) / dist(true_j) over j (non-squared distances,
+/// per the paper); pairs with a zero true distance are skipped. Missing
+/// results (fewer than k returned) are scored against the farthest true
+/// neighbor, penalizing truncation.
+double AverageDistanceRatio(const GroundTruth& gt, std::size_t query,
+                            const std::vector<Neighbor>& result,
+                            std::size_t k);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+/// Ordinary least squares y ~ slope * x + intercept.
+LinearFit FitLinear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fixed-width console table used by every bench binary.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void AddRow(const std::vector<std::string>& cells);
+  /// Renders header + rows to stdout.
+  void Print() const;
+
+  static std::string FormatDouble(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rabitq
+
+#endif  // RABITQ_EVAL_METRICS_H_

@@ -1,0 +1,41 @@
+#include "index/brute_force.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "linalg/vector_ops.h"
+
+namespace rabitq {
+
+float TopKHeap::Threshold() const {
+  return full() ? heap_.front().first : std::numeric_limits<float>::max();
+}
+
+void TopKHeap::Push(float dist, std::uint32_t id) {
+  if (!full()) {
+    heap_.emplace_back(dist, id);
+    std::push_heap(heap_.begin(), heap_.end());
+    return;
+  }
+  if (dist >= heap_.front().first) return;
+  std::pop_heap(heap_.begin(), heap_.end());
+  heap_.back() = {dist, id};
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+std::vector<Neighbor> TopKHeap::ExtractSorted() {
+  std::sort_heap(heap_.begin(), heap_.end());
+  return std::move(heap_);
+}
+
+std::vector<Neighbor> BruteForceSearch(const Matrix& data, const float* query,
+                                       std::size_t k) {
+  TopKHeap heap(k);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    heap.Push(L2SqrDistance(data.Row(i), query, data.cols()),
+              static_cast<std::uint32_t>(i));
+  }
+  return heap.ExtractSorted();
+}
+
+}  // namespace rabitq

@@ -1,0 +1,48 @@
+// Exact nearest-neighbor search by exhaustive scan. Serves as the ground
+// truth oracle for recall / distance-ratio metrics and as the re-ranking
+// primitive (exact distances on shortlisted candidates).
+
+#ifndef RABITQ_INDEX_BRUTE_FORCE_H_
+#define RABITQ_INDEX_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rabitq {
+
+/// (squared distance, id) pair ordered by distance.
+using Neighbor = std::pair<float, std::uint32_t>;
+
+/// Exact top-k of `query` over the rows of `data`, ascending by distance.
+std::vector<Neighbor> BruteForceSearch(const Matrix& data, const float* query,
+                                       std::size_t k);
+
+/// Bounded max-heap of the k best (smallest-distance) neighbors seen so far.
+class TopKHeap {
+ public:
+  explicit TopKHeap(std::size_t k) : k_(k) {}
+
+  std::size_t capacity() const { return k_; }
+  std::size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() == k_; }
+
+  /// Largest distance currently kept (+inf while not full).
+  float Threshold() const;
+
+  /// Inserts if dist beats the current threshold (or heap not full).
+  void Push(float dist, std::uint32_t id);
+
+  /// Extracts the neighbors sorted ascending by distance.
+  std::vector<Neighbor> ExtractSorted();
+
+ private:
+  std::size_t k_;
+  std::vector<Neighbor> heap_;  // max-heap on distance
+};
+
+}  // namespace rabitq
+
+#endif  // RABITQ_INDEX_BRUTE_FORCE_H_

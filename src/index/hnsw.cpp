@@ -1,0 +1,181 @@
+#include "index/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "linalg/vector_ops.h"
+#include "util/prng.h"
+
+namespace rabitq {
+
+float HnswIndex::DistanceTo(const float* query, std::uint32_t id) const {
+  return L2SqrDistance(query, data_.Row(id), data_.cols());
+}
+
+std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
+                                             std::uint32_t entry,
+                                             std::size_t ef, int layer) const {
+  // Min-heap of candidates to expand; max-heap (TopKHeap) of results.
+  std::priority_queue<Neighbor, std::vector<Neighbor>, std::greater<>> frontier;
+  TopKHeap results(ef);
+  std::vector<bool> visited(nodes_.size(), false);
+
+  const float entry_dist = DistanceTo(query, entry);
+  frontier.emplace(entry_dist, entry);
+  results.Push(entry_dist, entry);
+  visited[entry] = true;
+
+  while (!frontier.empty()) {
+    const auto [dist, node] = frontier.top();
+    frontier.pop();
+    if (results.full() && dist > results.Threshold()) break;
+    for (const std::uint32_t next : nodes_[node].neighbors[layer]) {
+      if (visited[next]) continue;
+      visited[next] = true;
+      const float next_dist = DistanceTo(query, next);
+      if (!results.full() || next_dist < results.Threshold()) {
+        frontier.emplace(next_dist, next);
+        results.Push(next_dist, next);
+      }
+    }
+  }
+  return results.ExtractSorted();
+}
+
+std::vector<std::uint32_t> HnswIndex::SelectNeighbors(
+    const std::vector<Neighbor>& candidates, std::size_t m) const {
+  // candidates are sorted ascending by distance to the base point.
+  std::vector<std::uint32_t> kept;
+  kept.reserve(m);
+  for (const auto& [dist, id] : candidates) {
+    if (kept.size() >= m) break;
+    bool dominated = false;
+    for (const std::uint32_t other : kept) {
+      if (L2SqrDistance(data_.Row(id), data_.Row(other), data_.cols()) < dist) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(id);
+  }
+  // Backfill with the closest dominated candidates if the heuristic kept
+  // fewer than m (keeps the graph well connected).
+  for (const auto& [dist, id] : candidates) {
+    if (kept.size() >= m) break;
+    if (std::find(kept.begin(), kept.end(), id) == kept.end()) {
+      kept.push_back(id);
+    }
+  }
+  return kept;
+}
+
+Status HnswIndex::Build(const Matrix& data, const HnswConfig& config) {
+  if (data.rows() == 0) return Status::InvalidArgument("empty dataset");
+  if (config.m < 2) return Status::InvalidArgument("m must be >= 2");
+  data_ = data;
+  config_ = config;
+  nodes_.assign(data.rows(), Node{});
+  max_level_ = -1;
+
+  Rng rng(config.seed);
+  const double mult = 1.0 / std::log(static_cast<double>(config.m));
+
+  for (std::uint32_t id = 0; id < data_.rows(); ++id) {
+    double u = rng.UniformDouble();
+    if (u <= 0.0) u = 1e-12;
+    const int level = static_cast<int>(-std::log(u) * mult);
+    Node& node = nodes_[id];
+    node.level = level;
+    node.neighbors.resize(level + 1);
+
+    if (max_level_ < 0) {
+      // First point becomes the entry point.
+      entry_point_ = id;
+      max_level_ = level;
+      continue;
+    }
+
+    const float* point = data_.Row(id);
+    std::uint32_t entry = entry_point_;
+    // Greedy descent through layers above the node's level.
+    for (int layer = max_level_; layer > level; --layer) {
+      bool improved = true;
+      float best = DistanceTo(point, entry);
+      while (improved) {
+        improved = false;
+        for (const std::uint32_t next : nodes_[entry].neighbors[layer]) {
+          const float d = DistanceTo(point, next);
+          if (d < best) {
+            best = d;
+            entry = next;
+            improved = true;
+          }
+        }
+      }
+    }
+
+    // Insert at each layer from min(level, max_level_) down to 0.
+    for (int layer = std::min(level, max_level_); layer >= 0; --layer) {
+      const std::vector<Neighbor> candidates =
+          SearchLayer(point, entry, config.ef_construction, layer);
+      const std::size_t cap = layer == 0 ? config.m * 2 : config.m;
+      const std::vector<std::uint32_t> selected =
+          SelectNeighbors(candidates, config.m);
+      node.neighbors[layer] = selected;
+      // Bidirectional links with pruning.
+      for (const std::uint32_t other : selected) {
+        auto& adj = nodes_[other].neighbors[layer];
+        adj.push_back(id);
+        if (adj.size() > cap) {
+          const float* other_point = data_.Row(other);
+          std::vector<Neighbor> scored;
+          scored.reserve(adj.size());
+          for (const std::uint32_t nb : adj) {
+            scored.emplace_back(DistanceTo(other_point, nb), nb);
+          }
+          std::sort(scored.begin(), scored.end());
+          adj = SelectNeighbors(scored, cap);
+        }
+      }
+      if (!candidates.empty()) entry = candidates.front().second;
+    }
+
+    if (level > max_level_) {
+      max_level_ = level;
+      entry_point_ = id;
+    }
+  }
+  return Status::Ok();
+}
+
+Status HnswIndex::Search(const float* query, std::size_t k,
+                         std::size_t ef_search,
+                         std::vector<Neighbor>* out) const {
+  if (out == nullptr) return Status::InvalidArgument("null output");
+  if (nodes_.empty()) return Status::FailedPrecondition("index not built");
+  ef_search = std::max(ef_search, k);
+
+  std::uint32_t entry = entry_point_;
+  for (int layer = max_level_; layer > 0; --layer) {
+    bool improved = true;
+    float best = DistanceTo(query, entry);
+    while (improved) {
+      improved = false;
+      for (const std::uint32_t next : nodes_[entry].neighbors[layer]) {
+        const float d = DistanceTo(query, next);
+        if (d < best) {
+          best = d;
+          entry = next;
+          improved = true;
+        }
+      }
+    }
+  }
+  std::vector<Neighbor> found = SearchLayer(query, entry, ef_search, 0);
+  if (found.size() > k) found.resize(k);
+  *out = std::move(found);
+  return Status::Ok();
+}
+
+}  // namespace rabitq

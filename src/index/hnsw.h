@@ -1,0 +1,67 @@
+// Hierarchical Navigable Small World graphs [Malkov & Yashunin, TPAMI'20],
+// the graph-based reference baseline of paper Fig. 4. Standard construction:
+// exponential level sampling (mult = 1/ln(M)), greedy descent through upper
+// layers, beam search with ef_construction at the insertion layers, and the
+// distance-based neighbor-selection heuristic with bidirectional links
+// pruned back to the degree caps (2M at layer 0, M above).
+
+#ifndef RABITQ_INDEX_HNSW_H_
+#define RABITQ_INDEX_HNSW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/brute_force.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace rabitq {
+
+struct HnswConfig {
+  /// Out-degree parameter M (layer-0 cap is 2M; the paper uses M=16 so the
+  /// maximum out-degree is 32).
+  std::size_t m = 16;
+  std::size_t ef_construction = 200;
+  std::uint64_t seed = 2024;
+};
+
+/// In-memory HNSW index over L2 distance.
+class HnswIndex {
+ public:
+  Status Build(const Matrix& data, const HnswConfig& config);
+
+  std::size_t size() const { return data_.rows(); }
+  std::size_t dim() const { return data_.cols(); }
+  int max_level() const { return max_level_; }
+
+  /// Top-k search with beam width ef_search (>= k).
+  Status Search(const float* query, std::size_t k, std::size_t ef_search,
+                std::vector<Neighbor>* out) const;
+
+ private:
+  struct Node {
+    int level = 0;
+    /// neighbors[l] = adjacency list at layer l (0 <= l <= level).
+    std::vector<std::vector<std::uint32_t>> neighbors;
+  };
+
+  float DistanceTo(const float* query, std::uint32_t id) const;
+  /// Beam search at one layer from `entry`; returns up to `ef` nearest
+  /// candidates as a sorted ascending vector.
+  std::vector<Neighbor> SearchLayer(const float* query, std::uint32_t entry,
+                                    std::size_t ef, int layer) const;
+  /// Neighbor-selection heuristic: keep c iff it is closer to the base
+  /// point than to every already-kept neighbor.
+  std::vector<std::uint32_t> SelectNeighbors(
+      const std::vector<Neighbor>& candidates, std::size_t m) const;
+
+  Matrix data_;
+  HnswConfig config_;
+  std::vector<Node> nodes_;
+  std::uint32_t entry_point_ = 0;
+  int max_level_ = -1;
+};
+
+}  // namespace rabitq
+
+#endif  // RABITQ_INDEX_HNSW_H_

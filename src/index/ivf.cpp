@@ -1,0 +1,182 @@
+#include "index/ivf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <numeric>
+
+#include "linalg/vector_ops.h"
+#include "util/thread_pool.h"
+
+namespace rabitq {
+
+Status IvfRabitqIndex::Build(const Matrix& data, const IvfConfig& ivf_config,
+                             const RabitqConfig& rabitq_config) {
+  if (data.rows() == 0) return Status::InvalidArgument("empty dataset");
+  data_ = data;
+
+  KMeansConfig kmeans = ivf_config.kmeans;
+  kmeans.num_clusters = std::min(ivf_config.num_lists, data.rows());
+  KMeansResult clustering;
+  RABITQ_RETURN_IF_ERROR(RunKMeans(data_, kmeans, &clustering));
+  centroids_ = std::move(clustering.centroids);
+
+  RABITQ_RETURN_IF_ERROR(encoder_.Init(data.cols(), rabitq_config));
+
+  // Precompute P^T c per list (shares the query rotation across clusters).
+  rotated_centroids_.Reset(centroids_.rows(), encoder_.total_bits());
+  for (std::size_t l = 0; l < centroids_.rows(); ++l) {
+    encoder_.rotator().InverseRotate(centroids_.Row(l),
+                                     rotated_centroids_.Row(l));
+  }
+
+  // Bucket membership, then per-list encoding (parallel across lists).
+  lists_.assign(centroids_.rows(), List{});
+  for (std::size_t i = 0; i < data_.rows(); ++i) {
+    lists_[clustering.assignments[i]].ids.push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  Status worker_status = Status::Ok();
+  std::mutex status_mutex;
+  GlobalThreadPool().ParallelFor(
+      lists_.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t l = begin; l < end; ++l) {
+          List& list = lists_[l];
+          list.codes.Init(encoder_.total_bits());
+          list.codes.Reserve(list.ids.size());
+          for (const std::uint32_t id : list.ids) {
+            const Status s = encoder_.EncodeAppend(data_.Row(id),
+                                                   centroids_.Row(l),
+                                                   &list.codes);
+            if (!s.ok()) {
+              std::lock_guard<std::mutex> lock(status_mutex);
+              worker_status = s;
+              return;
+            }
+          }
+          if (!list.ids.empty()) list.codes.Finalize();
+        }
+      },
+      /*min_chunk=*/1);
+  return worker_status;
+}
+
+std::vector<std::pair<float, std::uint32_t>>
+IvfRabitqIndex::ProbeOrderWithDistances(const float* query) const {
+  std::vector<std::pair<float, std::uint32_t>> by_dist(centroids_.rows());
+  for (std::size_t l = 0; l < centroids_.rows(); ++l) {
+    by_dist[l] = {L2SqrDistance(query, centroids_.Row(l), dim()),
+                  static_cast<std::uint32_t>(l)};
+  }
+  std::sort(by_dist.begin(), by_dist.end());
+  return by_dist;
+}
+
+std::vector<std::uint32_t> IvfRabitqIndex::ProbeOrder(
+    const float* query) const {
+  const auto by_dist = ProbeOrderWithDistances(query);
+  std::vector<std::uint32_t> order(by_dist.size());
+  for (std::size_t i = 0; i < by_dist.size(); ++i) order[i] = by_dist[i].second;
+  return order;
+}
+
+Status IvfRabitqIndex::Search(const float* query, const IvfSearchParams& params,
+                              Rng* rng, std::vector<Neighbor>* out,
+                              IvfSearchStats* stats) const {
+  if (out == nullptr || rng == nullptr) {
+    return Status::InvalidArgument("null output/rng");
+  }
+  if (params.k == 0) return Status::InvalidArgument("k must be positive");
+  const float epsilon0 = params.epsilon0_override >= 0.0f
+                             ? params.epsilon0_override
+                             : encoder_.config().epsilon0;
+  const auto order = ProbeOrderWithDistances(query);
+  const std::size_t nprobe = std::min(params.nprobe, order.size());
+
+  // Rotate the query ONCE; each probed list reuses it (Section 3.3's shared
+  // preprocessing, made explicit by PrepareQueryFromRotated).
+  std::vector<float> rotated_query(encoder_.total_bits());
+  RotateQueryOnce(encoder_, query, rotated_query.data());
+
+  IvfSearchStats local_stats;
+  TopKHeap exact_heap(params.k);
+  // For the fixed-candidates and no-rerank policies: (estimate, id) pool.
+  std::vector<Neighbor> estimate_pool;
+
+  std::vector<float> est_buf;
+  std::vector<float> lb_buf;
+  QuantizedQuery qq;
+  for (std::size_t p = 0; p < nprobe; ++p) {
+    const std::uint32_t list_id = order[p].second;
+    const List& list = lists_[list_id];
+    if (list.ids.empty()) continue;
+    ++local_stats.lists_probed;
+    RABITQ_RETURN_IF_ERROR(PrepareQueryFromRotated(
+        encoder_, rotated_query.data(), rotated_centroids_.Row(list_id),
+        std::sqrt(std::max(0.0f, order[p].first)), rng, &qq));
+    const std::size_t n = list.ids.size();
+    est_buf.resize(n);
+    lb_buf.resize(n);
+    const bool need_bounds = params.policy == RerankPolicy::kErrorBound;
+    if (params.use_batch_estimator && qq.has_exact_luts) {
+      EstimateAll(qq, list.codes, epsilon0, est_buf.data(),
+                  need_bounds ? lb_buf.data() : nullptr);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const DistanceEstimate est =
+            EstimateDistance(qq, list.codes.View(i), epsilon0);
+        est_buf[i] = est.dist_sq;
+        lb_buf[i] = est.lower_bound_sq;
+      }
+    }
+    local_stats.codes_estimated += n;
+
+    switch (params.policy) {
+      case RerankPolicy::kErrorBound:
+        // Paper Section 4: drop a vector iff its distance lower bound
+        // exceeds the current k-th best exact distance; otherwise compute
+        // the exact distance right away so the threshold tightens as we go.
+        for (std::size_t i = 0; i < n; ++i) {
+          if (exact_heap.full() && lb_buf[i] > exact_heap.Threshold()) continue;
+          const std::uint32_t id = list.ids[i];
+          const float exact = L2SqrDistance(data_.Row(id), query, dim());
+          exact_heap.Push(exact, id);
+          ++local_stats.candidates_reranked;
+        }
+        break;
+      case RerankPolicy::kFixedCandidates:
+      case RerankPolicy::kNone:
+        for (std::size_t i = 0; i < n; ++i) {
+          estimate_pool.emplace_back(est_buf[i], list.ids[i]);
+        }
+        break;
+    }
+  }
+
+  if (params.policy == RerankPolicy::kErrorBound) {
+    *out = exact_heap.ExtractSorted();
+  } else if (params.policy == RerankPolicy::kFixedCandidates) {
+    const std::size_t keep =
+        std::min(std::max(params.rerank_candidates, params.k),
+                 estimate_pool.size());
+    std::partial_sort(estimate_pool.begin(), estimate_pool.begin() + keep,
+                      estimate_pool.end());
+    for (std::size_t i = 0; i < keep; ++i) {
+      const std::uint32_t id = estimate_pool[i].second;
+      exact_heap.Push(L2SqrDistance(data_.Row(id), query, dim()), id);
+    }
+    local_stats.candidates_reranked = keep;
+    *out = exact_heap.ExtractSorted();
+  } else {
+    const std::size_t keep = std::min(params.k, estimate_pool.size());
+    std::partial_sort(estimate_pool.begin(), estimate_pool.begin() + keep,
+                      estimate_pool.end());
+    estimate_pool.resize(keep);
+    *out = std::move(estimate_pool);
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return Status::Ok();
+}
+
+}  // namespace rabitq

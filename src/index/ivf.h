@@ -1,0 +1,127 @@
+// IVF + RaBitQ, the in-memory ANN pipeline of paper Section 4. The index
+// phase KMeans-clusters the raw vectors, normalizes each vector against its
+// cluster centroid (the paper's normalization instantiation), and stores
+// per-cluster RaBitQ code stores. The query phase probes the nprobe nearest
+// clusters, estimates distances from the codes (fast-scan batches by
+// default), and re-ranks with exact distances under one of two policies:
+//   * kErrorBound (RaBitQ): re-rank iff the eps0 lower bound beats the
+//     current k-th best exact distance -- the tuning-free rule of Section 4.
+//   * kFixedCandidates (PQ-style): keep the `rerank_candidates` smallest
+//     estimates, then re-rank those -- the baseline knob of Section 5.
+//   * kNone: rank purely by estimated distances (Fig. 10 ablation).
+
+#ifndef RABITQ_INDEX_IVF_H_
+#define RABITQ_INDEX_IVF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "core/estimator.h"
+#include "core/query.h"
+#include "core/rabitq.h"
+#include "index/brute_force.h"
+#include "util/prng.h"
+
+namespace rabitq {
+
+struct IvfConfig {
+  std::size_t num_lists = 256;
+  KMeansConfig kmeans;  // num_clusters is overwritten with num_lists
+};
+
+enum class RerankPolicy {
+  kErrorBound,       // paper Section 4, no tunable parameter
+  kFixedCandidates,  // conventional top-R re-ranking
+  kNone,             // rank by estimates only
+};
+
+struct IvfSearchParams {
+  std::size_t k = 100;
+  std::size_t nprobe = 16;
+  RerankPolicy policy = RerankPolicy::kErrorBound;
+  /// Only for kFixedCandidates: number of candidates re-ranked exactly.
+  std::size_t rerank_candidates = 1000;
+  /// Overrides the encoder's eps0 when >= 0 (Fig. 5 sweep).
+  float epsilon0_override = -1.0f;
+  /// Use the packed fast-scan batch estimator (true) or the bitwise
+  /// single-code estimator (false).
+  bool use_batch_estimator = true;
+};
+
+struct IvfSearchStats {
+  std::size_t codes_estimated = 0;
+  std::size_t candidates_reranked = 0;
+  std::size_t lists_probed = 0;
+};
+
+/// IVF index over RaBitQ codes. Keeps a copy of the raw vectors for exact
+/// re-ranking, mirroring the paper's in-memory setting.
+class IvfRabitqIndex {
+ public:
+  /// Builds the index: KMeans into num_lists buckets, then RaBitQ-encode
+  /// every vector against its bucket centroid.
+  Status Build(const Matrix& data, const IvfConfig& ivf_config,
+               const RabitqConfig& rabitq_config);
+
+  std::size_t size() const { return data_.rows(); }
+  std::size_t dim() const { return data_.cols(); }
+  std::size_t num_lists() const { return centroids_.rows(); }
+  const RabitqEncoder& encoder() const { return encoder_; }
+  const Matrix& centroids() const { return centroids_; }
+  const std::vector<std::uint32_t>& list_ids(std::size_t l) const {
+    return lists_[l].ids;
+  }
+  const RabitqCodeStore& list_codes(std::size_t l) const {
+    return lists_[l].codes;
+  }
+
+  /// P^T c per list, precomputed at build time so the per-cluster query
+  /// preparation is a subtract-and-scale (see PrepareQueryFromRotated).
+  const Matrix& rotated_centroids() const { return rotated_centroids_; }
+
+  /// Lists sorted ascending by centroid distance to `query` (the probe
+  /// order); exposed for the distance-estimation benches.
+  std::vector<std::uint32_t> ProbeOrder(const float* query) const;
+
+  /// Probe order with the squared centroid distances attached.
+  std::vector<std::pair<float, std::uint32_t>> ProbeOrderWithDistances(
+      const float* query) const;
+
+  /// K-NN search. `rng` drives the randomized query quantization.
+  Status Search(const float* query, const IvfSearchParams& params, Rng* rng,
+                std::vector<Neighbor>* out, IvfSearchStats* stats = nullptr) const;
+
+  /// Appends one vector to the index after Build: encodes it against its
+  /// nearest centroid and re-packs that list's batch layout (O(list size);
+  /// suited to moderate trickle inserts, not bulk loads). The new vector's
+  /// id (== previous size()) is returned through `id_out` when non-null.
+  Status Add(const float* vec, std::uint32_t* id_out = nullptr);
+
+  /// Serializes the full index (raw vectors, centroids, codes and the
+  /// quantizer configuration). The rotation matrix itself is NOT stored:
+  /// rotators are deterministic in (dim, bits, kind, seed), so Load
+  /// re-derives it from the saved config -- the same trick the paper uses
+  /// to never materialize the codebook.
+  Status Save(const std::string& path) const;
+
+  /// Restores an index written by Save into `*this`.
+  Status Load(const std::string& path);
+
+ private:
+  struct List {
+    std::vector<std::uint32_t> ids;
+    RabitqCodeStore codes;
+  };
+
+  Matrix data_;               // raw vectors (for re-ranking)
+  Matrix centroids_;          // num_lists x dim
+  Matrix rotated_centroids_;  // num_lists x total_bits: P^T c per list
+  RabitqEncoder encoder_;
+  std::vector<List> lists_;
+};
+
+}  // namespace rabitq
+
+#endif  // RABITQ_INDEX_IVF_H_

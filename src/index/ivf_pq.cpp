@@ -1,0 +1,168 @@
+#include "index/ivf_pq.h"
+
+#include <algorithm>
+
+#include "linalg/vector_ops.h"
+#include "util/thread_pool.h"
+
+namespace rabitq {
+
+std::size_t IvfPqIndex::code_bits() const {
+  return config_.use_opq ? opq_.code_bits() : pq_.code_bits();
+}
+
+Status IvfPqIndex::Build(const Matrix& data, const IvfPqConfig& config) {
+  if (data.rows() == 0) return Status::InvalidArgument("empty dataset");
+  config_ = config;
+  data_ = data;
+
+  KMeansConfig kmeans = config.ivf.kmeans;
+  kmeans.num_clusters = std::min(config.ivf.num_lists, data.rows());
+  KMeansResult clustering;
+  RABITQ_RETURN_IF_ERROR(RunKMeans(data_, kmeans, &clustering));
+  centroids_ = std::move(clustering.centroids);
+
+  // Train the quantizer on the raw vectors (global codebooks, as in the
+  // paper's distance-estimation protocol).
+  std::vector<std::uint8_t> all_codes;
+  std::size_t num_segments = 0;
+  if (config.use_opq) {
+    OpqConfig opq_config;
+    opq_config.pq = config.pq;
+    opq_config.opq_iterations = config.opq_iterations;
+    opq_config.max_training_points = config.opq_max_training_points;
+    RABITQ_RETURN_IF_ERROR(opq_.Train(data_, opq_config));
+    opq_.EncodeBatch(data_, &all_codes);
+    num_segments = opq_.num_segments();
+  } else {
+    RABITQ_RETURN_IF_ERROR(pq_.Train(data_, config.pq));
+    pq_.EncodeBatch(data_, &all_codes);
+    num_segments = pq_.num_segments();
+  }
+
+  lists_.assign(centroids_.rows(), List{});
+  for (std::size_t i = 0; i < data_.rows(); ++i) {
+    lists_[clustering.assignments[i]].ids.push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  GlobalThreadPool().ParallelFor(
+      lists_.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t l = begin; l < end; ++l) {
+          List& list = lists_[l];
+          list.codes.resize(list.ids.size() * num_segments);
+          for (std::size_t i = 0; i < list.ids.size(); ++i) {
+            std::copy_n(all_codes.data() + list.ids[i] * num_segments,
+                        num_segments, list.codes.data() + i * num_segments);
+          }
+          if (config_.pq.bits == 4 && !list.ids.empty()) {
+            PackFastScanCodes(list.codes.data(), list.ids.size(), num_segments,
+                              &list.packed);
+          }
+        }
+      },
+      /*min_chunk=*/1);
+  return Status::Ok();
+}
+
+std::vector<std::uint32_t> IvfPqIndex::ProbeOrder(const float* query) const {
+  std::vector<std::pair<float, std::uint32_t>> by_dist(centroids_.rows());
+  for (std::size_t l = 0; l < centroids_.rows(); ++l) {
+    by_dist[l] = {L2SqrDistance(query, centroids_.Row(l), dim()),
+                  static_cast<std::uint32_t>(l)};
+  }
+  std::sort(by_dist.begin(), by_dist.end());
+  std::vector<std::uint32_t> order(by_dist.size());
+  for (std::size_t i = 0; i < by_dist.size(); ++i) order[i] = by_dist[i].second;
+  return order;
+}
+
+void IvfPqIndex::PrepareQueryLuts(const float* query, QueryLuts* luts) const {
+  if (config_.use_opq) {
+    opq_.ComputeLookupTables(query, &luts->float_luts);
+  } else {
+    pq_.ComputeLookupTables(query, &luts->float_luts);
+  }
+  if (config_.pq.bits == 4) {
+    QuantizeLutsToU8(luts->float_luts.data(), config_.pq.num_segments,
+                     &luts->u8_luts, &luts->scale, &luts->bias_sum);
+  }
+}
+
+void IvfPqIndex::EstimateList(std::size_t l, const QueryLuts& luts,
+                              std::vector<float>* estimates) const {
+  const List& list = lists_[l];
+  const std::size_t n = list.ids.size();
+  estimates->resize(n);
+  if (config_.pq.bits == 4) {
+    // Fast-scan batches with u8-quantized LUTs.
+    std::uint32_t acc[kFastScanBlockSize];
+    for (std::size_t block = 0; block < list.packed.num_blocks; ++block) {
+      FastScanAccumulateBlock(list.packed.BlockPtr(block),
+                              list.packed.num_segments, luts.u8_luts.data(),
+                              acc);
+      const std::size_t begin = block * kFastScanBlockSize;
+      const std::size_t end = std::min(begin + kFastScanBlockSize, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        (*estimates)[i] =
+            luts.scale * static_cast<float>(acc[i - begin]) + luts.bias_sum;
+      }
+    }
+  } else {
+    // LUT-in-RAM ADC.
+    const ProductQuantizer& quantizer = config_.use_opq ? opq_.pq() : pq_;
+    const std::size_t num_segments = quantizer.num_segments();
+    for (std::size_t i = 0; i < n; ++i) {
+      (*estimates)[i] = quantizer.EstimateWithLuts(
+          list.codes.data() + i * num_segments, luts.float_luts.data());
+    }
+  }
+}
+
+Status IvfPqIndex::Search(const float* query, const IvfPqSearchParams& params,
+                          std::vector<Neighbor>* out,
+                          IvfSearchStats* stats) const {
+  if (out == nullptr) return Status::InvalidArgument("null output");
+  if (params.k == 0) return Status::InvalidArgument("k must be positive");
+  const std::vector<std::uint32_t> order = ProbeOrder(query);
+  const std::size_t nprobe = std::min(params.nprobe, order.size());
+
+  QueryLuts luts;
+  PrepareQueryLuts(query, &luts);
+
+  IvfSearchStats local_stats;
+  std::vector<Neighbor> pool;
+  std::vector<float> estimates;
+  for (std::size_t p = 0; p < nprobe; ++p) {
+    const std::size_t l = order[p];
+    if (lists_[l].ids.empty()) continue;
+    ++local_stats.lists_probed;
+    EstimateList(l, luts, &estimates);
+    local_stats.codes_estimated += estimates.size();
+    for (std::size_t i = 0; i < estimates.size(); ++i) {
+      pool.emplace_back(estimates[i], lists_[l].ids[i]);
+    }
+  }
+
+  if (params.rerank_candidates == 0) {
+    const std::size_t keep = std::min(params.k, pool.size());
+    std::partial_sort(pool.begin(), pool.begin() + keep, pool.end());
+    pool.resize(keep);
+    *out = std::move(pool);
+  } else {
+    const std::size_t keep =
+        std::min(std::max(params.rerank_candidates, params.k), pool.size());
+    std::partial_sort(pool.begin(), pool.begin() + keep, pool.end());
+    TopKHeap heap(params.k);
+    for (std::size_t i = 0; i < keep; ++i) {
+      const std::uint32_t id = pool[i].second;
+      heap.Push(L2SqrDistance(data_.Row(id), query, dim()), id);
+    }
+    local_stats.candidates_reranked = keep;
+    *out = heap.ExtractSorted();
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return Status::Ok();
+}
+
+}  // namespace rabitq

@@ -1,0 +1,91 @@
+// IVF + PQ/OPQ baselines (paper Section 5 protocol): the same coarse
+// clustering as IvfRabitqIndex, with conventional quantization codes in the
+// lists. Two execution modes mirror the paper's implementation families:
+//   * bits = 8: "x8-single" -- ADC via float LUTs looked up in RAM.
+//   * bits = 4: "x4fs-batch" -- LUTs quantized to u8 and searched with the
+//     SIMD fast-scan kernel, 32 codes at a time.
+// Re-ranking uses the fixed-candidate-count policy with the paper's
+// tunable `rerank_candidates` knob (500/1000/2500 in Fig. 4).
+
+#ifndef RABITQ_INDEX_IVF_PQ_H_
+#define RABITQ_INDEX_IVF_PQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/brute_force.h"
+#include "index/ivf.h"
+#include "quant/opq.h"
+#include "quant/pq.h"
+
+namespace rabitq {
+
+struct IvfPqConfig {
+  IvfConfig ivf;
+  /// Quantizer configuration; `pq.bits` selects the execution mode.
+  PqConfig pq;
+  /// Train the OPQ rotation on top of PQ.
+  bool use_opq = false;
+  /// OPQ-specific knobs (pq field inside is ignored; `pq` above is used).
+  int opq_iterations = 8;
+  std::size_t opq_max_training_points = 20000;
+};
+
+struct IvfPqSearchParams {
+  std::size_t k = 100;
+  std::size_t nprobe = 16;
+  /// Candidates re-ranked with exact distances; 0 = no re-ranking
+  /// (rank by estimates, Fig. 10 ablation).
+  std::size_t rerank_candidates = 1000;
+};
+
+/// IVF index over PQ or OPQ codes.
+class IvfPqIndex {
+ public:
+  Status Build(const Matrix& data, const IvfPqConfig& config);
+
+  std::size_t size() const { return data_.rows(); }
+  std::size_t dim() const { return data_.cols(); }
+  std::size_t num_lists() const { return centroids_.rows(); }
+  bool use_opq() const { return config_.use_opq; }
+  std::size_t code_bits() const;
+  const std::vector<std::uint32_t>& list_ids(std::size_t l) const {
+    return lists_[l].ids;
+  }
+
+  std::vector<std::uint32_t> ProbeOrder(const float* query) const;
+
+  Status Search(const float* query, const IvfPqSearchParams& params,
+                std::vector<Neighbor>* out,
+                IvfSearchStats* stats = nullptr) const;
+
+  /// Estimates distances for every code in list `l` (bench hook; uses the
+  /// mode matching `pq.bits`). `luts` etc. must come from PrepareQueryLuts.
+  struct QueryLuts {
+    AlignedVector<float> float_luts;
+    AlignedVector<std::uint8_t> u8_luts;  // bits == 4 only
+    float scale = 1.0f;
+    float bias_sum = 0.0f;
+  };
+  void PrepareQueryLuts(const float* query, QueryLuts* luts) const;
+  void EstimateList(std::size_t l, const QueryLuts& luts,
+                    std::vector<float>* estimates) const;
+
+ private:
+  struct List {
+    std::vector<std::uint32_t> ids;
+    std::vector<std::uint8_t> codes;  // n x M unpacked
+    FastScanCodes packed;             // bits == 4 only
+  };
+
+  IvfPqConfig config_;
+  Matrix data_;
+  Matrix centroids_;
+  ProductQuantizer pq_;
+  OptimizedProductQuantizer opq_;
+  std::vector<List> lists_;
+};
+
+}  // namespace rabitq
+
+#endif  // RABITQ_INDEX_IVF_PQ_H_

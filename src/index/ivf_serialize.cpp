@@ -1,0 +1,170 @@
+// Save/Load and incremental insertion for IvfRabitqIndex. The on-disk
+// format stores the raw vectors, the coarse centroids, the per-list ids and
+// code-store arrays, and the RabitqConfig; the rotation is reconstructed
+// deterministically from (dim, bits, kind, seed) at load time, mirroring the
+// paper's observation that the codebook never needs to be materialized.
+
+#include <algorithm>
+
+#include "index/ivf.h"
+#include "util/serialize.h"
+
+namespace rabitq {
+
+namespace {
+constexpr char kMagic[8] = {'R', 'B', 'Q', 'I', 'V', 'F', '0', '1'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+Status IvfRabitqIndex::Add(const float* vec, std::uint32_t* id_out) {
+  if (vec == nullptr) return Status::InvalidArgument("null vector");
+  if (lists_.empty()) return Status::FailedPrecondition("index not built");
+  const std::uint32_t id = static_cast<std::uint32_t>(data_.rows());
+
+  // Grow the raw-vector matrix by one row.
+  Matrix grown(data_.rows() + 1, dim());
+  std::copy_n(data_.data(), data_.size(), grown.data());
+  std::copy_n(vec, dim(), grown.Row(id));
+  data_ = std::move(grown);
+
+  const std::uint32_t list_id = NearestCentroid(vec, centroids_);
+  List& list = lists_[list_id];
+  list.ids.push_back(id);
+  RABITQ_RETURN_IF_ERROR(
+      encoder_.EncodeAppend(vec, centroids_.Row(list_id), &list.codes));
+  list.codes.Finalize();  // re-pack the batch layout for this list
+  if (id_out != nullptr) *id_out = id;
+  return Status::Ok();
+}
+
+Status IvfRabitqIndex::Save(const std::string& path) const {
+  if (lists_.empty()) return Status::FailedPrecondition("index not built");
+  std::unique_ptr<BinaryWriter> writer;
+  RABITQ_RETURN_IF_ERROR(BinaryWriter::Open(path, &writer));
+  RABITQ_RETURN_IF_ERROR(WriteHeader(writer.get(), kMagic, kVersion));
+
+  // Quantizer configuration (the rotator is re-derived from this on load).
+  const RabitqConfig& config = encoder_.config();
+  RABITQ_RETURN_IF_ERROR(writer->WriteU64(dim()));
+  RABITQ_RETURN_IF_ERROR(writer->WriteU64(encoder_.total_bits()));
+  RABITQ_RETURN_IF_ERROR(writer->WriteF32(config.epsilon0));
+  RABITQ_RETURN_IF_ERROR(writer->WriteU32(config.query_bits));
+  RABITQ_RETURN_IF_ERROR(
+      writer->WriteU32(static_cast<std::uint32_t>(config.rotator)));
+  RABITQ_RETURN_IF_ERROR(writer->WriteU64(config.seed));
+
+  // Raw vectors and centroids.
+  RABITQ_RETURN_IF_ERROR(writer->WriteU64(data_.rows()));
+  RABITQ_RETURN_IF_ERROR(writer->WriteBytes(data_.data(),
+                                            data_.size() * sizeof(float)));
+  RABITQ_RETURN_IF_ERROR(writer->WriteU64(centroids_.rows()));
+  RABITQ_RETURN_IF_ERROR(writer->WriteBytes(
+      centroids_.data(), centroids_.size() * sizeof(float)));
+
+  // Per-list ids and code arrays.
+  for (const List& list : lists_) {
+    RABITQ_RETURN_IF_ERROR(
+        writer->WriteArray(list.ids.data(), list.ids.size()));
+    const std::size_t n = list.codes.size();
+    RABITQ_RETURN_IF_ERROR(writer->WriteU64(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      const RabitqCodeView view = list.codes.View(i);
+      RABITQ_RETURN_IF_ERROR(writer->WriteBytes(
+          view.bits, list.codes.words_per_code() * sizeof(std::uint64_t)));
+      RABITQ_RETURN_IF_ERROR(writer->WriteF32(view.dist_to_centroid));
+      RABITQ_RETURN_IF_ERROR(writer->WriteF32(view.o_o));
+      RABITQ_RETURN_IF_ERROR(writer->WriteU32(view.bit_count));
+    }
+  }
+  return writer->Close();
+}
+
+Status IvfRabitqIndex::Load(const std::string& path) {
+  std::unique_ptr<BinaryReader> reader;
+  RABITQ_RETURN_IF_ERROR(BinaryReader::Open(path, &reader));
+  RABITQ_RETURN_IF_ERROR(ExpectHeader(reader.get(), kMagic, kVersion));
+
+  std::uint64_t dim = 0, total_bits = 0, seed = 0;
+  std::uint32_t query_bits = 0, rotator_kind = 0;
+  float epsilon0 = 0.0f;
+  RABITQ_RETURN_IF_ERROR(reader->ReadU64(&dim));
+  RABITQ_RETURN_IF_ERROR(reader->ReadU64(&total_bits));
+  RABITQ_RETURN_IF_ERROR(reader->ReadF32(&epsilon0));
+  RABITQ_RETURN_IF_ERROR(reader->ReadU32(&query_bits));
+  RABITQ_RETURN_IF_ERROR(reader->ReadU32(&rotator_kind));
+  RABITQ_RETURN_IF_ERROR(reader->ReadU64(&seed));
+  if (dim == 0 || dim > (1u << 20)) return Status::IoError("corrupt dim");
+  if (rotator_kind > static_cast<std::uint32_t>(RotatorKind::kIdentity)) {
+    return Status::IoError("corrupt rotator kind");
+  }
+
+  RabitqConfig config;
+  // kFht may have rounded the configured width up to a power of two; the
+  // stored value is the actual width, which Init accepts for kDense and
+  // re-rounds identically for kFht.
+  config.total_bits =
+      static_cast<RotatorKind>(rotator_kind) == RotatorKind::kFht
+          ? 0
+          : total_bits;
+  config.epsilon0 = epsilon0;
+  config.query_bits = static_cast<int>(query_bits);
+  config.rotator = static_cast<RotatorKind>(rotator_kind);
+  config.seed = seed;
+  RABITQ_RETURN_IF_ERROR(encoder_.Init(dim, config));
+  if (encoder_.total_bits() != total_bits) {
+    return Status::IoError("reconstructed code width mismatch");
+  }
+
+  std::uint64_t n = 0;
+  RABITQ_RETURN_IF_ERROR(reader->ReadU64(&n));
+  if (n > (std::uint64_t{1} << 40) / std::max<std::uint64_t>(dim, 1)) {
+    return Status::IoError("corrupt vector count");
+  }
+  data_.Reset(n, dim);
+  RABITQ_RETURN_IF_ERROR(
+      reader->ReadBytes(data_.data(), data_.size() * sizeof(float)));
+
+  std::uint64_t num_lists = 0;
+  RABITQ_RETURN_IF_ERROR(reader->ReadU64(&num_lists));
+  if (num_lists == 0 || num_lists > n + 1) {
+    return Status::IoError("corrupt list count");
+  }
+  centroids_.Reset(num_lists, dim);
+  RABITQ_RETURN_IF_ERROR(
+      reader->ReadBytes(centroids_.data(), centroids_.size() * sizeof(float)));
+
+  rotated_centroids_.Reset(num_lists, encoder_.total_bits());
+  for (std::size_t l = 0; l < num_lists; ++l) {
+    encoder_.rotator().InverseRotate(centroids_.Row(l),
+                                     rotated_centroids_.Row(l));
+  }
+
+  lists_.assign(num_lists, List{});
+  const std::size_t words = WordsForBits(total_bits);
+  std::vector<std::uint64_t> bits(words);
+  for (List& list : lists_) {
+    RABITQ_RETURN_IF_ERROR(
+        (reader->ReadArray<std::uint32_t>(&list.ids, n + 1)));
+    std::uint64_t codes = 0;
+    RABITQ_RETURN_IF_ERROR(reader->ReadU64(&codes));
+    if (codes != list.ids.size()) {
+      return Status::IoError("list id/code count mismatch");
+    }
+    list.codes.Init(total_bits);
+    list.codes.Reserve(codes);
+    for (std::uint64_t i = 0; i < codes; ++i) {
+      float dist = 0.0f, o_o = 0.0f;
+      std::uint32_t bit_count = 0;
+      RABITQ_RETURN_IF_ERROR(
+          reader->ReadBytes(bits.data(), words * sizeof(std::uint64_t)));
+      RABITQ_RETURN_IF_ERROR(reader->ReadF32(&dist));
+      RABITQ_RETURN_IF_ERROR(reader->ReadF32(&o_o));
+      RABITQ_RETURN_IF_ERROR(reader->ReadU32(&bit_count));
+      list.codes.Append(bits.data(), dist, o_o, bit_count);
+    }
+    if (!list.ids.empty()) list.codes.Finalize();
+  }
+  return Status::Ok();
+}
+
+}  // namespace rabitq

@@ -1,0 +1,198 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/orthogonal.h"
+#include "linalg/vector_ops.h"
+
+namespace rabitq {
+
+Status JacobiEigenSymmetric(const Matrix& a, std::vector<float>* eigenvalues,
+                            Matrix* eigenvectors, int max_sweeps, float tol) {
+  if (a.rows() != a.cols()) return Status::InvalidArgument("matrix not square");
+  const std::size_t n = a.rows();
+  Matrix work = a;
+  eigenvectors->Reset(n, n);
+  for (std::size_t i = 0; i < n; ++i) eigenvectors->At(i, i) = 1.0f;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    float off_diag = 0.0f;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        off_diag += work.At(p, q) * work.At(p, q);
+      }
+    }
+    if (std::sqrt(off_diag) <= tol) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const float apq = work.At(p, q);
+        if (std::fabs(apq) < 1e-12f) continue;
+        const float app = work.At(p, p);
+        const float aqq = work.At(q, q);
+        const float theta = 0.5f * (aqq - app) / apq;
+        const float t = std::copysign(
+            1.0f / (std::fabs(theta) + std::sqrt(1.0f + theta * theta)), theta);
+        const float c = 1.0f / std::sqrt(1.0f + t * t);
+        const float s = t * c;
+        // Update rows/cols p and q of the symmetric working matrix.
+        for (std::size_t k = 0; k < n; ++k) {
+          const float akp = work.At(k, p);
+          const float akq = work.At(k, q);
+          work.At(k, p) = c * akp - s * akq;
+          work.At(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const float apk = work.At(p, k);
+          const float aqk = work.At(q, k);
+          work.At(p, k) = c * apk - s * aqk;
+          work.At(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate the rotation into the eigenvector rows.
+        for (std::size_t k = 0; k < n; ++k) {
+          const float vpk = eigenvectors->At(p, k);
+          const float vqk = eigenvectors->At(q, k);
+          eigenvectors->At(p, k) = c * vpk - s * vqk;
+          eigenvectors->At(q, k) = s * vpk + c * vqk;
+        }
+      }
+    }
+  }
+
+  eigenvalues->resize(n);
+  for (std::size_t i = 0; i < n; ++i) (*eigenvalues)[i] = work.At(i, i);
+
+  // Sort descending, permuting eigenvector rows alongside.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return (*eigenvalues)[x] > (*eigenvalues)[y];
+  });
+  std::vector<float> sorted_values(n);
+  Matrix sorted_vectors(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sorted_values[i] = (*eigenvalues)[order[i]];
+    for (std::size_t k = 0; k < n; ++k) {
+      sorted_vectors.At(i, k) = eigenvectors->At(order[i], k);
+    }
+  }
+  *eigenvalues = std::move(sorted_values);
+  *eigenvectors = std::move(sorted_vectors);
+  return Status::Ok();
+}
+
+Status SvdSquare(const Matrix& a, Matrix* u, std::vector<float>* singular_values,
+                 Matrix* v, int max_sweeps, float tol) {
+  if (a.rows() != a.cols()) return Status::InvalidArgument("matrix not square");
+  const std::size_t n = a.rows();
+
+  // One-sided Jacobi on the columns of A, carried out on rows of W = A^T so
+  // every inner loop is contiguous (AVX2-friendly). Right-rotations on A's
+  // columns are row-rotations on W; accumulating them into G (init I) yields
+  // G = V^T. At convergence W = (A V)^T = Sigma U^T: row j of W is
+  // sigma_j * u_j.
+  Matrix w;
+  Transpose(a, &w);
+  Matrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) g.At(i, i) = 1.0f;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        float* wp = w.Row(p);
+        float* wq = w.Row(q);
+        const float app = Dot(wp, wp, n);
+        const float aqq = Dot(wq, wq, n);
+        const float apq = Dot(wp, wq, n);
+        if (std::fabs(apq) <= tol * std::sqrt(app * aqq) + 1e-30f) continue;
+        converged = false;
+        const float theta = 0.5f * (aqq - app) / apq;
+        const float t = std::copysign(
+            1.0f / (std::fabs(theta) + std::sqrt(1.0f + theta * theta)), theta);
+        const float c = 1.0f / std::sqrt(1.0f + t * t);
+        const float s = t * c;
+        float* gp = g.Row(p);
+        float* gq = g.Row(q);
+        for (std::size_t k = 0; k < n; ++k) {
+          const float kp = wp[k];
+          const float kq = wq[k];
+          wp[k] = c * kp - s * kq;
+          wq[k] = s * kp + c * kq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const float kp = gp[k];
+          const float kq = gq[k];
+          gp[k] = c * kp - s * kq;
+          gq[k] = s * kp + c * kq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Extract singular values (row norms of W), sorted descending.
+  std::vector<float> row_norms(n);
+  for (std::size_t j = 0; j < n; ++j) row_norms[j] = Norm(w.Row(j), n);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return row_norms[x] > row_norms[y]; });
+
+  singular_values->assign(n, 0.0f);
+  u->Reset(n, n);
+  v->Reset(n, n);
+  const float rank_tol = 1e-6f * row_norms[order[0]];
+  std::size_t rank = 0;
+  for (std::size_t jj = 0; jj < n; ++jj) {
+    const std::size_t j = order[jj];
+    (*singular_values)[jj] = row_norms[j];
+    for (std::size_t k = 0; k < n; ++k) v->At(k, jj) = g.At(j, k);
+    if (row_norms[j] > rank_tol && row_norms[j] > 0.0f) {
+      const float inv = 1.0f / row_norms[j];
+      for (std::size_t k = 0; k < n; ++k) u->At(k, jj) = w.At(j, k) * inv;
+      ++rank;
+    }
+  }
+
+  if (rank < n) {
+    // Complete U's null-space columns to an orthonormal basis (work on the
+    // transpose so the columns being completed are contiguous rows).
+    Matrix ut;
+    Transpose(*u, &ut);
+    std::size_t filled = rank;
+    for (std::size_t e = 0; e < n && filled < n; ++e) {
+      float* row = ut.Row(filled);
+      std::fill(row, row + n, 0.0f);
+      row[e] = 1.0f;
+      for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t j = 0; j < filled; ++j) {
+          const float proj = Dot(row, ut.Row(j), n);
+          Axpy(-proj, ut.Row(j), row, n);
+        }
+      }
+      if (NormalizeInPlace(row, n) > 1e-4f) ++filled;
+    }
+    if (filled < n) return Status::Internal("failed to complete U basis");
+    Transpose(ut, u);
+  }
+  return Status::Ok();
+}
+
+Status ProcrustesRotation(const Matrix& m, Matrix* r) {
+  Matrix u, v;
+  std::vector<float> s;
+  RABITQ_RETURN_IF_ERROR(SvdSquare(m, &u, &s, &v));
+  // R = V U^T maximizes tr(R^T M)... specifically here: the orthogonal R
+  // maximizing tr(R M) is V U^T for M = U S V^T; callers pick the M that
+  // matches their objective (see opq.cpp).
+  Matrix ut;
+  Transpose(u, &ut);
+  MatMul(v, ut, r);
+  // Jacobi with capped sweeps can leave R slightly non-orthogonal; clean up.
+  return GramSchmidtRows(r);
+}
+
+}  // namespace rabitq

@@ -1,0 +1,37 @@
+// Jacobi eigendecomposition and SVD. These back OPQ's Procrustes step
+// (R = argmax_R tr(R M) = V U^T for M = U S V^T), so only square matrices are
+// required. One-sided Jacobi is slow (O(D^3) per sweep) but dependency-free,
+// numerically robust, and fast enough for the D <= 1024 regimes in the paper.
+
+#ifndef RABITQ_LINALG_EIGEN_H_
+#define RABITQ_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace rabitq {
+
+/// Eigendecomposition of a symmetric matrix A = V diag(w) V^T via cyclic
+/// Jacobi rotations. `eigenvalues` are returned in descending order;
+/// `eigenvectors` rows are the corresponding (unit) eigenvectors.
+Status JacobiEigenSymmetric(const Matrix& a, std::vector<float>* eigenvalues,
+                            Matrix* eigenvectors, int max_sweeps = 50,
+                            float tol = 1e-7f);
+
+/// Thin SVD of a square matrix A = U diag(s) V^T via one-sided Jacobi.
+/// Singular values are non-negative, descending. U and V are square
+/// orthogonal; rank-deficient inputs get their null-space columns completed
+/// to an orthonormal basis.
+Status SvdSquare(const Matrix& a, Matrix* u, std::vector<float>* singular_values,
+                 Matrix* v, int max_sweeps = 60, float tol = 1e-8f);
+
+/// Orthogonal Procrustes: the R maximizing tr(R M), i.e. R = V U^T for
+/// M = U S V^T. Used by OPQ: with M = Y^T X (Y = PQ reconstructions,
+/// X = data), R minimizes ||X - Y R^T||_F over orthogonal R.
+Status ProcrustesRotation(const Matrix& m, Matrix* r);
+
+}  // namespace rabitq
+
+#endif  // RABITQ_LINALG_EIGEN_H_

@@ -1,0 +1,76 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+
+namespace rabitq {
+
+void MatVec(const Matrix& m, const float* v, float* out) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    out[r] = Dot(m.Row(r), v, m.cols());
+  }
+}
+
+void MatTVec(const Matrix& m, const float* v, float* out) {
+  for (std::size_t c = 0; c < m.cols(); ++c) out[c] = 0.0f;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    Axpy(v[r], m.Row(r), out, m.cols());
+  }
+}
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  out->Reset(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* a_row = a.Row(i);
+    float* out_row = out->Row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      Axpy(a_row[k], b.Row(k), out_row, b.cols());
+    }
+  }
+}
+
+void MatTMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  out->Reset(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const float* a_row = a.Row(k);
+    const float* b_row = b.Row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      Axpy(a_row[i], b_row, out->Row(i), b.cols());
+    }
+  }
+}
+
+void Transpose(const Matrix& m, Matrix* out) {
+  out->Reset(m.cols(), m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      out->At(c, r) = m.At(r, c);
+    }
+  }
+}
+
+float MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  float max_diff = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::fmax(max_diff, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return max_diff;
+}
+
+bool IsOrthogonal(const Matrix& m, float tol) {
+  if (m.rows() != m.cols()) return false;
+  const std::size_t n = m.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      // Column inner products via rows of the transpose access pattern.
+      float acc = 0.0f;
+      for (std::size_t r = 0; r < n; ++r) acc += m.At(r, i) * m.At(r, j);
+      const float expected = (i == j) ? 1.0f : 0.0f;
+      if (std::fabs(acc - expected) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rabitq

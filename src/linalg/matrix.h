@@ -1,0 +1,70 @@
+// Row-major float matrix with 64-byte-aligned storage. This is the container
+// for datasets (N x D), rotation matrices (D x D) and codebooks.
+
+#ifndef RABITQ_LINALG_MATRIX_H_
+#define RABITQ_LINALG_MATRIX_H_
+
+#include <cstddef>
+
+#include "util/aligned_buffer.h"
+
+namespace rabitq {
+
+/// Dense row-major matrix of floats.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float* Row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* Row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  float& At(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float At(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Reshapes to rows x cols, zero-filled (previous contents discarded).
+  void Reset(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  AlignedVector<float> data_;
+};
+
+/// out = M v  (M: rows x cols, v: cols, out: rows).
+void MatVec(const Matrix& m, const float* v, float* out);
+
+/// out = M^T v  (M: rows x cols, v: rows, out: cols).
+void MatTVec(const Matrix& m, const float* v, float* out);
+
+/// out = A * B (A: n x k, B: k x m). `out` is reset to n x m.
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = A^T * B (A: k x n, B: k x m). `out` is reset to n x m.
+void MatTMul(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = M^T (rows and cols swapped).
+void Transpose(const Matrix& m, Matrix* out);
+
+/// Max |A[i,j] - B[i,j]|; matrices must have identical shape.
+float MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+/// True when M^T M is within `tol` of the identity (column orthonormality).
+bool IsOrthogonal(const Matrix& m, float tol);
+
+}  // namespace rabitq
+
+#endif  // RABITQ_LINALG_MATRIX_H_

@@ -1,0 +1,48 @@
+#include "linalg/orthogonal.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+
+namespace rabitq {
+
+Status GramSchmidtRows(Matrix* m) {
+  const std::size_t n = m->rows();
+  const std::size_t dim = m->cols();
+  if (n > dim) {
+    return Status::InvalidArgument("more rows than dimensions");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    float* row = m->Row(i);
+    // Two projection passes: classic Gram-Schmidt loses orthogonality at
+    // dimensionality ~1e3; one re-orthogonalization restores it to ~1e-6.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t j = 0; j < i; ++j) {
+        const float proj = Dot(row, m->Row(j), dim);
+        Axpy(-proj, m->Row(j), row, dim);
+      }
+    }
+    const float norm = NormalizeInPlace(row, dim);
+    if (norm < 1e-6f) {
+      return Status::Internal("Gram-Schmidt encountered a degenerate row");
+    }
+  }
+  return Status::Ok();
+}
+
+Status SampleRandomOrthogonal(std::size_t dim, Rng* rng, Matrix* out) {
+  if (dim == 0) return Status::InvalidArgument("dim must be positive");
+  if (rng == nullptr || out == nullptr) {
+    return Status::InvalidArgument("null rng/out");
+  }
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    out->Reset(dim, dim);
+    for (std::size_t i = 0; i < dim * dim; ++i) {
+      out->data()[i] = static_cast<float>(rng->Gaussian());
+    }
+    if (GramSchmidtRows(out).ok()) return Status::Ok();
+  }
+  return Status::Internal("failed to sample an orthogonal matrix");
+}
+
+}  // namespace rabitq

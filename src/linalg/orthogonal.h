@@ -1,0 +1,28 @@
+// Sampling of random orthogonal matrices, the Johnson-Lindenstrauss transform
+// at the heart of RaBitQ's codebook construction (paper Section 3.1.2 and
+// Appendix B): fill a D x D matrix with i.i.d. standard Gaussians and
+// orthonormalize it with (modified, re-orthogonalized) Gram-Schmidt. The
+// resulting distribution over rotations is the Haar measure restricted to the
+// sign ambiguity of Gram-Schmidt, exactly the sampling model analyzed in the
+// paper's proofs.
+
+#ifndef RABITQ_LINALG_ORTHOGONAL_H_
+#define RABITQ_LINALG_ORTHOGONAL_H_
+
+#include "linalg/matrix.h"
+#include "util/prng.h"
+#include "util/status.h"
+
+namespace rabitq {
+
+/// Samples a dim x dim random orthogonal matrix into `out`.
+/// Degenerate Gaussian draws (numerically dependent rows) are re-sampled.
+Status SampleRandomOrthogonal(std::size_t dim, Rng* rng, Matrix* out);
+
+/// Orthonormalizes the rows of `m` in place via modified Gram-Schmidt with one
+/// re-orthogonalization pass. Fails if a row collapses to (near) zero norm.
+Status GramSchmidtRows(Matrix* m);
+
+}  // namespace rabitq
+
+#endif  // RABITQ_LINALG_ORTHOGONAL_H_

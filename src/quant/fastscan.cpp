@@ -1,0 +1,135 @@
+#include "quant/fastscan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace rabitq {
+
+void PackFastScanCodes(const std::uint8_t* codes, std::size_t n,
+                       std::size_t num_segments, FastScanCodes* out) {
+  out->num_vectors = n;
+  out->num_segments = num_segments;
+  out->num_blocks = (n + kFastScanBlockSize - 1) / kFastScanBlockSize;
+  out->packed.assign(out->num_blocks * num_segments * 16, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t block = v / kFastScanBlockSize;
+    const std::size_t slot = v % kFastScanBlockSize;
+    const std::size_t byte = slot % 16;
+    const bool high = slot >= 16;
+    std::uint8_t* base = out->packed.data() + block * num_segments * 16;
+    for (std::size_t t = 0; t < num_segments; ++t) {
+      const std::uint8_t code = codes[v * num_segments + t] & 0xF;
+      base[t * 16 + byte] |= high ? static_cast<std::uint8_t>(code << 4) : code;
+    }
+  }
+}
+
+void FastScanAccumulateBlockScalar(const std::uint8_t* block,
+                                   std::size_t num_segments,
+                                   const std::uint8_t* luts,
+                                   std::uint32_t* out) {
+  std::memset(out, 0, kFastScanBlockSize * sizeof(std::uint32_t));
+  for (std::size_t t = 0; t < num_segments; ++t) {
+    const std::uint8_t* seg = block + t * 16;
+    const std::uint8_t* lut = luts + t * 16;
+    for (std::size_t k = 0; k < 16; ++k) {
+      out[k] += lut[seg[k] & 0xF];
+      out[k + 16] += lut[(seg[k] >> 4) & 0xF];
+    }
+  }
+}
+
+#if defined(__AVX2__)
+
+void FastScanAccumulateBlock(const std::uint8_t* block,
+                             std::size_t num_segments,
+                             const std::uint8_t* luts, std::uint32_t* out) {
+  // u16 accumulators for the low 16 vectors and high 16 vectors; widened to
+  // u32 every kChunk segments (kChunk * 255 = 32640 < 65535: no overflow).
+  constexpr std::size_t kChunk = 128;
+  const __m128i low_mask = _mm_set1_epi8(0x0F);
+  __m256i acc32_lo0 = _mm256_setzero_si256();  // vectors 0..7
+  __m256i acc32_lo1 = _mm256_setzero_si256();  // vectors 8..15
+  __m256i acc32_hi0 = _mm256_setzero_si256();  // vectors 16..23
+  __m256i acc32_hi1 = _mm256_setzero_si256();  // vectors 24..31
+
+  for (std::size_t chunk_begin = 0; chunk_begin < num_segments;
+       chunk_begin += kChunk) {
+    const std::size_t chunk_end = std::min(chunk_begin + kChunk, num_segments);
+    __m256i acc_lo = _mm256_setzero_si256();  // 16 u16 lanes, vectors 0..15
+    __m256i acc_hi = _mm256_setzero_si256();  // 16 u16 lanes, vectors 16..31
+    for (std::size_t t = chunk_begin; t < chunk_end; ++t) {
+      const __m128i codes = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(block + t * 16));
+      const __m128i lut = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(luts + t * 16));
+      const __m128i lo_vals =
+          _mm_shuffle_epi8(lut, _mm_and_si128(codes, low_mask));
+      const __m128i hi_vals = _mm_shuffle_epi8(
+          lut, _mm_and_si128(_mm_srli_epi16(codes, 4), low_mask));
+      acc_lo = _mm256_add_epi16(acc_lo, _mm256_cvtepu8_epi16(lo_vals));
+      acc_hi = _mm256_add_epi16(acc_hi, _mm256_cvtepu8_epi16(hi_vals));
+    }
+    // Widen u16 -> u32 and fold into the running 32-bit accumulators.
+    acc32_lo0 = _mm256_add_epi32(
+        acc32_lo0, _mm256_cvtepu16_epi32(_mm256_castsi256_si128(acc_lo)));
+    acc32_lo1 = _mm256_add_epi32(
+        acc32_lo1, _mm256_cvtepu16_epi32(_mm256_extracti128_si256(acc_lo, 1)));
+    acc32_hi0 = _mm256_add_epi32(
+        acc32_hi0, _mm256_cvtepu16_epi32(_mm256_castsi256_si128(acc_hi)));
+    acc32_hi1 = _mm256_add_epi32(
+        acc32_hi1, _mm256_cvtepu16_epi32(_mm256_extracti128_si256(acc_hi, 1)));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 0), acc32_lo0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8), acc32_lo1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 16), acc32_hi0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 24), acc32_hi1);
+}
+
+#else  // !defined(__AVX2__)
+
+void FastScanAccumulateBlock(const std::uint8_t* block,
+                             std::size_t num_segments,
+                             const std::uint8_t* luts, std::uint32_t* out) {
+  FastScanAccumulateBlockScalar(block, num_segments, luts, out);
+}
+
+#endif  // defined(__AVX2__)
+
+void QuantizeLutsToU8(const float* luts, std::size_t num_segments,
+                      AlignedVector<std::uint8_t>* out, float* scale,
+                      float* bias_sum) {
+  out->assign(num_segments * 16, 0);
+  *bias_sum = 0.0f;
+  float max_range = 0.0f;
+  std::vector<float> mins(num_segments);
+  for (std::size_t t = 0; t < num_segments; ++t) {
+    const float* lut = luts + t * 16;
+    float lo = lut[0];
+    float hi = lut[0];
+    for (int j = 1; j < 16; ++j) {
+      lo = std::min(lo, lut[j]);
+      hi = std::max(hi, lut[j]);
+    }
+    mins[t] = lo;
+    *bias_sum += lo;
+    max_range = std::max(max_range, hi - lo);
+  }
+  *scale = max_range > 0.0f ? max_range / 255.0f : 1.0f;
+  const float inv_scale = 1.0f / *scale;
+  for (std::size_t t = 0; t < num_segments; ++t) {
+    const float* lut = luts + t * 16;
+    std::uint8_t* qlut = out->data() + t * 16;
+    for (int j = 0; j < 16; ++j) {
+      const long q = std::lround((lut[j] - mins[t]) * inv_scale);
+      qlut[j] = static_cast<std::uint8_t>(std::clamp(q, 0l, 255l));
+    }
+  }
+}
+
+}  // namespace rabitq

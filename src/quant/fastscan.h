@@ -1,0 +1,63 @@
+// The SIMD "fast scan" substrate of [Andre et al., VLDB'15 / ICMR'17]: 4-bit
+// codes are packed in blocks of 32 vectors so that per-segment look-up tables
+// (16 u8 entries) can be searched with one AVX2 byte shuffle for 16 codes at a
+// time. Both PQx4fs and RaBitQ-batch (paper Section 3.3.2) reduce to this
+// kernel; RaBitQ's LUTs are exact u8 integers while PQ requantizes float LUTs.
+
+#ifndef RABITQ_QUANT_FASTSCAN_H_
+#define RABITQ_QUANT_FASTSCAN_H_
+
+#include <cstdint>
+
+#include "util/aligned_buffer.h"
+#include "util/status.h"
+
+namespace rabitq {
+
+/// Vectors per packed block.
+inline constexpr std::size_t kFastScanBlockSize = 32;
+
+/// Packed 4-bit codes. Block layout: for block b and segment t, 16 bytes;
+/// byte k holds the code of vector (32b + k) in its low nibble and the code
+/// of vector (32b + 16 + k) in its high nibble.
+struct FastScanCodes {
+  std::size_t num_vectors = 0;
+  std::size_t num_segments = 0;
+  std::size_t num_blocks = 0;
+  AlignedVector<std::uint8_t> packed;
+
+  const std::uint8_t* BlockPtr(std::size_t block) const {
+    return packed.data() + block * num_segments * 16;
+  }
+};
+
+/// Packs `n` unpacked codes (one nibble value per byte, row-major
+/// n x num_segments) into the block layout. Tail slots are zero-filled.
+void PackFastScanCodes(const std::uint8_t* codes, std::size_t n,
+                       std::size_t num_segments, FastScanCodes* out);
+
+/// Accumulates sum_t lut[t][code(v,t)] for the 32 vectors of one block.
+/// `luts` holds num_segments * 16 u8 entries; results go to `out[0..32)`.
+/// u16 partial sums are widened to u32 every 128 segments, so any
+/// num_segments is safe from overflow.
+void FastScanAccumulateBlock(const std::uint8_t* block,
+                             std::size_t num_segments,
+                             const std::uint8_t* luts, std::uint32_t* out);
+
+/// Reference implementation of FastScanAccumulateBlock (no SIMD); the tests
+/// cross-check the AVX2 path against it bit-for-bit.
+void FastScanAccumulateBlockScalar(const std::uint8_t* block,
+                                   std::size_t num_segments,
+                                   const std::uint8_t* luts,
+                                   std::uint32_t* out);
+
+/// Quantizes float LUTs (num_segments x 16) to u8 for the kernel, as PQx4fs
+/// does: per-segment bias = min entry, one global scale. Reconstruction:
+/// float_sum ~= accumulated_u8 * (*scale) + (*bias_sum).
+void QuantizeLutsToU8(const float* luts, std::size_t num_segments,
+                      AlignedVector<std::uint8_t>* out, float* scale,
+                      float* bias_sum);
+
+}  // namespace rabitq
+
+#endif  // RABITQ_QUANT_FASTSCAN_H_

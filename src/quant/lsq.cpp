@@ -1,0 +1,225 @@
+#include "quant/lsq.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "cluster/kmeans.h"
+#include "linalg/vector_ops.h"
+#include "util/prng.h"
+#include "util/thread_pool.h"
+
+namespace rabitq {
+
+namespace {
+constexpr std::size_t kEntries = 16;  // 4-bit codebooks
+}
+
+Status AdditiveQuantizer::Train(const Matrix& data, const LsqConfig& config) {
+  if (data.rows() == 0) return Status::InvalidArgument("empty training data");
+  if (config.num_codebooks == 0) {
+    return Status::InvalidArgument("num_codebooks must be positive");
+  }
+  config_ = config;
+  dim_ = data.cols();
+
+  Rng rng(config.seed);
+  const std::size_t train_n =
+      config.max_training_points > 0
+          ? std::min(config.max_training_points, data.rows())
+          : data.rows();
+  Matrix x(train_n, dim_);
+  {
+    std::vector<std::size_t> rows(data.rows());
+    for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+    for (std::size_t i = 0; i < train_n; ++i) {
+      std::swap(rows[i], rows[i + rng.UniformInt(rows.size() - i)]);
+    }
+    for (std::size_t i = 0; i < train_n; ++i) {
+      std::copy_n(data.Row(rows[i]), dim_, x.Row(i));
+    }
+  }
+
+  // Residual (RVQ) initialization: codebook m = KMeans of the residuals left
+  // by codebooks 0..m-1.
+  codebooks_.assign(config.num_codebooks, Matrix());
+  Matrix residual = x;
+  for (std::size_t m = 0; m < config.num_codebooks; ++m) {
+    KMeansConfig kmeans;
+    kmeans.num_clusters = kEntries;
+    kmeans.max_iterations = 10;
+    kmeans.seed = config.seed + m * 99991ULL;
+    KMeansResult result;
+    RABITQ_RETURN_IF_ERROR(RunKMeans(residual, kmeans, &result));
+    codebooks_[m] = std::move(result.centroids);
+    for (std::size_t i = 0; i < train_n; ++i) {
+      Axpy(-1.0f, codebooks_[m].Row(result.assignments[i]), residual.Row(i),
+           dim_);
+    }
+  }
+
+  // Alternating local search: ICM re-encode, then coordinate-descent
+  // codebook update (entry = mean residual of its assignees).
+  std::vector<std::uint8_t> codes(train_n * config.num_codebooks);
+  std::vector<float> recon_sq(train_n);
+  for (int round = 0; round < config.train_iterations; ++round) {
+    GlobalThreadPool().ParallelFor(
+        train_n,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            Encode(x.Row(i), codes.data() + i * config.num_codebooks,
+                   &recon_sq[i]);
+          }
+        },
+        /*min_chunk=*/16);
+
+    // Full residuals once per round: residual_i = x_i - Decode(code_i).
+    // The per-codebook leave-one-out residual is then residual_i + c_m,
+    // keeping the update O(N*M*D) instead of O(N*M^2*D).
+    Matrix residuals(train_n, dim_);
+    for (std::size_t i = 0; i < train_n; ++i) {
+      Decode(codes.data() + i * config.num_codebooks, residuals.Row(i));
+      float* row = residuals.Row(i);
+      const float* xi = x.Row(i);
+      for (std::size_t d = 0; d < dim_; ++d) row[d] = xi[d] - row[d];
+    }
+    std::vector<float> partial(dim_);
+    for (std::size_t m = 0; m < config.num_codebooks; ++m) {
+      Matrix sums(kEntries, dim_);
+      std::vector<std::size_t> counts(kEntries, 0);
+      for (std::size_t i = 0; i < train_n; ++i) {
+        const std::uint8_t* code = codes.data() + i * config.num_codebooks;
+        std::copy_n(residuals.Row(i), dim_, partial.data());
+        Axpy(1.0f, codebooks_[m].Row(code[m]), partial.data(), dim_);
+        Axpy(1.0f, partial.data(), sums.Row(code[m]), dim_);
+        ++counts[code[m]];
+      }
+      const Matrix old_codebook = codebooks_[m];
+      for (std::size_t j = 0; j < kEntries; ++j) {
+        if (counts[j] == 0) continue;  // keep the stale entry
+        const float inv = 1.0f / static_cast<float>(counts[j]);
+        float* row = codebooks_[m].Row(j);
+        const float* sum = sums.Row(j);
+        for (std::size_t d = 0; d < dim_; ++d) row[d] = sum[d] * inv;
+      }
+      // Keep the residuals consistent with the just-updated codebook
+      // (Gauss-Seidel): residual_i shifts by old_c - new_c.
+      for (std::size_t i = 0; i < train_n; ++i) {
+        const std::uint8_t j = codes[i * config.num_codebooks + m];
+        float* row = residuals.Row(i);
+        const float* old_row = old_codebook.Row(j);
+        const float* new_row = codebooks_[m].Row(j);
+        for (std::size_t d = 0; d < dim_; ++d) {
+          row[d] += old_row[d] - new_row[d];
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void AdditiveQuantizer::Encode(const float* vec, std::uint8_t* code,
+                               float* recon_sq) const {
+  const std::size_t m_total = config_.num_codebooks;
+  std::vector<float> residual(vec, vec + dim_);
+
+  // Greedy residual pass.
+  for (std::size_t m = 0; m < m_total; ++m) {
+    std::size_t best = 0;
+    float best_dist = std::numeric_limits<float>::max();
+    for (std::size_t j = 0; j < kEntries; ++j) {
+      const float d = L2SqrDistance(residual.data(), codebooks_[m].Row(j), dim_);
+      if (d < best_dist) {
+        best_dist = d;
+        best = j;
+      }
+    }
+    code[m] = static_cast<std::uint8_t>(best);
+    Axpy(-1.0f, codebooks_[m].Row(best), residual.data(), dim_);
+  }
+
+  // ICM sweeps: re-pick each codeword with the others held fixed. `residual`
+  // is maintained as x - full reconstruction.
+  for (int sweep = 0; sweep < config_.icm_iterations; ++sweep) {
+    bool changed = false;
+    for (std::size_t m = 0; m < m_total; ++m) {
+      // target = residual + current contribution of codebook m.
+      Axpy(1.0f, codebooks_[m].Row(code[m]), residual.data(), dim_);
+      std::size_t best = 0;
+      float best_dist = std::numeric_limits<float>::max();
+      for (std::size_t j = 0; j < kEntries; ++j) {
+        const float d =
+            L2SqrDistance(residual.data(), codebooks_[m].Row(j), dim_);
+        if (d < best_dist) {
+          best_dist = d;
+          best = j;
+        }
+      }
+      if (best != code[m]) changed = true;
+      code[m] = static_cast<std::uint8_t>(best);
+      Axpy(-1.0f, codebooks_[m].Row(best), residual.data(), dim_);
+    }
+    if (!changed) break;
+  }
+
+  if (recon_sq != nullptr) {
+    std::vector<float> recon(dim_);
+    Decode(code, recon.data());
+    *recon_sq = SquaredNorm(recon.data(), dim_);
+  }
+}
+
+void AdditiveQuantizer::EncodeBatch(const Matrix& data,
+                                    std::vector<std::uint8_t>* codes,
+                                    std::vector<float>* recon_sq) const {
+  codes->resize(data.rows() * num_codebooks());
+  recon_sq->resize(data.rows());
+  GlobalThreadPool().ParallelFor(
+      data.rows(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Encode(data.Row(i), codes->data() + i * num_codebooks(),
+                 &(*recon_sq)[i]);
+        }
+      },
+      /*min_chunk=*/16);
+}
+
+void AdditiveQuantizer::Decode(const std::uint8_t* code, float* out) const {
+  std::fill_n(out, dim_, 0.0f);
+  for (std::size_t m = 0; m < num_codebooks(); ++m) {
+    Axpy(1.0f, codebooks_[m].Row(code[m]), out, dim_);
+  }
+}
+
+void AdditiveQuantizer::ComputeLookupTables(const float* query,
+                                            AlignedVector<float>* luts) const {
+  luts->resize(num_codebooks() * kEntries);
+  for (std::size_t m = 0; m < num_codebooks(); ++m) {
+    float* lut = luts->data() + m * kEntries;
+    for (std::size_t j = 0; j < kEntries; ++j) {
+      lut[j] = -2.0f * Dot(query, codebooks_[m].Row(j), dim_);
+    }
+  }
+}
+
+float AdditiveQuantizer::EstimateWithLuts(const std::uint8_t* code,
+                                          const float* luts, float recon_sq,
+                                          float query_sq) const {
+  float acc = query_sq + recon_sq;
+  for (std::size_t m = 0; m < num_codebooks(); ++m) {
+    acc += luts[m * kEntries + code[m]];
+  }
+  return acc;
+}
+
+Status AdditiveQuantizer::PackForFastScan(const std::vector<std::uint8_t>& codes,
+                                          std::size_t n,
+                                          FastScanCodes* out) const {
+  if (codes.size() < n * num_codebooks()) {
+    return Status::InvalidArgument("code buffer too small");
+  }
+  PackFastScanCodes(codes.data(), n, num_codebooks(), out);
+  return Status::Ok();
+}
+
+}  // namespace rabitq

@@ -1,0 +1,123 @@
+#include "quant/opq.h"
+
+#include <algorithm>
+
+#include "linalg/eigen.h"
+#include "linalg/orthogonal.h"
+#include "linalg/vector_ops.h"
+#include "util/prng.h"
+#include "util/thread_pool.h"
+
+namespace rabitq {
+
+Status OptimizedProductQuantizer::Train(const Matrix& data,
+                                        const OpqConfig& config) {
+  if (data.rows() == 0) return Status::InvalidArgument("empty training data");
+  const std::size_t dim = data.cols();
+
+  // Rotation-learning subsample.
+  Rng rng(config.pq.seed ^ 0xA5A5A5A5ULL);
+  const std::size_t train_n =
+      config.max_training_points > 0
+          ? std::min(config.max_training_points, data.rows())
+          : data.rows();
+  Matrix x(train_n, dim);
+  if (train_n == data.rows()) {
+    std::copy_n(data.data(), data.size(), x.data());
+  } else {
+    std::vector<std::size_t> rows(data.rows());
+    for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+    for (std::size_t i = 0; i < train_n; ++i) {
+      std::swap(rows[i], rows[i + rng.UniformInt(rows.size() - i)]);
+    }
+    for (std::size_t i = 0; i < train_n; ++i) {
+      std::copy_n(data.Row(rows[i]), dim, x.Row(i));
+    }
+  }
+
+  RABITQ_RETURN_IF_ERROR(SampleRandomOrthogonal(dim, &rng, &rotation_));
+
+  Matrix x_rot(train_n, dim);
+  auto rotate_all = [&]() {
+    GlobalThreadPool().ParallelFor(train_n,
+                                   [&](std::size_t begin, std::size_t end) {
+                                     for (std::size_t i = begin; i < end; ++i) {
+                                       MatVec(rotation_, x.Row(i), x_rot.Row(i));
+                                     }
+                                   },
+                                   /*min_chunk=*/64);
+  };
+
+  PqConfig inner = config.pq;
+  inner.kmeans_iterations = config.inner_kmeans_iterations;
+  std::vector<std::uint8_t> codes;
+  Matrix y(train_n, dim);
+  Matrix m, r_new;
+  for (int round = 0; round < config.opq_iterations; ++round) {
+    rotate_all();
+    ProductQuantizer round_pq;
+    RABITQ_RETURN_IF_ERROR(round_pq.Train(x_rot, inner));
+    round_pq.EncodeBatch(x_rot, &codes);
+    GlobalThreadPool().ParallelFor(
+        train_n,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            round_pq.Decode(codes.data() + i * round_pq.num_segments(),
+                            y.Row(i));
+          }
+        },
+        /*min_chunk=*/64);
+    // Procrustes: minimizing ||X R^T - Y||_F over orthogonal R is maximizing
+    // tr(R^T Y^T X) = tr(R X^T Y), so we hand ProcrustesRotation (which
+    // maximizes tr(R M)) the matrix M = X^T Y.
+    MatTMul(x, y, &m);
+    RABITQ_RETURN_IF_ERROR(ProcrustesRotation(m, &r_new));
+    rotation_ = std::move(r_new);
+  }
+
+  // Final full PQ training on rotated data.
+  rotate_all();
+  return pq_.Train(x_rot, config.pq);
+}
+
+void OptimizedProductQuantizer::RotateVector(const float* vec,
+                                             float* out) const {
+  MatVec(rotation_, vec, out);
+}
+
+void OptimizedProductQuantizer::Encode(const float* vec,
+                                       std::uint8_t* code) const {
+  std::vector<float> rotated(dim());
+  RotateVector(vec, rotated.data());
+  pq_.Encode(rotated.data(), code);
+}
+
+void OptimizedProductQuantizer::EncodeBatch(
+    const Matrix& data, std::vector<std::uint8_t>* codes) const {
+  codes->resize(data.rows() * num_segments());
+  GlobalThreadPool().ParallelFor(
+      data.rows(), [&](std::size_t begin, std::size_t end) {
+        std::vector<float> rotated(dim());
+        for (std::size_t i = begin; i < end; ++i) {
+          RotateVector(data.Row(i), rotated.data());
+          pq_.Encode(rotated.data(), codes->data() + i * num_segments());
+        }
+      },
+      /*min_chunk=*/64);
+}
+
+void OptimizedProductQuantizer::Decode(const std::uint8_t* code,
+                                       float* out) const {
+  std::vector<float> rotated(dim());
+  pq_.Decode(code, rotated.data());
+  MatTVec(rotation_, rotated.data(), out);
+}
+
+void OptimizedProductQuantizer::ComputeLookupTables(
+    const float* query, AlignedVector<float>* luts) const {
+  std::vector<float> rotated(dim());
+  RotateVector(query, rotated.data());
+  pq_.ComputeLookupTables(rotated.data(), luts);
+}
+
+}  // namespace rabitq

@@ -1,0 +1,70 @@
+// Optimized Product Quantization [Ge et al., CVPR'13], non-parametric
+// variant: alternately (1) train/encode a PQ on rotated data and (2) solve
+// the orthogonal Procrustes problem R = argmin ||X R^T - Y||_F for the
+// current reconstructions Y. The learned rotation de-correlates segments and
+// balances their variance, which is why OPQ is the strongest conventional
+// baseline in the paper (Section 5.1).
+
+#ifndef RABITQ_QUANT_OPQ_H_
+#define RABITQ_QUANT_OPQ_H_
+
+#include "quant/pq.h"
+
+namespace rabitq {
+
+struct OpqConfig {
+  PqConfig pq;
+  /// Alternating optimization rounds (each runs a short PQ train + SVD).
+  int opq_iterations = 8;
+  /// KMeans iterations for the short per-round PQ trainings.
+  int inner_kmeans_iterations = 4;
+  /// Subsample cap for the rotation optimization (0 = all points).
+  std::size_t max_training_points = 20000;
+};
+
+/// OPQ = learned orthogonal rotation + product quantizer. Vectors are encoded
+/// as PQ codes of R*x; queries are rotated before LUT computation, so every
+/// downstream path (LUT-in-RAM, fast scan) is identical to PQ's.
+class OptimizedProductQuantizer {
+ public:
+  Status Train(const Matrix& data, const OpqConfig& config);
+
+  const ProductQuantizer& pq() const { return pq_; }
+  const Matrix& rotation() const { return rotation_; }
+  std::size_t dim() const { return pq_.dim(); }
+  std::size_t num_segments() const { return pq_.num_segments(); }
+  std::size_t code_bits() const { return pq_.code_bits(); }
+
+  /// out = R * vec (the space PQ operates in).
+  void RotateVector(const float* vec, float* out) const;
+
+  /// Encodes one raw (unrotated) vector.
+  void Encode(const float* vec, std::uint8_t* code) const;
+
+  /// Encodes all rows of `data` (threaded).
+  void EncodeBatch(const Matrix& data, std::vector<std::uint8_t>* codes) const;
+
+  /// Reconstructs the quantized vector in the *original* space (R^T decode).
+  void Decode(const std::uint8_t* code, float* out) const;
+
+  /// ADC tables for a raw query (rotates internally).
+  void ComputeLookupTables(const float* query,
+                           AlignedVector<float>* luts) const;
+
+  float EstimateWithLuts(const std::uint8_t* code, const float* luts) const {
+    return pq_.EstimateWithLuts(code, luts);
+  }
+
+  Status PackForFastScan(const std::vector<std::uint8_t>& codes, std::size_t n,
+                         FastScanCodes* out) const {
+    return pq_.PackForFastScan(codes, n, out);
+  }
+
+ private:
+  ProductQuantizer pq_;
+  Matrix rotation_;  // R, dim x dim, applied as out = R * vec
+};
+
+}  // namespace rabitq
+
+#endif  // RABITQ_QUANT_OPQ_H_

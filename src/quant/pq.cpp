@@ -1,0 +1,103 @@
+#include "quant/pq.h"
+
+#include <limits>
+
+#include "linalg/vector_ops.h"
+#include "util/thread_pool.h"
+
+namespace rabitq {
+
+Status ProductQuantizer::Train(const Matrix& data, const PqConfig& config) {
+  if (data.rows() == 0) return Status::InvalidArgument("empty training data");
+  if (config.bits != 4 && config.bits != 8) {
+    return Status::InvalidArgument("bits must be 4 or 8");
+  }
+  if (config.num_segments == 0 || data.cols() % config.num_segments != 0) {
+    return Status::InvalidArgument(
+        "num_segments must divide the dimensionality");
+  }
+  config_ = config;
+  dim_ = data.cols();
+  sub_dim_ = dim_ / config.num_segments;
+  codebooks_.assign(config.num_segments, Matrix());
+
+  // Per-segment KMeans on the segment slice of the training data.
+  Matrix segment_data(data.rows(), sub_dim_);
+  for (std::size_t m = 0; m < config.num_segments; ++m) {
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+      const float* src = data.Row(i) + m * sub_dim_;
+      std::copy_n(src, sub_dim_, segment_data.Row(i));
+    }
+    KMeansConfig kmeans;
+    kmeans.num_clusters = codebook_size();
+    kmeans.max_iterations = config.kmeans_iterations;
+    kmeans.max_training_points = config.max_training_points;
+    kmeans.seed = config.seed + m * 1000003ULL;
+    KMeansResult result;
+    RABITQ_RETURN_IF_ERROR(RunKMeans(segment_data, kmeans, &result));
+    codebooks_[m] = std::move(result.centroids);
+  }
+  return Status::Ok();
+}
+
+void ProductQuantizer::Encode(const float* vec, std::uint8_t* code) const {
+  for (std::size_t m = 0; m < num_segments(); ++m) {
+    code[m] = static_cast<std::uint8_t>(
+        NearestCentroid(vec + m * sub_dim_, codebooks_[m]));
+  }
+}
+
+void ProductQuantizer::EncodeBatch(const Matrix& data,
+                                   std::vector<std::uint8_t>* codes) const {
+  codes->resize(data.rows() * num_segments());
+  GlobalThreadPool().ParallelFor(
+      data.rows(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Encode(data.Row(i), codes->data() + i * num_segments());
+        }
+      });
+}
+
+void ProductQuantizer::Decode(const std::uint8_t* code, float* out) const {
+  for (std::size_t m = 0; m < num_segments(); ++m) {
+    std::copy_n(codebooks_[m].Row(code[m]), sub_dim_, out + m * sub_dim_);
+  }
+}
+
+void ProductQuantizer::ComputeLookupTables(const float* query,
+                                           AlignedVector<float>* luts) const {
+  const std::size_t ksub = codebook_size();
+  luts->resize(num_segments() * ksub);
+  for (std::size_t m = 0; m < num_segments(); ++m) {
+    const float* q_seg = query + m * sub_dim_;
+    float* lut = luts->data() + m * ksub;
+    for (std::size_t j = 0; j < ksub; ++j) {
+      lut[j] = L2SqrDistance(q_seg, codebooks_[m].Row(j), sub_dim_);
+    }
+  }
+}
+
+float ProductQuantizer::EstimateWithLuts(const std::uint8_t* code,
+                                         const float* luts) const {
+  const std::size_t ksub = codebook_size();
+  float acc = 0.0f;
+  for (std::size_t m = 0; m < num_segments(); ++m) {
+    acc += luts[m * ksub + code[m]];
+  }
+  return acc;
+}
+
+Status ProductQuantizer::PackForFastScan(const std::vector<std::uint8_t>& codes,
+                                         std::size_t n,
+                                         FastScanCodes* out) const {
+  if (config_.bits != 4) {
+    return Status::FailedPrecondition("fast scan requires 4-bit codes");
+  }
+  if (codes.size() < n * num_segments()) {
+    return Status::InvalidArgument("code buffer too small");
+  }
+  PackFastScanCodes(codes.data(), n, num_segments(), out);
+  return Status::Ok();
+}
+
+}  // namespace rabitq

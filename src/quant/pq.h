@@ -1,0 +1,84 @@
+// Product Quantization [Jegou et al., TPAMI'11], the paper's primary baseline.
+// Splits D dims into M sub-segments, trains a 2^k-entry KMeans sub-codebook
+// per segment, and estimates squared distances by asymmetric distance
+// computation (ADC): per-query look-up tables of sub-distances accumulated
+// over segments. k=8 is the classic LUT-in-RAM variant ("PQx8-single");
+// k=4 feeds the SIMD fast-scan layout ("PQx4fs-batch", see fastscan.h).
+
+#ifndef RABITQ_QUANT_PQ_H_
+#define RABITQ_QUANT_PQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "linalg/matrix.h"
+#include "quant/fastscan.h"
+#include "util/aligned_buffer.h"
+#include "util/status.h"
+
+namespace rabitq {
+
+struct PqConfig {
+  /// Number of sub-segments M. Must divide the dimensionality.
+  std::size_t num_segments = 8;
+  /// Bits per sub-code: 8 (256-entry sub-codebooks) or 4 (16-entry, fast-scan).
+  int bits = 8;
+  /// KMeans iterations per sub-codebook.
+  int kmeans_iterations = 20;
+  /// Training subsample cap per sub-codebook (0 = all points).
+  std::size_t max_training_points = 65536;
+  std::uint64_t seed = 7;
+};
+
+/// Product quantizer. Codes are stored *unpacked*: one byte per segment, each
+/// byte in [0, 2^bits). Packing for fast scan is a separate step.
+class ProductQuantizer {
+ public:
+  /// Trains the M sub-codebooks on `data` (N x dim).
+  Status Train(const Matrix& data, const PqConfig& config);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t num_segments() const { return config_.num_segments; }
+  std::size_t sub_dim() const { return sub_dim_; }
+  int bits() const { return config_.bits; }
+  std::size_t codebook_size() const { return std::size_t{1} << config_.bits; }
+  /// Compressed size in bits of one code (M * k).
+  std::size_t code_bits() const { return num_segments() * config_.bits; }
+
+  /// Centroids of segment m (codebook_size() x sub_dim()).
+  const Matrix& sub_codebook(std::size_t m) const { return codebooks_[m]; }
+
+  /// Encodes one vector into num_segments() bytes.
+  void Encode(const float* vec, std::uint8_t* code) const;
+
+  /// Encodes all rows of `data` (threaded). `codes` is resized to
+  /// N * num_segments().
+  void EncodeBatch(const Matrix& data, std::vector<std::uint8_t>* codes) const;
+
+  /// Reconstructs the quantized vector of a code.
+  void Decode(const std::uint8_t* code, float* out) const;
+
+  /// ADC tables for `query`: num_segments() x codebook_size() floats, where
+  /// entry (m, j) is the squared distance between query segment m and
+  /// centroid j.
+  void ComputeLookupTables(const float* query,
+                           AlignedVector<float>* luts) const;
+
+  /// Estimated squared distance: sum of LUT entries selected by the code.
+  float EstimateWithLuts(const std::uint8_t* code, const float* luts) const;
+
+  /// Packs 4-bit codes into the fast-scan layout (requires bits == 4).
+  Status PackForFastScan(const std::vector<std::uint8_t>& codes, std::size_t n,
+                         FastScanCodes* out) const;
+
+ private:
+  PqConfig config_;
+  std::size_t dim_ = 0;
+  std::size_t sub_dim_ = 0;
+  std::vector<Matrix> codebooks_;  // M matrices, codebook_size x sub_dim
+};
+
+}  // namespace rabitq
+
+#endif  // RABITQ_QUANT_PQ_H_

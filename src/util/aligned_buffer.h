@@ -1,0 +1,49 @@
+// 64-byte-aligned storage used for all SIMD-visible arrays (codes, vectors,
+// look-up tables). Alignment lets the AVX2 kernels use aligned loads and keeps
+// packed code blocks on cache-line boundaries.
+
+#ifndef RABITQ_UTIL_ALIGNED_BUFFER_H_
+#define RABITQ_UTIL_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace rabitq {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal allocator that over-aligns every allocation to `Alignment` bytes.
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{Alignment};
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+  void deallocate(T* p, std::size_t) noexcept { ::operator delete(p, kAlign); }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// std::vector whose data() is 64-byte aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace rabitq
+
+#endif  // RABITQ_UTIL_ALIGNED_BUFFER_H_

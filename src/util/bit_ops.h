@@ -1,0 +1,64 @@
+// Bit-string kernels backing RaBitQ's single-code estimator (paper Eq. 20-22):
+// packing sign bits into 64-bit words, popcounts, and binary inner products
+// <x_b, q_u^(j)> computed as popcount(x & plane_j).
+
+#ifndef RABITQ_UTIL_BIT_OPS_H_
+#define RABITQ_UTIL_BIT_OPS_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace rabitq {
+
+/// Number of 64-bit words needed to store `bits` bits.
+inline constexpr std::size_t WordsForBits(std::size_t bits) {
+  return (bits + 63) / 64;
+}
+
+/// popcount over a word array.
+inline std::uint32_t PopCount(const std::uint64_t* words, std::size_t n_words) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n_words; ++i) acc += std::popcount(words[i]);
+  return static_cast<std::uint32_t>(acc);
+}
+
+/// Inner product of two binary vectors: sum_i a[i] & b[i].
+inline std::uint32_t BinaryDot(const std::uint64_t* a, const std::uint64_t* b,
+                               std::size_t n_words) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n_words; ++i) acc += std::popcount(a[i] & b[i]);
+  return static_cast<std::uint32_t>(acc);
+}
+
+/// Weighted sum over B_q bit planes (paper Eq. 22):
+///   sum_j 2^j * popcount(code & planes[j])
+/// `planes` holds `n_planes` contiguous vectors of `n_words` words each.
+inline std::uint32_t BitPlaneDot(const std::uint64_t* code,
+                                 const std::uint64_t* planes,
+                                 std::size_t n_planes, std::size_t n_words) {
+  std::uint32_t acc = 0;
+  for (std::size_t j = 0; j < n_planes; ++j) {
+    acc += BinaryDot(code, planes + j * n_words, n_words) << j;
+  }
+  return acc;
+}
+
+/// Sets bit `pos` in a word array.
+inline void SetBit(std::uint64_t* words, std::size_t pos) {
+  words[pos / 64] |= std::uint64_t{1} << (pos % 64);
+}
+
+/// Reads bit `pos` from a word array.
+inline bool GetBit(const std::uint64_t* words, std::size_t pos) {
+  return (words[pos / 64] >> (pos % 64)) & 1u;
+}
+
+/// Extracts the 4-bit nibble at index `idx` (nibble 0 = bits [0,4)).
+inline std::uint8_t GetNibble(const std::uint64_t* words, std::size_t idx) {
+  return static_cast<std::uint8_t>((words[idx / 16] >> ((idx % 16) * 4)) & 0xF);
+}
+
+}  // namespace rabitq
+
+#endif  // RABITQ_UTIL_BIT_OPS_H_

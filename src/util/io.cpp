@@ -1,0 +1,105 @@
+#include "util/io.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace rabitq {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+// Shared *vecs reader: every record is `int32 dim` + dim elements of
+// `ElemT`, converted to `OutT` on the fly.
+template <typename ElemT, typename OutT>
+Status ReadVecsFile(const std::string& path, std::vector<OutT>* out,
+                    std::size_t* n_out, std::size_t* dim_out) {
+  if (out == nullptr || n_out == nullptr || dim_out == nullptr) {
+    return Status::InvalidArgument("null output parameter");
+  }
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  out->clear();
+  *n_out = 0;
+  *dim_out = 0;
+  std::vector<ElemT> record;
+  for (;;) {
+    std::int32_t dim = 0;
+    const std::size_t got = std::fread(&dim, sizeof(dim), 1, file.get());
+    if (got == 0) break;  // clean EOF
+    if (dim <= 0) {
+      return Status::IoError("corrupt record header in '" + path + "'");
+    }
+    if (*dim_out == 0) {
+      *dim_out = static_cast<std::size_t>(dim);
+    } else if (static_cast<std::size_t>(dim) != *dim_out) {
+      return Status::IoError("inconsistent dimensionality in '" + path + "'");
+    }
+    record.resize(static_cast<std::size_t>(dim));
+    if (std::fread(record.data(), sizeof(ElemT), record.size(), file.get()) !=
+        record.size()) {
+      return Status::IoError("truncated record in '" + path + "'");
+    }
+    for (const ElemT v : record) out->push_back(static_cast<OutT>(v));
+    ++*n_out;
+  }
+  return Status::Ok();
+}
+
+template <typename ElemT>
+Status WriteVecsFile(const std::string& path, const ElemT* data, std::size_t n,
+                     std::size_t dim) {
+  if (data == nullptr && n > 0) {
+    return Status::InvalidArgument("null data with nonzero count");
+  }
+  if (dim == 0 || dim > 0x7FFFFFFF) {
+    return Status::InvalidArgument("dimensionality out of range");
+  }
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  const std::int32_t dim32 = static_cast<std::int32_t>(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::fwrite(&dim32, sizeof(dim32), 1, file.get()) != 1 ||
+        std::fwrite(data + i * dim, sizeof(ElemT), dim, file.get()) != dim) {
+      return Status::IoError("short write to '" + path + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ReadFvecs(const std::string& path, std::vector<float>* out,
+                 std::size_t* n_out, std::size_t* dim_out) {
+  return ReadVecsFile<float, float>(path, out, n_out, dim_out);
+}
+
+Status ReadIvecs(const std::string& path, std::vector<std::int32_t>* out,
+                 std::size_t* n_out, std::size_t* dim_out) {
+  return ReadVecsFile<std::int32_t, std::int32_t>(path, out, n_out, dim_out);
+}
+
+Status ReadBvecs(const std::string& path, std::vector<float>* out,
+                 std::size_t* n_out, std::size_t* dim_out) {
+  return ReadVecsFile<std::uint8_t, float>(path, out, n_out, dim_out);
+}
+
+Status WriteFvecs(const std::string& path, const float* data, std::size_t n,
+                  std::size_t dim) {
+  return WriteVecsFile<float>(path, data, n, dim);
+}
+
+Status WriteIvecs(const std::string& path, const std::int32_t* data,
+                  std::size_t n, std::size_t dim) {
+  return WriteVecsFile<std::int32_t>(path, data, n, dim);
+}
+
+}  // namespace rabitq

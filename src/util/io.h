@@ -1,0 +1,42 @@
+// Readers/writers for the de-facto ANN benchmark formats (fvecs / ivecs /
+// bvecs: each record is an int32 dimensionality followed by that many
+// float / int32 / uint8 payload entries). The synthetic dataset suite stands
+// in for the paper's public datasets offline; these routines let the real
+// SIFT/GIST/DEEP/... files drop in unchanged when available.
+
+#ifndef RABITQ_UTIL_IO_H_
+#define RABITQ_UTIL_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rabitq {
+
+/// Reads an .fvecs file. On success `out` holds `*n_out * *dim_out` floats in
+/// row-major order. Every record must share one dimensionality.
+Status ReadFvecs(const std::string& path, std::vector<float>* out,
+                 std::size_t* n_out, std::size_t* dim_out);
+
+/// Reads an .ivecs file (e.g. ground-truth neighbor ids).
+Status ReadIvecs(const std::string& path, std::vector<std::int32_t>* out,
+                 std::size_t* n_out, std::size_t* dim_out);
+
+/// Reads a .bvecs file into floats (uint8 payload widened).
+Status ReadBvecs(const std::string& path, std::vector<float>* out,
+                 std::size_t* n_out, std::size_t* dim_out);
+
+/// Writes row-major float data as .fvecs.
+Status WriteFvecs(const std::string& path, const float* data, std::size_t n,
+                  std::size_t dim);
+
+/// Writes row-major int32 data as .ivecs.
+Status WriteIvecs(const std::string& path, const std::int32_t* data,
+                  std::size_t n, std::size_t dim);
+
+}  // namespace rabitq
+
+#endif  // RABITQ_UTIL_IO_H_

@@ -1,0 +1,99 @@
+// Deterministic, platform-independent pseudo-random number generation.
+// xoshiro256** for uniform bits (seeded through SplitMix64, as its authors
+// recommend) plus Gaussian sampling via the Marsaglia polar method. Every
+// randomized component of the library (rotations, kmeans seeding, randomized
+// query rounding, synthetic datasets) draws from this generator so experiments
+// are reproducible from a single seed.
+
+#ifndef RABITQ_UTIL_PRNG_H_
+#define RABITQ_UTIL_PRNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace rabitq {
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the full 256-bit state from a 64-bit seed via SplitMix64.
+  void Seed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+    has_spare_gaussian_ = false;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  std::uint64_t operator()() { return NextU64(); }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float UniformFloat() {
+    return static_cast<float>(NextU64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform integer in [0, n). `n` must be > 0.
+  std::uint64_t UniformInt(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded sampling; bias < 2^-64 is fine here.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(NextU64()) * n) >> 64);
+  }
+
+  /// Standard normal sample (Marsaglia polar method, caches the spare value).
+  double Gaussian() {
+    if (has_spare_gaussian_) {
+      has_spare_gaussian_ = false;
+      return spare_gaussian_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * UniformDouble() - 1.0;
+      v = 2.0 * UniformDouble() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_gaussian_ = v * factor;
+    has_spare_gaussian_ = true;
+    return u * factor;
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+}  // namespace rabitq
+
+#endif  // RABITQ_UTIL_PRNG_H_

@@ -1,0 +1,109 @@
+#include "util/serialize.h"
+
+#include <cstring>
+
+namespace rabitq {
+
+Status BinaryWriter::Open(const std::string& path,
+                          std::unique_ptr<BinaryWriter>* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output");
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out->reset(new BinaryWriter(file));
+  return Status::Ok();
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status BinaryWriter::WriteBytes(const void* data, std::size_t size) {
+  if (!deferred_error_.ok()) return deferred_error_;
+  if (size == 0) return Status::Ok();
+  if (std::fwrite(data, 1, size, file_) != size) {
+    deferred_error_ = Status::IoError("short write");
+    return deferred_error_;
+  }
+  return Status::Ok();
+}
+
+Status BinaryWriter::WriteU32(std::uint32_t value) {
+  return WriteBytes(&value, sizeof(value));
+}
+
+Status BinaryWriter::WriteU64(std::uint64_t value) {
+  return WriteBytes(&value, sizeof(value));
+}
+
+Status BinaryWriter::WriteF32(float value) {
+  return WriteBytes(&value, sizeof(value));
+}
+
+Status BinaryWriter::Close() {
+  if (file_ == nullptr) return deferred_error_;
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (!deferred_error_.ok()) return deferred_error_;
+  if (rc != 0) return Status::IoError("close failed");
+  return Status::Ok();
+}
+
+Status BinaryReader::Open(const std::string& path,
+                          std::unique_ptr<BinaryReader>* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output");
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  out->reset(new BinaryReader(file));
+  return Status::Ok();
+}
+
+BinaryReader::~BinaryReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status BinaryReader::ReadBytes(void* data, std::size_t size) {
+  if (size == 0) return Status::Ok();
+  if (std::fread(data, 1, size, file_) != size) {
+    return Status::IoError("unexpected end of file");
+  }
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadU32(std::uint32_t* value) {
+  return ReadBytes(value, sizeof(*value));
+}
+
+Status BinaryReader::ReadU64(std::uint64_t* value) {
+  return ReadBytes(value, sizeof(*value));
+}
+
+Status BinaryReader::ReadF32(float* value) {
+  return ReadBytes(value, sizeof(*value));
+}
+
+Status WriteHeader(BinaryWriter* writer, const char magic[8],
+                   std::uint32_t version) {
+  RABITQ_RETURN_IF_ERROR(writer->WriteBytes(magic, 8));
+  return writer->WriteU32(version);
+}
+
+Status ExpectHeader(BinaryReader* reader, const char magic[8],
+                    std::uint32_t expected_version) {
+  char got[8];
+  RABITQ_RETURN_IF_ERROR(reader->ReadBytes(got, 8));
+  if (std::memcmp(got, magic, 8) != 0) {
+    return Status::IoError("magic mismatch (not a rabitq index file?)");
+  }
+  std::uint32_t version = 0;
+  RABITQ_RETURN_IF_ERROR(reader->ReadU32(&version));
+  if (version != expected_version) {
+    return Status::IoError("unsupported format version");
+  }
+  return Status::Ok();
+}
+
+}  // namespace rabitq

@@ -1,0 +1,92 @@
+// Minimal binary (de)serialization primitives used by the index save/load
+// paths: little-endian fixed-width integers, floats, raw arrays, and a
+// magic+version header. All functions return Status and never throw.
+
+#ifndef RABITQ_UTIL_SERIALIZE_H_
+#define RABITQ_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rabitq {
+
+/// Buffered binary writer over a file. Fails fast: after the first error
+/// every subsequent call is a no-op returning the original error.
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing (truncates).
+  static Status Open(const std::string& path, std::unique_ptr<BinaryWriter>* out);
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  Status WriteU32(std::uint32_t value);
+  Status WriteU64(std::uint64_t value);
+  Status WriteF32(float value);
+  Status WriteBytes(const void* data, std::size_t size);
+
+  /// Length-prefixed (u64 count) primitive array.
+  template <typename T>
+  Status WriteArray(const T* data, std::size_t count) {
+    RABITQ_RETURN_IF_ERROR(WriteU64(count));
+    return WriteBytes(data, count * sizeof(T));
+  }
+
+  /// Flushes and closes; returns the first error encountered, if any.
+  Status Close();
+
+ private:
+  explicit BinaryWriter(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_;
+  Status deferred_error_;
+};
+
+/// Binary reader mirroring BinaryWriter.
+class BinaryReader {
+ public:
+  static Status Open(const std::string& path, std::unique_ptr<BinaryReader>* out);
+  ~BinaryReader();
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  Status ReadU32(std::uint32_t* value);
+  Status ReadU64(std::uint64_t* value);
+  Status ReadF32(float* value);
+  Status ReadBytes(void* data, std::size_t size);
+
+  /// Length-prefixed primitive array; `max_count` guards against corrupt
+  /// headers allocating unbounded memory.
+  template <typename T, typename Vec>
+  Status ReadArray(Vec* out, std::size_t max_count = (std::size_t{1} << 32)) {
+    std::uint64_t count = 0;
+    RABITQ_RETURN_IF_ERROR(ReadU64(&count));
+    if (count > max_count) {
+      return Status::IoError("array length exceeds sanity bound");
+    }
+    out->resize(static_cast<std::size_t>(count));
+    return ReadBytes(out->data(), static_cast<std::size_t>(count) * sizeof(T));
+  }
+
+ private:
+  explicit BinaryReader(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_;
+};
+
+/// Writes/checks an 8-byte magic tag plus a u32 version.
+Status WriteHeader(BinaryWriter* writer, const char magic[8],
+                   std::uint32_t version);
+Status ExpectHeader(BinaryReader* reader, const char magic[8],
+                    std::uint32_t expected_version);
+
+}  // namespace rabitq
+
+#endif  // RABITQ_UTIL_SERIALIZE_H_

@@ -1,0 +1,93 @@
+// Lightweight Status type for error handling without exceptions, in the style
+// of the Google/RocksDB C++ guides. Fallible functions return a Status and
+// write results through output parameters.
+
+#ifndef RABITQ_UTIL_STATUS_H_
+#define RABITQ_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace rabitq {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Result of a fallible operation: a code plus a human-readable message.
+///
+/// Usage:
+///   Status s = index.Build(data);
+///   if (!s.ok()) { std::cerr << s.ToString(); return; }
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<category>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kIoError: return "IoError";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kUnimplemented: return "Unimplemented";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace rabitq
+
+/// Propagates a non-OK Status to the caller.
+#define RABITQ_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::rabitq::Status rabitq_status_tmp_ = (expr);   \
+    if (!rabitq_status_tmp_.ok()) return rabitq_status_tmp_; \
+  } while (0)
+
+#endif  // RABITQ_UTIL_STATUS_H_

@@ -1,0 +1,35 @@
+// Wall-clock timing used by the benchmark harness (QPS, ns-per-vector).
+
+#ifndef RABITQ_UTIL_TIMER_H_
+#define RABITQ_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rabitq {
+
+/// Monotonic stopwatch. Starts on construction; Restart() resets the origin.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rabitq
+
+#endif  // RABITQ_UTIL_TIMER_H_

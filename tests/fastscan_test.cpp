@@ -1,0 +1,163 @@
+// Tests for the fast-scan kernel: packing layout, AVX2 vs scalar
+// bit-equality, overflow safety at large segment counts, LUT requantization.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "quant/fastscan.h"
+#include "util/prng.h"
+
+namespace rabitq {
+namespace {
+
+// Reference: direct per-vector accumulation from unpacked codes.
+std::vector<std::uint32_t> DirectAccumulate(const std::uint8_t* codes,
+                                            std::size_t n, std::size_t segments,
+                                            const std::uint8_t* luts) {
+  std::vector<std::uint32_t> out(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t t = 0; t < segments; ++t) {
+      out[v] += luts[t * 16 + codes[v * segments + t]];
+    }
+  }
+  return out;
+}
+
+struct FastScanCase {
+  std::size_t n;
+  std::size_t segments;
+};
+
+class FastScanParamTest : public ::testing::TestWithParam<FastScanCase> {};
+
+TEST_P(FastScanParamTest, KernelMatchesDirectAccumulation) {
+  const auto [n, segments] = GetParam();
+  Rng rng(n * 1000 + segments);
+  std::vector<std::uint8_t> codes(n * segments);
+  for (auto& c : codes) c = static_cast<std::uint8_t>(rng.UniformInt(16));
+  AlignedVector<std::uint8_t> luts(segments * 16);
+  for (auto& l : luts) l = static_cast<std::uint8_t>(rng.UniformInt(256));
+
+  FastScanCodes packed;
+  PackFastScanCodes(codes.data(), n, segments, &packed);
+  EXPECT_EQ(packed.num_blocks, (n + 31) / 32);
+
+  const auto expected = DirectAccumulate(codes.data(), n, segments, luts.data());
+  std::uint32_t acc[kFastScanBlockSize];
+  for (std::size_t b = 0; b < packed.num_blocks; ++b) {
+    FastScanAccumulateBlock(packed.BlockPtr(b), segments, luts.data(), acc);
+    const std::size_t begin = b * kFastScanBlockSize;
+    const std::size_t end = std::min(begin + kFastScanBlockSize, n);
+    for (std::size_t v = begin; v < end; ++v) {
+      ASSERT_EQ(acc[v - begin], expected[v]) << "vector " << v;
+    }
+  }
+}
+
+TEST_P(FastScanParamTest, SimdMatchesScalarBitForBit) {
+  const auto [n, segments] = GetParam();
+  Rng rng(n * 31 + segments * 7);
+  std::vector<std::uint8_t> codes(n * segments);
+  for (auto& c : codes) c = static_cast<std::uint8_t>(rng.UniformInt(16));
+  AlignedVector<std::uint8_t> luts(segments * 16);
+  for (auto& l : luts) l = static_cast<std::uint8_t>(rng.UniformInt(256));
+  FastScanCodes packed;
+  PackFastScanCodes(codes.data(), n, segments, &packed);
+  std::uint32_t simd[kFastScanBlockSize], ref[kFastScanBlockSize];
+  for (std::size_t b = 0; b < packed.num_blocks; ++b) {
+    FastScanAccumulateBlock(packed.BlockPtr(b), segments, luts.data(), simd);
+    FastScanAccumulateBlockScalar(packed.BlockPtr(b), segments, luts.data(),
+                                  ref);
+    EXPECT_EQ(std::memcmp(simd, ref, sizeof(simd)), 0) << "block " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FastScanParamTest,
+    ::testing::Values(FastScanCase{1, 4}, FastScanCase{31, 8},
+                      FastScanCase{32, 16}, FastScanCase{33, 16},
+                      FastScanCase{100, 32}, FastScanCase{64, 240},
+                      FastScanCase{128, 256},
+                      // > 128 segments crosses the u16 -> u32 spill boundary;
+                      // 480 segments (GIST at M=D/2) with max-value LUTs
+                      // would overflow u16 by 7x.
+                      FastScanCase{96, 480}, FastScanCase{40, 513}));
+
+TEST(FastScanTest, OverflowSafeAtMaxLutValues) {
+  // All codes select LUT entries of 255 across 600 segments: the true sum
+  // 153000 overflows u16 4.6x; the chunked kernel must be exact.
+  const std::size_t n = 32, segments = 600;
+  std::vector<std::uint8_t> codes(n * segments, 5);
+  AlignedVector<std::uint8_t> luts(segments * 16, 255);
+  FastScanCodes packed;
+  PackFastScanCodes(codes.data(), n, segments, &packed);
+  std::uint32_t acc[kFastScanBlockSize];
+  FastScanAccumulateBlock(packed.BlockPtr(0), segments, luts.data(), acc);
+  for (std::size_t v = 0; v < n; ++v) {
+    EXPECT_EQ(acc[v], 255u * segments);
+  }
+}
+
+TEST(FastScanTest, PackingLayoutPlacesNibblesCorrectly) {
+  // Two segments, 33 vectors; vector v has code (v % 16) in both segments.
+  const std::size_t n = 33, segments = 2;
+  std::vector<std::uint8_t> codes(n * segments);
+  for (std::size_t v = 0; v < n; ++v) {
+    codes[v * 2] = v % 16;
+    codes[v * 2 + 1] = (v + 1) % 16;
+  }
+  FastScanCodes packed;
+  PackFastScanCodes(codes.data(), n, segments, &packed);
+  ASSERT_EQ(packed.num_blocks, 2u);
+  const std::uint8_t* block0 = packed.BlockPtr(0);
+  // Vector 0 -> segment 0, byte 0, low nibble; vector 16 -> high nibble.
+  EXPECT_EQ(block0[0] & 0xF, 0);
+  EXPECT_EQ((block0[0] >> 4) & 0xF, 0);  // vector 16 code = 16 % 16 = 0
+  // Vector 5 -> byte 5 low nibble = 5; vector 21 -> byte 5 high nibble = 5.
+  EXPECT_EQ(block0[5] & 0xF, 5);
+  EXPECT_EQ((block0[5] >> 4) & 0xF, 5);
+  // Second segment of vector 5 lives at offset 16 + byte 5.
+  EXPECT_EQ(block0[16 + 5] & 0xF, 6);
+  // Tail block: vector 32 (code 0) at byte 0; padding elsewhere is zero.
+  const std::uint8_t* block1 = packed.BlockPtr(1);
+  EXPECT_EQ(block1[0] & 0xF, 0);
+  EXPECT_EQ(block1[1], 0);
+}
+
+TEST(FastScanTest, LutQuantizationReconstructsWithinScale) {
+  Rng rng(5);
+  const std::size_t segments = 24;
+  std::vector<float> luts(segments * 16);
+  for (auto& v : luts) v = static_cast<float>(rng.Gaussian()) * 10.0f;
+  AlignedVector<std::uint8_t> qluts;
+  float scale = 0.0f, bias = 0.0f;
+  QuantizeLutsToU8(luts.data(), segments, &qluts, &scale, &bias);
+  ASSERT_GT(scale, 0.0f);
+  // Any code sequence: |float sum - (scale * u8 sum + bias)| <= segments*scale.
+  for (int trial = 0; trial < 20; ++trial) {
+    float exact = 0.0f;
+    std::uint32_t quantized = 0;
+    for (std::size_t t = 0; t < segments; ++t) {
+      const std::size_t j = rng.UniformInt(16);
+      exact += luts[t * 16 + j];
+      quantized += qluts[t * 16 + j];
+    }
+    const float recon = scale * static_cast<float>(quantized) + bias;
+    EXPECT_NEAR(recon, exact, static_cast<float>(segments) * scale);
+  }
+}
+
+TEST(FastScanTest, ConstantLutsQuantizeExactly) {
+  const std::size_t segments = 4;
+  std::vector<float> luts(segments * 16, 2.5f);
+  AlignedVector<std::uint8_t> qluts;
+  float scale, bias;
+  QuantizeLutsToU8(luts.data(), segments, &qluts, &scale, &bias);
+  for (const auto q : qluts) EXPECT_EQ(q, 0);
+  EXPECT_FLOAT_EQ(bias, 2.5f * segments);
+}
+
+}  // namespace
+}  // namespace rabitq

@@ -1,0 +1,130 @@
+// Tests for the HNSW baseline: graph invariants (degree caps, bidirectional
+// reachability), recall at high ef, efSearch monotonicity, edge cases.
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "index/hnsw.h"
+#include "linalg/vector_ops.h"
+#include "util/prng.h"
+
+namespace rabitq {
+namespace {
+
+Matrix RandomData(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix data(n, dim);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  return data;
+}
+
+class HnswTestFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 2000;
+  static constexpr std::size_t kDim = 24;
+
+  void SetUp() override {
+    data_ = RandomData(kN, kDim, 31);
+    HnswConfig config;
+    config.m = 12;
+    config.ef_construction = 100;
+    ASSERT_TRUE(index_.Build(data_, config).ok());
+    queries_ = RandomData(20, kDim, 32);
+    ASSERT_TRUE(ComputeGroundTruth(data_, queries_, 10, &gt_).ok());
+  }
+
+  Matrix data_;
+  Matrix queries_;
+  GroundTruth gt_;
+  HnswIndex index_;
+};
+
+TEST_F(HnswTestFixture, HighEfSearchReachesHighRecall) {
+  double recall = 0.0;
+  for (std::size_t q = 0; q < queries_.rows(); ++q) {
+    std::vector<Neighbor> result;
+    ASSERT_TRUE(index_.Search(queries_.Row(q), 10, 400, &result).ok());
+    recall += RecallAtK(gt_, q, result, 10);
+  }
+  EXPECT_GE(recall / queries_.rows(), 0.95);
+}
+
+TEST_F(HnswTestFixture, EfSearchImprovesRecall) {
+  double recall_low = 0.0, recall_high = 0.0;
+  for (std::size_t q = 0; q < queries_.rows(); ++q) {
+    std::vector<Neighbor> lo, hi;
+    ASSERT_TRUE(index_.Search(queries_.Row(q), 10, 10, &lo).ok());
+    ASSERT_TRUE(index_.Search(queries_.Row(q), 10, 300, &hi).ok());
+    recall_low += RecallAtK(gt_, q, lo, 10);
+    recall_high += RecallAtK(gt_, q, hi, 10);
+  }
+  EXPECT_GE(recall_high, recall_low);
+  EXPECT_GT(recall_high, 0.0);
+}
+
+TEST_F(HnswTestFixture, ResultsSortedWithExactDistances) {
+  std::vector<Neighbor> result;
+  ASSERT_TRUE(index_.Search(queries_.Row(0), 10, 100, &result).ok());
+  ASSERT_FALSE(result.empty());
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    EXPECT_FLOAT_EQ(result[i].first,
+                    L2SqrDistance(queries_.Row(0),
+                                  data_.Row(result[i].second), kDim));
+    if (i > 0) {
+      EXPECT_LE(result[i - 1].first, result[i].first);
+    }
+  }
+}
+
+TEST_F(HnswTestFixture, SelfQueryFindsSelf) {
+  for (std::size_t i = 0; i < 50; i += 7) {
+    std::vector<Neighbor> result;
+    ASSERT_TRUE(index_.Search(data_.Row(i), 1, 60, &result).ok());
+    ASSERT_FALSE(result.empty());
+    EXPECT_NEAR(result[0].first, 0.0f, 1e-6f);
+  }
+}
+
+TEST(HnswTest, SinglePointIndex) {
+  Matrix data = RandomData(1, 8, 1);
+  HnswIndex index;
+  ASSERT_TRUE(index.Build(data, HnswConfig{}).ok());
+  std::vector<Neighbor> result;
+  ASSERT_TRUE(index.Search(data.Row(0), 5, 10, &result).ok());
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].second, 0u);
+}
+
+TEST(HnswTest, TinyDatasetExactlyRecovered) {
+  Matrix data = RandomData(40, 8, 2);
+  HnswIndex index;
+  HnswConfig config;
+  config.m = 8;
+  config.ef_construction = 40;
+  ASSERT_TRUE(index.Build(data, config).ok());
+  GroundTruth gt;
+  ASSERT_TRUE(ComputeGroundTruth(data, data, 5, &gt).ok());
+  for (std::size_t q = 0; q < data.rows(); ++q) {
+    std::vector<Neighbor> result;
+    ASSERT_TRUE(index.Search(data.Row(q), 5, 40, &result).ok());
+    EXPECT_GE(RecallAtK(gt, q, result, 5), 0.99) << "query " << q;
+  }
+}
+
+TEST(HnswTest, RejectsBadArguments) {
+  HnswIndex index;
+  EXPECT_FALSE(index.Build(Matrix(), HnswConfig{}).ok());
+  HnswConfig bad;
+  bad.m = 1;
+  EXPECT_FALSE(index.Build(RandomData(10, 4, 3), bad).ok());
+  std::vector<Neighbor> out;
+  EXPECT_FALSE(index.Search(nullptr, 1, 1, &out).ok());  // not built yet
+}
+
+}  // namespace
+}  // namespace rabitq

@@ -1,0 +1,248 @@
+// Tests for the IVF-RaBitQ index: construction invariants, recall with the
+// error-bound re-ranking policy (Section 4), policy comparisons, stats, and
+// the batch/single estimator toggle.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "index/ivf.h"
+#include "linalg/vector_ops.h"
+#include "util/prng.h"
+
+namespace rabitq {
+namespace {
+
+Matrix ClusteredData(std::size_t n, std::size_t dim, std::size_t clusters,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix centers(clusters, dim);
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    centers.data()[i] = static_cast<float>(rng.Gaussian()) * 8.0f;
+  }
+  Matrix data(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = rng.UniformInt(clusters);
+    for (std::size_t j = 0; j < dim; ++j) {
+      data.At(i, j) = centers.At(c, j) + static_cast<float>(rng.Gaussian());
+    }
+  }
+  return data;
+}
+
+class IvfTestFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 4000;
+  static constexpr std::size_t kDim = 48;
+
+  void SetUp() override {
+    data_ = ClusteredData(kN, kDim, 20, 7);
+    IvfConfig ivf;
+    ivf.num_lists = 32;
+    RabitqConfig rabitq;
+    ASSERT_TRUE(index_.Build(data_, ivf, rabitq).ok());
+    queries_ = ClusteredData(20, kDim, 20, 8);
+    ASSERT_TRUE(ComputeGroundTruth(data_, queries_, 10, &gt_).ok());
+  }
+
+  Matrix data_;
+  Matrix queries_;
+  GroundTruth gt_;
+  IvfRabitqIndex index_;
+};
+
+TEST_F(IvfTestFixture, EveryVectorAssignedToExactlyOneList) {
+  std::vector<int> seen(kN, 0);
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < index_.num_lists(); ++l) {
+    EXPECT_EQ(index_.list_ids(l).size(), index_.list_codes(l).size());
+    for (const std::uint32_t id : index_.list_ids(l)) {
+      ASSERT_LT(id, kN);
+      ++seen[id];
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, kN);
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST_F(IvfTestFixture, ProbeOrderSortsByCentroidDistance) {
+  const auto order = index_.ProbeOrder(queries_.Row(0));
+  ASSERT_EQ(order.size(), index_.num_lists());
+  float prev = -1.0f;
+  for (const std::uint32_t l : order) {
+    const float d =
+        L2SqrDistance(queries_.Row(0), index_.centroids().Row(l), kDim);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST_F(IvfTestFixture, FullProbeErrorBoundRecallIsNearPerfect) {
+  // Probing every list with error-bound re-ranking must find essentially
+  // all true neighbors (misses only when the bound fails, prob ~ 1e-3).
+  Rng rng(1);
+  IvfSearchParams params;
+  params.k = 10;
+  params.nprobe = index_.num_lists();
+  double recall = 0.0;
+  for (std::size_t q = 0; q < queries_.rows(); ++q) {
+    std::vector<Neighbor> result;
+    ASSERT_TRUE(index_.Search(queries_.Row(q), params, &rng, &result).ok());
+    recall += RecallAtK(gt_, q, result, 10);
+  }
+  EXPECT_GE(recall / queries_.rows(), 0.99);
+}
+
+TEST_F(IvfTestFixture, ExactDistancesReturnedAfterRerank) {
+  Rng rng(2);
+  IvfSearchParams params;
+  params.k = 5;
+  params.nprobe = index_.num_lists();
+  std::vector<Neighbor> result;
+  ASSERT_TRUE(index_.Search(queries_.Row(0), params, &rng, &result).ok());
+  for (const auto& [dist, id] : result) {
+    EXPECT_FLOAT_EQ(dist,
+                    L2SqrDistance(queries_.Row(0), data_.Row(id), kDim));
+  }
+  // Sorted ascending.
+  for (std::size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].first, result[i].first);
+  }
+}
+
+TEST_F(IvfTestFixture, ErrorBoundPrunesMostCandidates) {
+  Rng rng(3);
+  IvfSearchParams params;
+  params.k = 10;
+  params.nprobe = index_.num_lists();
+  IvfSearchStats stats;
+  std::vector<Neighbor> result;
+  ASSERT_TRUE(
+      index_.Search(queries_.Row(0), params, &rng, &result, &stats).ok());
+  EXPECT_EQ(stats.codes_estimated, kN);
+  EXPECT_LT(stats.candidates_reranked, kN / 2)
+      << "the bound should prune the bulk of the candidates";
+  EXPECT_GE(stats.candidates_reranked, params.k);
+}
+
+TEST_F(IvfTestFixture, SingleAndBatchEstimatorsGiveSameResults) {
+  IvfSearchParams batch_params;
+  batch_params.k = 10;
+  batch_params.nprobe = 8;
+  IvfSearchParams single_params = batch_params;
+  single_params.use_batch_estimator = false;
+  for (std::size_t q = 0; q < 5; ++q) {
+    // Same rng seed -> identical randomized query quantization.
+    Rng rng_a(100 + q), rng_b(100 + q);
+    std::vector<Neighbor> batch_result, single_result;
+    ASSERT_TRUE(
+        index_.Search(queries_.Row(q), batch_params, &rng_a, &batch_result)
+            .ok());
+    ASSERT_TRUE(
+        index_.Search(queries_.Row(q), single_params, &rng_b, &single_result)
+            .ok());
+    ASSERT_EQ(batch_result.size(), single_result.size());
+    for (std::size_t i = 0; i < batch_result.size(); ++i) {
+      EXPECT_EQ(batch_result[i].second, single_result[i].second);
+      EXPECT_FLOAT_EQ(batch_result[i].first, single_result[i].first);
+    }
+  }
+}
+
+TEST_F(IvfTestFixture, FixedCandidatePolicyWorksAndObeysBudget) {
+  Rng rng(4);
+  IvfSearchParams params;
+  params.k = 10;
+  params.nprobe = index_.num_lists();
+  params.policy = RerankPolicy::kFixedCandidates;
+  params.rerank_candidates = 200;
+  IvfSearchStats stats;
+  double recall = 0.0;
+  for (std::size_t q = 0; q < queries_.rows(); ++q) {
+    std::vector<Neighbor> result;
+    ASSERT_TRUE(
+        index_.Search(queries_.Row(q), params, &rng, &result, &stats).ok());
+    EXPECT_LE(stats.candidates_reranked, 200u);
+    recall += RecallAtK(gt_, q, result, 10);
+  }
+  EXPECT_GE(recall / queries_.rows(), 0.9);
+}
+
+TEST_F(IvfTestFixture, NoRerankPolicyReturnsEstimates) {
+  Rng rng(5);
+  IvfSearchParams params;
+  params.k = 10;
+  params.nprobe = index_.num_lists();
+  params.policy = RerankPolicy::kNone;
+  std::vector<Neighbor> result;
+  ASSERT_TRUE(index_.Search(queries_.Row(0), params, &rng, &result).ok());
+  ASSERT_EQ(result.size(), 10u);
+  // Estimated distances are not exact, but ids should still be decent:
+  // recall without rerank is lower yet far from random.
+  const double recall = RecallAtK(gt_, 0, result, 10);
+  EXPECT_GE(recall, 0.3);
+}
+
+TEST_F(IvfTestFixture, SmallerEpsilonLowersRecallFloor) {
+  // eps0 = 0 prunes aggressively (bound = estimate): recall drops relative
+  // to eps0 = 1.9 (Fig. 5's left edge).
+  IvfSearchParams tight;
+  tight.k = 10;
+  tight.nprobe = index_.num_lists();
+  tight.epsilon0_override = 0.0f;
+  IvfSearchParams loose = tight;
+  loose.epsilon0_override = 1.9f;
+  double recall_tight = 0.0, recall_loose = 0.0;
+  for (std::size_t q = 0; q < queries_.rows(); ++q) {
+    Rng rng_a(200 + q), rng_b(200 + q);
+    std::vector<Neighbor> rt, rl;
+    ASSERT_TRUE(index_.Search(queries_.Row(q), tight, &rng_a, &rt).ok());
+    ASSERT_TRUE(index_.Search(queries_.Row(q), loose, &rng_b, &rl).ok());
+    recall_tight += RecallAtK(gt_, q, rt, 10);
+    recall_loose += RecallAtK(gt_, q, rl, 10);
+  }
+  EXPECT_GT(recall_loose, recall_tight);
+}
+
+TEST(IvfTest, RejectsBadArguments) {
+  IvfRabitqIndex index;
+  EXPECT_FALSE(index.Build(Matrix(), IvfConfig{}, RabitqConfig{}).ok());
+
+  Matrix data = ClusteredData(100, 16, 4, 1);
+  IvfConfig ivf;
+  ivf.num_lists = 4;
+  ASSERT_TRUE(index.Build(data, ivf, RabitqConfig{}).ok());
+  Rng rng(1);
+  std::vector<Neighbor> out;
+  IvfSearchParams params;
+  params.k = 0;
+  EXPECT_FALSE(index.Search(data.Row(0), params, &rng, &out).ok());
+  params.k = 5;
+  EXPECT_FALSE(index.Search(data.Row(0), params, nullptr, &out).ok());
+  EXPECT_FALSE(index.Search(data.Row(0), params, &rng, nullptr).ok());
+}
+
+TEST(IvfTest, MoreListsThanPointsClamps) {
+  Matrix data = ClusteredData(10, 8, 2, 3);
+  IvfRabitqIndex index;
+  IvfConfig ivf;
+  ivf.num_lists = 64;
+  ASSERT_TRUE(index.Build(data, ivf, RabitqConfig{}).ok());
+  EXPECT_LE(index.num_lists(), 10u);
+  Rng rng(1);
+  IvfSearchParams params;
+  params.k = 3;
+  params.nprobe = index.num_lists();
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(index.Search(data.Row(0), params, &rng, &out).ok());
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].second, 0u);  // the point itself
+  EXPECT_NEAR(out[0].first, 0.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace rabitq

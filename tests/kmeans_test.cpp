@@ -1,0 +1,145 @@
+// Tests for the KMeans substrate: objective improvement, assignment
+// correctness, empty-cluster repair, subsampled training, determinism.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cluster/kmeans.h"
+#include "linalg/vector_ops.h"
+#include "util/prng.h"
+
+namespace rabitq {
+namespace {
+
+// Three well-separated 2-D blobs.
+Matrix ThreeBlobs(std::size_t per_blob, Rng* rng) {
+  const float centers[3][2] = {{0, 0}, {100, 0}, {0, 100}};
+  Matrix data(3 * per_blob, 2);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const auto c = centers[i % 3];
+    data.At(i, 0) = c[0] + static_cast<float>(rng->Gaussian());
+    data.At(i, 1) = c[1] + static_cast<float>(rng->Gaussian());
+  }
+  return data;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  Rng rng(1);
+  const Matrix data = ThreeBlobs(200, &rng);
+  KMeansConfig config;
+  config.num_clusters = 3;
+  config.seed = 5;
+  KMeansResult result;
+  ASSERT_TRUE(RunKMeans(data, config, &result).ok());
+  ASSERT_EQ(result.centroids.rows(), 3u);
+  // Each true blob center must be within a few units of some centroid.
+  const float centers[3][2] = {{0, 0}, {100, 0}, {0, 100}};
+  for (const auto& c : centers) {
+    float best = 1e30f;
+    for (std::size_t k = 0; k < 3; ++k) {
+      best = std::min(best, L2SqrDistance(c, result.centroids.Row(k), 2));
+    }
+    EXPECT_LT(best, 4.0f);
+  }
+  // Points in the same blob share an assignment.
+  for (std::size_t i = 3; i < data.rows(); ++i) {
+    EXPECT_EQ(result.assignments[i], result.assignments[i % 3]);
+  }
+}
+
+TEST(KMeansTest, AssignmentsMatchNearestCentroid) {
+  Rng rng(2);
+  const Matrix data = ThreeBlobs(50, &rng);
+  KMeansConfig config;
+  config.num_clusters = 5;
+  KMeansResult result;
+  ASSERT_TRUE(RunKMeans(data, config, &result).ok());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    EXPECT_EQ(result.assignments[i],
+              NearestCentroid(data.Row(i), result.centroids));
+  }
+}
+
+TEST(KMeansTest, ObjectiveDecreasesVsSingleIteration) {
+  Rng rng(3);
+  Matrix data(500, 8);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  KMeansConfig one_iter;
+  one_iter.num_clusters = 16;
+  one_iter.max_iterations = 1;
+  one_iter.seed = 9;
+  KMeansConfig many_iters = one_iter;
+  many_iters.max_iterations = 30;
+  KMeansResult short_run, long_run;
+  ASSERT_TRUE(RunKMeans(data, one_iter, &short_run).ok());
+  ASSERT_TRUE(RunKMeans(data, many_iters, &long_run).ok());
+  EXPECT_LE(long_run.final_objective, short_run.final_objective + 1e-9);
+}
+
+TEST(KMeansTest, MoreClustersThanPointsDuplicates) {
+  Matrix data(3, 2);
+  data.At(0, 0) = 1.0f;
+  data.At(1, 0) = 2.0f;
+  data.At(2, 0) = 3.0f;
+  KMeansConfig config;
+  config.num_clusters = 8;
+  KMeansResult result;
+  ASSERT_TRUE(RunKMeans(data, config, &result).ok());
+  EXPECT_EQ(result.centroids.rows(), 8u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_LT(result.assignments[i], 8u);
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  Rng rng(4);
+  const Matrix data = ThreeBlobs(100, &rng);
+  KMeansConfig config;
+  config.num_clusters = 4;
+  config.seed = 77;
+  KMeansResult a, b;
+  ASSERT_TRUE(RunKMeans(data, config, &a).ok());
+  ASSERT_TRUE(RunKMeans(data, config, &b).ok());
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_LT(MaxAbsDiff(a.centroids, b.centroids), 1e-12f);
+}
+
+TEST(KMeansTest, SubsampledTrainingStillAssignsEveryPoint) {
+  Rng rng(5);
+  const Matrix data = ThreeBlobs(400, &rng);
+  KMeansConfig config;
+  config.num_clusters = 3;
+  config.max_training_points = 100;
+  KMeansResult result;
+  ASSERT_TRUE(RunKMeans(data, config, &result).ok());
+  EXPECT_EQ(result.assignments.size(), data.rows());
+  std::set<std::uint32_t> used(result.assignments.begin(),
+                               result.assignments.end());
+  EXPECT_EQ(used.size(), 3u);
+}
+
+TEST(KMeansTest, RejectsBadArguments) {
+  Matrix data(4, 2);
+  KMeansConfig config;
+  config.num_clusters = 0;
+  KMeansResult result;
+  EXPECT_FALSE(RunKMeans(data, config, &result).ok());
+  config.num_clusters = 2;
+  EXPECT_FALSE(RunKMeans(Matrix(), config, &result).ok());
+  EXPECT_FALSE(RunKMeans(data, config, nullptr).ok());
+}
+
+TEST(KMeansTest, NearestCentroidReturnsDistance) {
+  Matrix centroids(2, 2);
+  centroids.At(0, 0) = 0.0f;
+  centroids.At(1, 0) = 10.0f;
+  const float query[2] = {9.0f, 0.0f};
+  float dist = -1.0f;
+  EXPECT_EQ(NearestCentroid(query, centroids, &dist), 1u);
+  EXPECT_FLOAT_EQ(dist, 1.0f);
+}
+
+}  // namespace
+}  // namespace rabitq

@@ -1,0 +1,142 @@
+// Tests for the additive (LSQ-lite) quantizer: reconstruction quality vs a
+// single codebook, ICM improvement, ADC identity, stored-norm correctness.
+
+#include <gtest/gtest.h>
+
+#include "cluster/kmeans.h"
+#include "linalg/vector_ops.h"
+#include "quant/lsq.h"
+#include "util/prng.h"
+
+namespace rabitq {
+namespace {
+
+Matrix RandomData(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix data(n, dim);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  return data;
+}
+
+TEST(LsqTest, TrainProducesRequestedCodebooks) {
+  const Matrix data = RandomData(500, 16, 1);
+  LsqConfig config;
+  config.num_codebooks = 4;
+  config.train_iterations = 2;
+  AdditiveQuantizer aq;
+  ASSERT_TRUE(aq.Train(data, config).ok());
+  EXPECT_EQ(aq.num_codebooks(), 4u);
+  EXPECT_EQ(aq.code_bits(), 16u);
+  for (std::size_t m = 0; m < 4; ++m) {
+    EXPECT_EQ(aq.codebook(m).rows(), 16u);
+    EXPECT_EQ(aq.codebook(m).cols(), 16u);
+  }
+}
+
+TEST(LsqTest, MultipleCodebooksBeatSingleKMeans) {
+  // An additive quantizer with M=4 codebooks (16 bits) must reconstruct far
+  // better than one 16-entry codebook (4 bits) -- the whole point of AQ.
+  const Matrix data = RandomData(800, 12, 2);
+  LsqConfig config;
+  config.num_codebooks = 4;
+  config.train_iterations = 3;
+  AdditiveQuantizer aq;
+  ASSERT_TRUE(aq.Train(data, config).ok());
+
+  KMeansConfig kmeans;
+  kmeans.num_clusters = 16;
+  KMeansResult km;
+  ASSERT_TRUE(RunKMeans(data, kmeans, &km).ok());
+
+  double aq_err = 0.0, km_err = 0.0;
+  std::vector<std::uint8_t> code(4);
+  std::vector<float> recon(12);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    aq.Encode(data.Row(i), code.data(), nullptr);
+    aq.Decode(code.data(), recon.data());
+    aq_err += L2SqrDistance(recon.data(), data.Row(i), 12);
+    km_err += L2SqrDistance(km.centroids.Row(km.assignments[i]), data.Row(i), 12);
+  }
+  EXPECT_LT(aq_err, km_err * 0.8);
+}
+
+TEST(LsqTest, StoredNormMatchesDecodedNorm) {
+  const Matrix data = RandomData(200, 10, 3);
+  LsqConfig config;
+  config.num_codebooks = 3;
+  config.train_iterations = 2;
+  AdditiveQuantizer aq;
+  ASSERT_TRUE(aq.Train(data, config).ok());
+  std::vector<std::uint8_t> code(3);
+  std::vector<float> recon(10);
+  for (std::size_t i = 0; i < 30; ++i) {
+    float stored = -1.0f;
+    aq.Encode(data.Row(i), code.data(), &stored);
+    aq.Decode(code.data(), recon.data());
+    EXPECT_NEAR(stored, SquaredNorm(recon.data(), 10), 1e-3f);
+  }
+}
+
+TEST(LsqTest, AdcIdentityHolds) {
+  // query_sq + sum_m LUT[m][code] + recon_sq == ||q - y||^2 exactly.
+  const Matrix data = RandomData(300, 8, 4);
+  LsqConfig config;
+  config.num_codebooks = 4;
+  config.train_iterations = 2;
+  AdditiveQuantizer aq;
+  ASSERT_TRUE(aq.Train(data, config).ok());
+
+  Rng rng(77);
+  std::vector<float> query(8);
+  for (auto& v : query) v = static_cast<float>(rng.Gaussian());
+  const float query_sq = SquaredNorm(query.data(), 8);
+  AlignedVector<float> luts;
+  aq.ComputeLookupTables(query.data(), &luts);
+
+  std::vector<std::uint8_t> code(4);
+  std::vector<float> recon(8);
+  for (std::size_t i = 0; i < 50; ++i) {
+    float recon_sq = 0.0f;
+    aq.Encode(data.Row(i), code.data(), &recon_sq);
+    aq.Decode(code.data(), recon.data());
+    const float est =
+        aq.EstimateWithLuts(code.data(), luts.data(), recon_sq, query_sq);
+    const float direct = L2SqrDistance(query.data(), recon.data(), 8);
+    EXPECT_NEAR(est, direct, 1e-3f * (1.0f + direct));
+  }
+}
+
+TEST(LsqTest, EncodeBatchMatchesSingle) {
+  const Matrix data = RandomData(150, 8, 5);
+  LsqConfig config;
+  config.num_codebooks = 3;
+  config.train_iterations = 1;
+  AdditiveQuantizer aq;
+  ASSERT_TRUE(aq.Train(data, config).ok());
+  std::vector<std::uint8_t> batch;
+  std::vector<float> norms;
+  aq.EncodeBatch(data, &batch, &norms);
+  ASSERT_EQ(batch.size(), 150u * 3u);
+  ASSERT_EQ(norms.size(), 150u);
+  std::vector<std::uint8_t> single(3);
+  for (std::size_t i = 0; i < data.rows(); i += 17) {
+    float norm = 0.0f;
+    aq.Encode(data.Row(i), single.data(), &norm);
+    for (std::size_t m = 0; m < 3; ++m) EXPECT_EQ(batch[i * 3 + m], single[m]);
+    EXPECT_FLOAT_EQ(norm, norms[i]);
+  }
+}
+
+TEST(LsqTest, RejectsBadConfigs) {
+  AdditiveQuantizer aq;
+  LsqConfig config;
+  config.num_codebooks = 0;
+  EXPECT_FALSE(aq.Train(RandomData(10, 4, 6), config).ok());
+  config.num_codebooks = 2;
+  EXPECT_FALSE(aq.Train(Matrix(), config).ok());
+}
+
+}  // namespace
+}  // namespace rabitq

@@ -1,0 +1,163 @@
+// Tests for the PQ baseline: training validity, encode/decode consistency,
+// ADC estimation vs decoded distances, 4-bit vs 8-bit configurations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "quant/pq.h"
+#include "util/prng.h"
+
+namespace rabitq {
+namespace {
+
+Matrix RandomData(std::size_t n, std::size_t dim, std::uint64_t seed,
+                  float scale = 1.0f) {
+  Rng rng(seed);
+  Matrix data(n, dim);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.data()[i] = static_cast<float>(rng.Gaussian()) * scale;
+  }
+  return data;
+}
+
+struct PqCase {
+  std::size_t dim;
+  std::size_t m;
+  int bits;
+};
+
+class PqParamTest : public ::testing::TestWithParam<PqCase> {};
+
+TEST_P(PqParamTest, TrainEncodeDecode) {
+  const PqCase c = GetParam();
+  const Matrix data = RandomData(600, c.dim, c.dim * 7 + c.bits);
+  PqConfig config;
+  config.num_segments = c.m;
+  config.bits = c.bits;
+  config.kmeans_iterations = 8;
+  ProductQuantizer pq;
+  ASSERT_TRUE(pq.Train(data, config).ok());
+  EXPECT_EQ(pq.num_segments(), c.m);
+  EXPECT_EQ(pq.sub_dim(), c.dim / c.m);
+  EXPECT_EQ(pq.code_bits(), c.m * static_cast<std::size_t>(c.bits));
+
+  std::vector<std::uint8_t> code(c.m);
+  std::vector<float> decoded(c.dim);
+  const std::size_t ksub = pq.codebook_size();
+  for (std::size_t i = 0; i < 10; ++i) {
+    pq.Encode(data.Row(i), code.data());
+    for (std::size_t m = 0; m < c.m; ++m) ASSERT_LT(code[m], ksub);
+    pq.Decode(code.data(), decoded.data());
+    // Decoded vector is not exact but must be closer than a random vector.
+    const float err = L2SqrDistance(decoded.data(), data.Row(i), c.dim);
+    const float baseline = L2SqrDistance(data.Row(i + 20), data.Row(i), c.dim);
+    EXPECT_LT(err, baseline);
+  }
+}
+
+TEST_P(PqParamTest, AdcEqualsDistanceToDecoded) {
+  // PQ's estimator IS the distance to the quantized vector; the LUT path
+  // must agree with explicit decode + L2 up to float error.
+  const PqCase c = GetParam();
+  const Matrix data = RandomData(400, c.dim, c.dim * 13 + c.bits);
+  PqConfig config;
+  config.num_segments = c.m;
+  config.bits = c.bits;
+  config.kmeans_iterations = 6;
+  ProductQuantizer pq;
+  ASSERT_TRUE(pq.Train(data, config).ok());
+
+  const Matrix queries = RandomData(5, c.dim, 999);
+  AlignedVector<float> luts;
+  std::vector<std::uint8_t> code(c.m);
+  std::vector<float> decoded(c.dim);
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    pq.ComputeLookupTables(queries.Row(q), &luts);
+    for (std::size_t i = 0; i < 50; ++i) {
+      pq.Encode(data.Row(i), code.data());
+      pq.Decode(code.data(), decoded.data());
+      const float via_lut = pq.EstimateWithLuts(code.data(), luts.data());
+      const float direct =
+          L2SqrDistance(queries.Row(q), decoded.data(), c.dim);
+      EXPECT_NEAR(via_lut, direct, 1e-2f * (1.0f + direct));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PqParamTest,
+    ::testing::Values(PqCase{32, 4, 8}, PqCase{32, 8, 8}, PqCase{64, 16, 4},
+                      PqCase{128, 32, 4}, PqCase{48, 12, 4}));
+
+TEST(PqTest, EncodeBatchMatchesSingleEncode) {
+  const Matrix data = RandomData(300, 32, 5);
+  PqConfig config;
+  config.num_segments = 8;
+  config.bits = 4;
+  ProductQuantizer pq;
+  ASSERT_TRUE(pq.Train(data, config).ok());
+  std::vector<std::uint8_t> batch;
+  pq.EncodeBatch(data, &batch);
+  ASSERT_EQ(batch.size(), data.rows() * 8);
+  std::vector<std::uint8_t> single(8);
+  for (std::size_t i = 0; i < data.rows(); i += 37) {
+    pq.Encode(data.Row(i), single.data());
+    for (std::size_t m = 0; m < 8; ++m) {
+      EXPECT_EQ(batch[i * 8 + m], single[m]) << "row " << i << " seg " << m;
+    }
+  }
+}
+
+TEST(PqTest, EncodePicksNearestSubCentroid) {
+  const Matrix data = RandomData(200, 16, 6);
+  PqConfig config;
+  config.num_segments = 4;
+  config.bits = 4;
+  ProductQuantizer pq;
+  ASSERT_TRUE(pq.Train(data, config).ok());
+  std::vector<std::uint8_t> code(4);
+  for (std::size_t i = 0; i < 20; ++i) {
+    pq.Encode(data.Row(i), code.data());
+    for (std::size_t m = 0; m < 4; ++m) {
+      const float* seg = data.Row(i) + m * 4;
+      const float chosen =
+          L2SqrDistance(seg, pq.sub_codebook(m).Row(code[m]), 4);
+      for (std::size_t j = 0; j < pq.codebook_size(); ++j) {
+        EXPECT_LE(chosen, L2SqrDistance(seg, pq.sub_codebook(m).Row(j), 4) +
+                              1e-5f);
+      }
+    }
+  }
+}
+
+TEST(PqTest, RejectsInvalidConfigs) {
+  const Matrix data = RandomData(50, 30, 7);
+  ProductQuantizer pq;
+  PqConfig config;
+  config.num_segments = 7;  // does not divide 30
+  EXPECT_FALSE(pq.Train(data, config).ok());
+  config.num_segments = 6;
+  config.bits = 5;  // unsupported
+  EXPECT_FALSE(pq.Train(data, config).ok());
+  config.bits = 8;
+  EXPECT_FALSE(pq.Train(Matrix(), config).ok());
+}
+
+TEST(PqTest, PackForFastScanRequires4Bits) {
+  const Matrix data = RandomData(100, 16, 8);
+  PqConfig config;
+  config.num_segments = 4;
+  config.bits = 8;
+  ProductQuantizer pq;
+  ASSERT_TRUE(pq.Train(data, config).ok());
+  std::vector<std::uint8_t> codes;
+  pq.EncodeBatch(data, &codes);
+  FastScanCodes packed;
+  EXPECT_EQ(pq.PackForFastScan(codes, data.rows(), &packed).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace rabitq

@@ -1,0 +1,206 @@
+// Tests for the RaBitQ encoder and code store: stored factors match their
+// definitions (<o-bar,o> = ||P^T o||_1 / sqrt(B), popcounts, residual norms),
+// reconstruction geometry, degenerate vectors, and the paper's
+// concentration facts (E[<o-bar,o>] ~= 0.8 for the sampled rotation family).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rabitq.h"
+#include "linalg/vector_ops.h"
+#include "util/prng.h"
+
+namespace rabitq {
+namespace {
+
+std::vector<float> RandomVec(std::size_t dim, Rng* rng, float scale = 1.0f) {
+  std::vector<float> v(dim);
+  for (auto& x : v) x = static_cast<float>(rng->Gaussian()) * scale;
+  return v;
+}
+
+TEST(RabitqEncoderTest, InitValidatesConfig) {
+  RabitqEncoder enc;
+  RabitqConfig config;
+  EXPECT_FALSE(enc.Init(0, config).ok());
+  config.total_bits = 100;  // not a multiple of 64
+  EXPECT_FALSE(enc.Init(96, config).ok());
+  config.total_bits = 64;
+  EXPECT_FALSE(enc.Init(128, config).ok());  // total_bits < dim
+  config.total_bits = 0;
+  config.query_bits = 0;
+  EXPECT_FALSE(enc.Init(64, config).ok());
+  config.query_bits = 4;
+  config.epsilon0 = -1.0f;
+  EXPECT_FALSE(enc.Init(64, config).ok());
+  config.epsilon0 = 1.9f;
+  EXPECT_TRUE(enc.Init(100, config).ok());
+  EXPECT_EQ(enc.total_bits(), 128u);  // rounded up to multiple of 64
+}
+
+class RabitqEncoderParamTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(RabitqEncoderParamTest, StoredFactorsMatchDefinitions) {
+  const auto [dim, total_bits] = GetParam();
+  RabitqEncoder enc;
+  RabitqConfig config;
+  config.total_bits = total_bits;
+  ASSERT_TRUE(enc.Init(dim, config).ok());
+  const std::size_t b = enc.total_bits();
+
+  Rng rng(dim * 3 + 1);
+  RabitqCodeStore store(b);
+  const auto centroid = RandomVec(dim, &rng);
+  for (int i = 0; i < 20; ++i) {
+    const auto vec = RandomVec(dim, &rng, 2.0f);
+    ASSERT_TRUE(enc.EncodeAppend(vec.data(), centroid.data(), &store).ok());
+    const RabitqCodeView view = store.View(i);
+
+    // dist_to_centroid = ||vec - centroid||.
+    EXPECT_NEAR(view.dist_to_centroid,
+                std::sqrt(L2SqrDistance(vec.data(), centroid.data(), dim)),
+                1e-3f);
+    // bit_count = popcount of the stored bits.
+    EXPECT_EQ(view.bit_count, PopCount(view.bits, store.words_per_code()));
+
+    // o_o = <x-bar, P^T o> recomputed from scratch.
+    std::vector<float> o(dim);
+    Subtract(vec.data(), centroid.data(), o.data(), dim);
+    NormalizeInPlace(o.data(), dim);
+    std::vector<float> rotated(b);
+    enc.rotator().InverseRotate(o.data(), rotated.data());
+    float manual = 0.0f;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(b));
+    for (std::size_t j = 0; j < b; ++j) {
+      manual += (GetBit(view.bits, j) ? scale : -scale) * rotated[j];
+    }
+    EXPECT_NEAR(view.o_o, manual, 1e-3f);
+    // <o-bar, o> is positive and bounded by 1 (both unit vectors).
+    EXPECT_GT(view.o_o, 0.0f);
+    EXPECT_LE(view.o_o, 1.0f + 1e-4f);
+  }
+}
+
+TEST_P(RabitqEncoderParamTest, ReconstructionHasUnitNormAndMatchesOO) {
+  const auto [dim, total_bits] = GetParam();
+  RabitqEncoder enc;
+  RabitqConfig config;
+  config.total_bits = total_bits;
+  ASSERT_TRUE(enc.Init(dim, config).ok());
+  const std::size_t b = enc.total_bits();
+
+  Rng rng(dim * 5 + 7);
+  RabitqCodeStore store(b);
+  const auto vec = RandomVec(dim, &rng);
+  ASSERT_TRUE(enc.EncodeAppend(vec.data(), nullptr, &store).ok());
+
+  // o-bar = P x-bar is a unit vector, and <o-bar, pad(o)> == stored o_o.
+  std::vector<float> o_bar(b);
+  enc.ReconstructQuantizedUnit(store.BitsAt(0), o_bar.data());
+  EXPECT_NEAR(Norm(o_bar.data(), b), 1.0f, 1e-3f);
+
+  std::vector<float> o_padded(b, 0.0f);
+  std::copy_n(vec.data(), dim, o_padded.data());
+  NormalizeInPlace(o_padded.data(), b);
+  EXPECT_NEAR(Dot(o_bar.data(), o_padded.data(), b), store.o_o(0), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RabitqEncoderParamTest,
+                         ::testing::Values(std::make_pair(64, 64),
+                                           std::make_pair(100, 128),
+                                           std::make_pair(128, 128),
+                                           std::make_pair(128, 256),
+                                           std::make_pair(60, 192)));
+
+TEST(RabitqEncoderTest, ZeroResidualVectorIsHandled) {
+  RabitqEncoder enc;
+  ASSERT_TRUE(enc.Init(32, RabitqConfig{}).ok());
+  RabitqCodeStore store(enc.total_bits());
+  std::vector<float> vec(32, 1.5f);
+  ASSERT_TRUE(enc.EncodeAppend(vec.data(), vec.data(), &store).ok());
+  EXPECT_FLOAT_EQ(store.dist_to_centroid(0), 0.0f);
+  EXPECT_FLOAT_EQ(store.o_o(0), 1.0f);
+}
+
+TEST(RabitqEncoderTest, ConcentrationAroundPoint8) {
+  // Paper Section 3.2.1 / Appendix B: E[<o-bar, o>] in [0.798, 0.800] for
+  // D in [100, 1e6]. Average over many vectors with a fixed rotation is a
+  // consistent estimate of the same quantity by exchangeability.
+  const std::size_t dim = 128;
+  RabitqEncoder enc;
+  ASSERT_TRUE(enc.Init(dim, RabitqConfig{}).ok());
+  RabitqCodeStore store(enc.total_bits());
+  Rng rng(2024);
+  const int n = 400;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto vec = RandomVec(dim, &rng);
+    ASSERT_TRUE(enc.EncodeAppend(vec.data(), nullptr, &store).ok());
+    sum += store.o_o(i);
+  }
+  EXPECT_NEAR(sum / n, 0.8, 0.02);
+}
+
+TEST(RabitqEncoderTest, PaddingIncreasesOO) {
+  // Longer codes quantize the unit vector more finely: <o-bar,o> grows
+  // toward 1 ... actually <o-bar,o> stays ~0.8 regardless of B (it is a
+  // property of dimension B); what shrinks is the error bound ~1/sqrt(B).
+  // Verify o_o stays in the concentration band for several paddings.
+  Rng rng(5);
+  const std::size_t dim = 96;
+  const auto vec = RandomVec(dim, &rng);
+  for (const std::size_t bits : {128u, 256u, 512u}) {
+    RabitqEncoder enc;
+    RabitqConfig config;
+    config.total_bits = bits;
+    ASSERT_TRUE(enc.Init(dim, config).ok());
+    RabitqCodeStore store(bits);
+    ASSERT_TRUE(enc.EncodeAppend(vec.data(), nullptr, &store).ok());
+    EXPECT_GT(store.o_o(0), 0.6f);
+    EXPECT_LT(store.o_o(0), 0.95f);
+  }
+}
+
+TEST(RabitqCodeStoreTest, AppendViewRoundTrip) {
+  RabitqCodeStore store(128);
+  EXPECT_EQ(store.words_per_code(), 2u);
+  std::uint64_t bits[2] = {0xDEADBEEFCAFEBABEULL, 0x0123456789ABCDEFULL};
+  store.Append(bits, 3.5f, 0.82f, 61);
+  ASSERT_EQ(store.size(), 1u);
+  const RabitqCodeView view = store.View(0);
+  EXPECT_EQ(view.bits[0], bits[0]);
+  EXPECT_EQ(view.bits[1], bits[1]);
+  EXPECT_FLOAT_EQ(view.dist_to_centroid, 3.5f);
+  EXPECT_FLOAT_EQ(view.o_o, 0.82f);
+  EXPECT_EQ(view.bit_count, 61u);
+}
+
+TEST(RabitqCodeStoreTest, FinalizePacksNibbles) {
+  RabitqCodeStore store(64);
+  std::uint64_t bits = 0xFEDCBA9876543210ULL;
+  store.Append(&bits, 1.0f, 0.8f, 32);
+  store.Finalize();
+  ASSERT_TRUE(store.finalized());
+  const FastScanCodes& packed = store.packed();
+  EXPECT_EQ(packed.num_segments, 16u);
+  EXPECT_EQ(packed.num_blocks, 1u);
+  // Vector 0 occupies low nibble of byte 0 in each segment's 16-byte group.
+  for (std::size_t t = 0; t < 16; ++t) {
+    EXPECT_EQ(packed.BlockPtr(0)[t * 16] & 0xF, t);
+  }
+}
+
+TEST(RabitqCodeStoreTest, EncoderRejectsMismatchedStore) {
+  RabitqEncoder enc;
+  ASSERT_TRUE(enc.Init(64, RabitqConfig{}).ok());
+  RabitqCodeStore wrong(128);
+  std::vector<float> vec(64, 1.0f);
+  EXPECT_EQ(enc.EncodeAppend(vec.data(), nullptr, &wrong).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(enc.EncodeAppend(vec.data(), nullptr, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace rabitq
