@@ -1,0 +1,172 @@
+// Serving-engine throughput: QPS of batched multi-threaded SearchBatch vs
+// the paper's sequential single-query Search, swept over thread count and
+// batch size at equal recall (same index and estimator; the per-query seed
+// streams differ only in the randomized query rounding, which the recall
+// column shows is noise). Emits one JSON object for dashboard scraping.
+//
+// Environment knobs:
+//   RABITQ_BENCH_SCALE    dataset size multiplier (default 1.0 -> N = 20000)
+//   RABITQ_BENCH_QUERIES  number of distinct query vectors (default 256)
+//   RABITQ_BENCH_THREADS  comma-free max thread count (default hardware)
+//   RABITQ_BENCH_REPEAT   times the query set is replayed per series
+//                         (default 4; raise for stabler numbers)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/search_engine.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "index/ivf.h"
+#include "util/prng.h"
+#include "util/timer.h"
+
+namespace rabitq {
+namespace bench {
+namespace {
+
+constexpr std::uint64_t kSeedBase = 2024;
+
+Matrix Clustered(std::size_t n, std::size_t dim, std::size_t clusters,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix centers(clusters, dim);
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    centers.data()[i] = static_cast<float>(rng.Gaussian()) * 8.0f;
+  }
+  Matrix data(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = rng.UniformInt(clusters);
+    for (std::size_t j = 0; j < dim; ++j) {
+      data.At(i, j) = centers.At(c, j) + static_cast<float>(rng.Gaussian());
+    }
+  }
+  return data;
+}
+
+double RecallOf(const GroundTruth& gt,
+                const std::vector<std::vector<Neighbor>>& results,
+                std::size_t k) {
+  double recall = 0.0;
+  for (std::size_t q = 0; q < results.size(); ++q) {
+    recall += RecallAtK(gt, q, results[q], k);
+  }
+  return results.empty() ? 0.0 : recall / static_cast<double>(results.size());
+}
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const long parsed = std::atol(value);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+}  // namespace
+
+int Run() {
+  const std::size_t n = static_cast<std::size_t>(20000 * EnvScale());
+  const std::size_t dim = 96;
+  const std::size_t num_queries = EnvQueryCap(256);
+  const std::size_t repeat = EnvSize("RABITQ_BENCH_REPEAT", 4);
+  const std::size_t hw = std::max<std::size_t>(
+      1, std::thread::hardware_concurrency());
+  const std::size_t max_threads = EnvSize("RABITQ_BENCH_THREADS", hw);
+
+  Matrix data = Clustered(n, dim, 64, 11);
+  Matrix queries = Clustered(num_queries, dim, 64, 12);
+
+  IvfSearchParams params;
+  params.k = 10;
+  params.nprobe = 32;
+
+  IvfRabitqIndex index;
+  IvfConfig ivf;
+  ivf.num_lists = 256;
+  CheckOk(index.Build(data, ivf, RabitqConfig{}), "Build");
+  GroundTruth gt;
+  CheckOk(ComputeGroundTruth(data, queries, params.k, &gt), "GroundTruth");
+
+  std::printf("{\"bench\":\"engine_throughput\",\"n\":%zu,\"dim\":%zu,"
+              "\"queries\":%zu,\"repeat\":%zu,\"k\":%zu,\"nprobe\":%zu,"
+              "\"hardware_threads\":%zu,\"series\":[\n",
+              n, dim, num_queries, repeat, params.k, params.nprobe, hw);
+
+  // Baseline: the paper's protocol -- sequential, single-query, one thread.
+  double sequential_qps = 0.0;
+  {
+    std::vector<std::vector<Neighbor>> results(num_queries);
+    WallTimer timer;
+    for (std::size_t r = 0; r < repeat; ++r) {
+      for (std::size_t i = 0; i < num_queries; ++i) {
+        CheckOk(index.Search(queries.Row(i), params,
+                             SearchEngine::QuerySeed(kSeedBase, i),
+                             &results[i]),
+                "Search");
+      }
+    }
+    const double seconds = timer.ElapsedSeconds();
+    sequential_qps =
+        static_cast<double>(num_queries * repeat) / std::max(seconds, 1e-9);
+    std::printf("  {\"mode\":\"sequential\",\"threads\":1,\"batch\":1,"
+                "\"qps\":%.1f,\"recall\":%.4f}",
+                sequential_qps, RecallOf(gt, results, params.k));
+  }
+
+  std::vector<std::size_t> thread_counts;
+  for (std::size_t t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+  if (thread_counts.back() != max_threads) thread_counts.push_back(max_threads);
+  const std::size_t batch_sizes[] = {8, 32, 128};
+
+  // Each engine owns its index; clone the built one through Save/Load
+  // instead of re-running kmeans per series.
+  const char* tmp_path = "bench_engine_throughput.tmp.idx";
+  CheckOk(index.Save(tmp_path), "Save");
+
+  for (const std::size_t threads : thread_counts) {
+    EngineConfig config;
+    config.num_threads = threads;
+    IvfRabitqIndex engine_index;
+    CheckOk(engine_index.Load(tmp_path), "Load");
+    SearchEngine engine(std::move(engine_index), config);
+    for (const std::size_t batch : batch_sizes) {
+      engine.ResetStats();
+      std::vector<std::vector<Neighbor>> all(num_queries);
+      WallTimer timer;
+      for (std::size_t r = 0; r < repeat; ++r) {
+        for (std::size_t begin = 0; begin < num_queries; begin += batch) {
+          const std::size_t count = std::min(batch, num_queries - begin);
+          std::vector<std::vector<Neighbor>> results;
+          CheckOk(engine.SearchBatch(queries.Row(begin), count, params,
+                                     SearchEngine::QuerySeed(kSeedBase, begin),
+                                     &results),
+                  "SearchBatch");
+          for (std::size_t i = 0; i < count; ++i) {
+            all[begin + i] = std::move(results[i]);
+          }
+        }
+      }
+      const double seconds = timer.ElapsedSeconds();
+      const double qps =
+          static_cast<double>(num_queries * repeat) / std::max(seconds, 1e-9);
+      const EngineStatsSnapshot stats = engine.Stats();
+      std::printf(",\n  {\"mode\":\"engine\",\"threads\":%zu,\"batch\":%zu,"
+                  "\"qps\":%.1f,\"recall\":%.4f,\"speedup\":%.2f,"
+                  "\"p50_us\":%.1f,\"p99_us\":%.1f}",
+                  threads, batch, qps, RecallOf(gt, all, params.k),
+                  qps / std::max(sequential_qps, 1e-9),
+                  stats.latency_p50_us, stats.latency_p99_us);
+    }
+  }
+  std::remove(tmp_path);
+  std::printf("\n]}\n");
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace rabitq
+
+int main() { return rabitq::bench::Run(); }

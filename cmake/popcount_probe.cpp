@@ -1,0 +1,39 @@
+// Configure-time probe for broken vectorized popcount, seen on virtualized
+// hosts whose CPUID advertises AVX-512 extensions the hypervisor does not
+// execute faithfully: GCC expands this constant-trip-count BinaryDot idiom
+// into an AVX-512 sequence that returns garbage there (observed: a 3-word
+// binary dot product off by ~2^30). Exit 0 iff the optimized result matches
+// a vectorization-proof scalar recount; the build degrades the arch flags
+// until this probe passes.
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+inline std::uint32_t Dot(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += std::popcount(a[i] & b[i]);
+  return static_cast<std::uint32_t>(acc);
+}
+
+int main() {
+  std::uint64_t a[3], b[3], seed = 0;
+  const auto next = [&seed] {
+    seed += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  };
+  for (int i = 0; i < 3; ++i) {
+    a[i] = next();
+    b[i] = next();
+  }
+  volatile std::uint32_t expect = 0;  // volatile defeats idiom recognition
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 64; ++j) {
+      expect = expect + ((a[i] >> j) & (b[i] >> j) & 1u);
+    }
+  }
+  return Dot(a, b, 3) == expect ? 0 : 1;
+}

@@ -146,7 +146,8 @@ Status PrepareQueryFromRotated(const RabitqEncoder& encoder,
     return Status::Ok();
   }
   // q' = (P^T q - P^T c) / ||q - c||: one subtract-and-scale over B floats.
-  std::vector<float> rotated(b);
+  out->unit_scratch.resize(b);
+  float* rotated = out->unit_scratch.data();
   const float inv = 1.0f / q_dist;
   if (rotated_centroid != nullptr) {
     for (std::size_t i = 0; i < b; ++i) {
@@ -155,7 +156,7 @@ Status PrepareQueryFromRotated(const RabitqEncoder& encoder,
   } else {
     for (std::size_t i = 0; i < b; ++i) rotated[i] = rotated_query[i] * inv;
   }
-  return QuantizeRotatedUnit(rotated.data(), b, rng, out);
+  return QuantizeRotatedUnit(rotated, b, rng, out);
 }
 
 }  // namespace rabitq

@@ -47,6 +47,12 @@ struct QuantizedQuery {
   AlignedVector<std::uint8_t> luts;
   bool has_exact_luts = false;
 
+  // Workspace for the rotated unit residual q' (B floats), not an output.
+  // Lives in the struct so that reusing one QuantizedQuery across probes and
+  // queries (as the serving engine's per-worker scratch does) makes the
+  // Prepare* calls allocation-free once capacity is established.
+  AlignedVector<float> unit_scratch;
+
   const std::uint64_t* Plane(int j) const {
     return bit_planes.data() + static_cast<std::size_t>(j) * num_words;
   }

@@ -47,6 +47,20 @@ class Rotator {
   /// (Section 3.1.3) and query vectors (Section 3.3).
   virtual void InverseRotate(const float* in, float* out) const = 0;
 
+  /// Batched inverse rotation for query serving: `queries` is n x input_dim,
+  /// `out` is reset to n x padded_dim with out->Row(i) = P^T pad(Row(i)).
+  ///
+  /// Contract: bit-identical to calling InverseRotate row by row. The
+  /// engine's result-parity guarantee (batched search == sequential search)
+  /// rests on this, so overrides must reuse the single-query accumulation
+  /// kernel and may only restructure the loop nest for locality.
+  virtual void InverseRotateBatch(const Matrix& queries, Matrix* out) const {
+    out->Reset(queries.rows(), padded_dim_);
+    for (std::size_t i = 0; i < queries.rows(); ++i) {
+      InverseRotate(queries.Row(i), out->Row(i));
+    }
+  }
+
  protected:
   Rotator(std::size_t input_dim, std::size_t padded_dim)
       : input_dim_(input_dim), padded_dim_(padded_dim) {}

@@ -1,0 +1,102 @@
+#include "engine/engine_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rabitq {
+
+namespace {
+
+// Bucket index for a latency: floor(4 * log2(us)) clamped to the table.
+// Sub-microsecond latencies land in bucket 0.
+int BucketIndex(double micros) {
+  if (micros < 1.0) return 0;
+  const int idx = static_cast<int>(4.0 * std::log2(micros));
+  return std::min(idx, LatencyHistogram::kNumBuckets - 1);
+}
+
+// Upper edge of bucket i: 2^((i+1)/4) microseconds.
+double BucketUpperEdge(int i) { return std::exp2((i + 1) / 4.0); }
+
+}  // namespace
+
+void LatencyHistogram::Record(double micros) {
+  ++buckets_[BucketIndex(micros)];
+  ++count_;
+  max_micros_ = std::max(max_micros_, micros);
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = std::max(1.0, q * static_cast<double>(count_));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      return std::min(BucketUpperEdge(i), max_micros_);
+    }
+  }
+  return max_micros_;
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_, buckets_ + kNumBuckets, 0);
+  count_ = 0;
+  max_micros_ = 0.0;
+}
+
+void EngineStatsCollector::RecordBatch(std::size_t batch_size,
+                                       const double* latencies_us,
+                                       const IvfSearchStats& batch_stats,
+                                       std::size_t errors) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queries_ += batch_size;
+  ++batches_;
+  search_errors_ += errors;
+  codes_estimated_ += batch_stats.codes_estimated;
+  candidates_reranked_ += batch_stats.candidates_reranked;
+  lists_probed_ += batch_stats.lists_probed;
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    latency_.Record(latencies_us[i]);
+  }
+}
+
+void EngineStatsCollector::RecordInsert() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++inserts_;
+}
+
+EngineStatsSnapshot EngineStatsCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EngineStatsSnapshot snap;
+  snap.queries = queries_;
+  snap.batches = batches_;
+  snap.inserts = inserts_;
+  snap.search_errors = search_errors_;
+  snap.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  snap.qps = snap.uptime_seconds > 0.0
+                 ? static_cast<double>(queries_) / snap.uptime_seconds
+                 : 0.0;
+  snap.mean_batch_size =
+      batches_ > 0 ? static_cast<double>(queries_) / batches_ : 0.0;
+  snap.latency_p50_us = latency_.Quantile(0.50);
+  snap.latency_p99_us = latency_.Quantile(0.99);
+  snap.latency_max_us = latency_.max_micros();
+  snap.codes_estimated = codes_estimated_;
+  snap.candidates_reranked = candidates_reranked_;
+  snap.lists_probed = lists_probed_;
+  return snap;
+}
+
+void EngineStatsCollector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  start_ = std::chrono::steady_clock::now();
+  queries_ = batches_ = inserts_ = search_errors_ = 0;
+  codes_estimated_ = candidates_reranked_ = lists_probed_ = 0;
+  latency_.Reset();
+}
+
+}  // namespace rabitq

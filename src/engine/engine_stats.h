@@ -1,0 +1,88 @@
+// Serving-side statistics for SearchEngine: query/batch/insert counters,
+// work counters aggregated from IvfSearchStats, and a log-bucketed latency
+// histogram that yields approximate quantiles (p50/p99) without retaining
+// samples. Recording is mutex-guarded but batched -- one RecordBatch call per
+// executed batch -- so the cost is O(1) per batch, not per query.
+
+#ifndef RABITQ_ENGINE_ENGINE_STATS_H_
+#define RABITQ_ENGINE_ENGINE_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "index/ivf.h"
+
+namespace rabitq {
+
+/// Point-in-time view of an engine's counters, safe to copy around.
+struct EngineStatsSnapshot {
+  std::uint64_t queries = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t search_errors = 0;
+  std::uint64_t epoch = 0;  // index version; bumped by every insert
+  double uptime_seconds = 0.0;
+  double qps = 0.0;                // queries / uptime
+  double mean_batch_size = 0.0;
+  double latency_p50_us = 0.0;     // per-query latency quantiles; for async
+  double latency_p99_us = 0.0;     // queries this includes queueing time
+  double latency_max_us = 0.0;
+  // Aggregated IvfSearchStats over every served query.
+  std::uint64_t codes_estimated = 0;
+  std::uint64_t candidates_reranked = 0;
+  std::uint64_t lists_probed = 0;
+};
+
+/// Histogram over geometrically spaced latency buckets: bucket i covers
+/// [2^(i/4), 2^((i+1)/4)) microseconds, i.e. ~19% relative resolution, with
+/// 128 buckets reaching ~75 minutes. Quantiles report the upper bucket edge
+/// (a <= 19% overestimate -- fine for p50/p99 served out of a stats endpoint).
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 128;
+
+  void Record(double micros);
+  /// Approximate quantile in microseconds; q in [0, 1]. 0 when empty.
+  double Quantile(double q) const;
+  double max_micros() const { return max_micros_; }
+  std::uint64_t count() const { return count_; }
+  void Reset();
+
+ private:
+  std::uint64_t buckets_[kNumBuckets] = {};
+  std::uint64_t count_ = 0;
+  double max_micros_ = 0.0;
+};
+
+/// Thread-safe collector owned by a SearchEngine.
+class EngineStatsCollector {
+ public:
+  EngineStatsCollector() : start_(std::chrono::steady_clock::now()) {}
+
+  /// One executed batch: its size, the per-query latencies (microseconds),
+  /// the IvfSearchStats summed over the batch, and how many queries failed.
+  void RecordBatch(std::size_t batch_size, const double* latencies_us,
+                   const IvfSearchStats& batch_stats, std::size_t errors);
+  void RecordInsert();
+
+  EngineStatsSnapshot Snapshot() const;
+  /// Zeroes every counter and restarts the uptime/QPS clock.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t queries_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t search_errors_ = 0;
+  std::uint64_t codes_estimated_ = 0;
+  std::uint64_t candidates_reranked_ = 0;
+  std::uint64_t lists_probed_ = 0;
+  LatencyHistogram latency_;
+};
+
+}  // namespace rabitq
+
+#endif  // RABITQ_ENGINE_ENGINE_STATS_H_

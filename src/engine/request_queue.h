@@ -1,0 +1,103 @@
+// Micro-batching submission queue: many producer threads Push search
+// requests; the engine's single scheduler thread PopBatch-es them. PopBatch
+// blocks until at least one request arrives, then lingers a bounded time for
+// the batch to fill toward max_batch -- trading a small, configurable latency
+// hit for the amortization wins of batch execution (one batched rotation, one
+// worker fan-out, one stats update per batch instead of per query).
+
+#ifndef RABITQ_ENGINE_REQUEST_QUEUE_H_
+#define RABITQ_ENGINE_REQUEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "index/ivf.h"
+#include "util/status.h"
+
+namespace rabitq {
+
+/// Outcome of one served query.
+struct EngineResult {
+  Status status;
+  std::vector<Neighbor> neighbors;
+  IvfSearchStats stats;
+};
+
+/// One queued query, owning a copy of the vector (the caller's buffer may
+/// die immediately after SubmitAsync returns).
+struct SearchRequest {
+  std::vector<float> query;
+  IvfSearchParams params;
+  std::uint64_t seed = 0;
+  std::chrono::steady_clock::time_point submit_time;
+  std::promise<EngineResult> promise;
+};
+
+class RequestQueue {
+ public:
+  /// Enqueues a request. Returns false (leaving `req` untouched) after
+  /// Close(), so late producers can fail their promise instead of losing it.
+  bool Push(SearchRequest&& req) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      queue_.push_back(std::move(req));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a request is available or the queue is closed, then moves
+  /// up to `max_batch` requests into `*out` (cleared first), waiting at most
+  /// `linger` after the first request for the batch to fill. Returns false
+  /// only when the queue is closed AND drained -- the scheduler's exit
+  /// condition, which guarantees every accepted request is served.
+  bool PopBatch(std::size_t max_batch, std::chrono::microseconds linger,
+                std::vector<SearchRequest>* out) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;  // closed and drained
+    if (queue_.size() < max_batch && !closed_ && linger.count() > 0) {
+      ready_.wait_for(lock, linger, [this, max_batch] {
+        return closed_ || queue_.size() >= max_batch;
+      });
+    }
+    const std::size_t take = std::min(max_batch, queue_.size());
+    out->reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      out->push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    return true;
+  }
+
+  /// Stops accepting new requests; PopBatch keeps draining what was queued.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<SearchRequest> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace rabitq
+
+#endif  // RABITQ_ENGINE_REQUEST_QUEUE_H_

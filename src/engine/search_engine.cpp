@@ -1,0 +1,241 @@
+#include "engine/search_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace rabitq {
+
+namespace {
+
+IvfSearchStats SumStats(const IvfSearchStats* stats, std::size_t n) {
+  IvfSearchStats agg;
+  for (std::size_t i = 0; i < n; ++i) {
+    agg.codes_estimated += stats[i].codes_estimated;
+    agg.candidates_reranked += stats[i].candidates_reranked;
+    agg.lists_probed += stats[i].lists_probed;
+  }
+  return agg;
+}
+
+}  // namespace
+
+SearchEngine::SearchEngine(IvfRabitqIndex index, const EngineConfig& config)
+    : index_(std::move(index)),
+      dim_(index_.dim()),
+      config_(config),
+      pool_(config.num_threads),
+      worker_scratch_(pool_.num_threads()) {
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+SearchEngine::~SearchEngine() {
+  queue_.Close();  // PopBatch drains what was accepted, then returns false
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+std::size_t SearchEngine::size() const {
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  return index_.size();
+}
+
+std::uint64_t SearchEngine::QuerySeed(std::uint64_t base,
+                                      std::uint64_t ticket) {
+  // SplitMix64 finalizer over a golden-ratio-strided ticket stream: every
+  // (base, ticket) pair lands on an independent, well-mixed Rng seed.
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ULL * (ticket + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+void SearchEngine::ExecuteBatch(
+    const float* const* queries, std::size_t n,
+    const IvfSearchParams* const* params, const std::uint64_t* seeds,
+    const std::chrono::steady_clock::time_point* submit_times,
+    Status* statuses, std::vector<Neighbor>* results, IvfSearchStats* stats) {
+  using Clock = std::chrono::steady_clock;
+  std::lock_guard<std::mutex> batch_lock(batch_mutex_);
+  const Clock::time_point start = Clock::now();
+
+  // The whole batch runs against one consistent snapshot of the index:
+  // Insert cannot interleave with a batch, only run between batches.
+  std::shared_lock<std::shared_mutex> read_lock(index_mutex_);
+
+  // Gather and rotate every query with one matrix-matrix product -- the
+  // per-query gemv this replaces is the dominant shared-preprocessing cost.
+  const std::size_t d = index_.dim();
+  gather_buf_.Reset(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy_n(queries[i], d, gather_buf_.Row(i));
+  }
+  index_.encoder().rotator().InverseRotateBatch(gather_buf_, &rotated_buf_);
+
+  // Fan the per-query work out over the pool, one contiguous chunk per
+  // worker slot so chunk c exclusively owns worker_scratch_[c].
+  const std::size_t chunks = std::min(pool_.num_threads(), n);
+  const std::size_t per_chunk = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * per_chunk;
+    const std::size_t end = std::min(begin + per_chunk, n);
+    if (begin >= end) break;
+    futures.push_back(pool_.SubmitTask([&, c, begin, end] {
+      IvfSearchScratch& scratch = worker_scratch_[c];
+      for (std::size_t i = begin; i < end; ++i) {
+        Rng rng(seeds[i]);
+        statuses[i] =
+            index_.SearchWithScratch(queries[i], rotated_buf_.Row(i),
+                                     *params[i], &rng, &scratch, &results[i],
+                                     &stats[i]);
+      }
+    }));
+  }
+  // Drain EVERY chunk before surfacing a failure: packaged_task futures do
+  // not block on destruction, so rethrowing from the first get() would
+  // unwind (freeing the caller's result arrays and releasing batch_mutex_)
+  // while the remaining workers still write through those pointers.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  read_lock.unlock();
+
+  const Clock::time_point end = Clock::now();
+  const double batch_us =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  std::vector<double> latencies(n);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    latencies[i] =
+        submit_times != nullptr
+            ? std::chrono::duration<double, std::micro>(end - submit_times[i])
+                  .count()
+            : batch_us;
+    if (!statuses[i].ok()) ++errors;
+  }
+  stats_.RecordBatch(n, latencies.data(), SumStats(stats, n), errors);
+}
+
+Status SearchEngine::SearchBatch(const float* queries, std::size_t num_queries,
+                                 const IvfSearchParams& params,
+                                 std::uint64_t seed_base,
+                                 std::vector<std::vector<Neighbor>>* results,
+                                 IvfSearchStats* agg) {
+  if (queries == nullptr || results == nullptr) {
+    return Status::InvalidArgument("null queries/results");
+  }
+  results->assign(num_queries, {});
+  if (num_queries == 0) return Status::Ok();
+  std::vector<const float*> query_ptrs(num_queries);
+  std::vector<const IvfSearchParams*> param_ptrs(num_queries, &params);
+  std::vector<std::uint64_t> seeds(num_queries);
+  std::vector<Status> statuses(num_queries);
+  std::vector<IvfSearchStats> stats(num_queries);
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    query_ptrs[i] = queries + i * dim();
+    seeds[i] = QuerySeed(seed_base, i);
+  }
+  ExecuteBatch(query_ptrs.data(), num_queries, param_ptrs.data(), seeds.data(),
+               /*submit_times=*/nullptr, statuses.data(), results->data(),
+               stats.data());
+  if (agg != nullptr) *agg = SumStats(stats.data(), num_queries);
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status SearchEngine::SearchBatch(const float* queries, std::size_t num_queries,
+                                 const IvfSearchParams& params,
+                                 std::vector<std::vector<Neighbor>>* results,
+                                 IvfSearchStats* agg) {
+  return SearchBatch(queries, num_queries, params, config_.seed, results, agg);
+}
+
+std::future<EngineResult> SearchEngine::SubmitAsync(
+    const float* query, const IvfSearchParams& params, std::uint64_t seed) {
+  SearchRequest req;
+  req.query.assign(query, query + dim());
+  req.params = params;
+  req.seed = seed;
+  req.submit_time = std::chrono::steady_clock::now();
+  std::future<EngineResult> future = req.promise.get_future();
+  if (!queue_.Push(std::move(req))) {
+    req.promise.set_value(EngineResult{
+        Status::FailedPrecondition("engine is shutting down"), {}, {}});
+  }
+  return future;
+}
+
+std::future<EngineResult> SearchEngine::SubmitAsync(
+    const float* query, const IvfSearchParams& params) {
+  return SubmitAsync(
+      query, params,
+      QuerySeed(config_.seed,
+                next_ticket_.fetch_add(1, std::memory_order_relaxed)));
+}
+
+std::future<EngineResult> SearchEngine::SubmitAsync(const float* query) {
+  return SubmitAsync(query, config_.default_params);
+}
+
+Status SearchEngine::Insert(const float* vec, std::uint32_t* id_out) {
+  std::unique_lock<std::shared_mutex> write_lock(index_mutex_);
+  const Status status = index_.Add(vec, id_out);
+  if (status.ok()) {
+    epoch_.fetch_add(1, std::memory_order_release);
+    stats_.RecordInsert();
+  }
+  return status;
+}
+
+EngineStatsSnapshot SearchEngine::Stats() const {
+  EngineStatsSnapshot snap = stats_.Snapshot();
+  snap.epoch = epoch();
+  return snap;
+}
+
+void SearchEngine::SchedulerLoop() {
+  std::vector<SearchRequest> batch;
+  std::vector<const float*> query_ptrs;
+  std::vector<const IvfSearchParams*> param_ptrs;
+  std::vector<std::uint64_t> seeds;
+  std::vector<std::chrono::steady_clock::time_point> submit_times;
+  std::vector<Status> statuses;
+  std::vector<std::vector<Neighbor>> results;
+  std::vector<IvfSearchStats> stats;
+  while (queue_.PopBatch(config_.max_batch,
+                         std::chrono::microseconds(config_.batch_linger_us),
+                         &batch)) {
+    const std::size_t n = batch.size();
+    query_ptrs.resize(n);
+    param_ptrs.resize(n);
+    seeds.resize(n);
+    submit_times.resize(n);
+    statuses.assign(n, Status::Ok());
+    results.assign(n, {});
+    stats.assign(n, IvfSearchStats{});
+    for (std::size_t i = 0; i < n; ++i) {
+      query_ptrs[i] = batch[i].query.data();
+      param_ptrs[i] = &batch[i].params;
+      seeds[i] = batch[i].seed;
+      submit_times[i] = batch[i].submit_time;
+    }
+    ExecuteBatch(query_ptrs.data(), n, param_ptrs.data(), seeds.data(),
+                 submit_times.data(), statuses.data(), results.data(),
+                 stats.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      batch[i].promise.set_value(EngineResult{
+          std::move(statuses[i]), std::move(results[i]), stats[i]});
+    }
+  }
+}
+
+}  // namespace rabitq

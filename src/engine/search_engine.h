@@ -1,0 +1,168 @@
+// Concurrent query-serving engine on top of IvfRabitqIndex -- the layer the
+// paper's evaluation protocol (one thread, one query at a time) leaves out.
+// Layering: linalg -> quant/core -> cluster/index -> engine -> bench/examples.
+//
+// What it does:
+//   * Batched execution (SearchBatch): rotates a whole batch of queries with
+//     ONE matrix-matrix product (Rotator::InverseRotateBatch) instead of one
+//     gemv per query, then fans the per-query probe/estimate/re-rank work out
+//     across a private ThreadPool. Each worker owns an IvfSearchScratch, so
+//     the hot path stops allocating once the buffers reach steady state.
+//   * Micro-batching (SubmitAsync): producers enqueue single queries and get
+//     futures; a scheduler thread gathers the queue into batches (up to
+//     max_batch, lingering batch_linger_us) and runs them through the same
+//     batched path, amortizing the per-batch costs across concurrent callers.
+//   * Read/write coordination: every batch executes against a consistent
+//     snapshot of the index (readers hold a shared lock for the batch's
+//     duration; Insert takes the lock exclusively between batches and bumps
+//     the epoch counter). Searches never block each other.
+//   * Determinism: each query is searched with a private Rng seeded from
+//     (engine seed, ticket) -- or an explicit caller seed -- so results are
+//     bit-identical to the sequential IvfRabitqIndex::Search(seed) reference
+//     no matter how many threads serve the batch or how requests interleave.
+//
+// Thread safety: every public method may be called from any thread.
+
+#ifndef RABITQ_ENGINE_SEARCH_ENGINE_H_
+#define RABITQ_ENGINE_SEARCH_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/engine_stats.h"
+#include "engine/request_queue.h"
+#include "index/ivf.h"
+#include "util/thread_pool.h"
+
+namespace rabitq {
+
+struct EngineConfig {
+  /// Worker threads for batch execution; 0 = hardware concurrency.
+  std::size_t num_threads = 0;
+  /// Async scheduler: largest batch gathered from the submission queue.
+  std::size_t max_batch = 32;
+  /// Async scheduler: how long the first request of a batch may wait for
+  /// company, in microseconds. 0 disables lingering (greedy batches).
+  std::size_t batch_linger_us = 200;
+  /// Base of the per-query seed derivation (see QuerySeed).
+  std::uint64_t seed = 0x5EEDC0FFEE5EEDULL;
+  /// Default search parameters for SubmitAsync overloads without params.
+  IvfSearchParams default_params;
+};
+
+/// Owns a built IvfRabitqIndex and serves k-NN queries concurrently.
+class SearchEngine {
+ public:
+  /// Takes ownership of a BUILT index (engine serving an empty index is a
+  /// config error surfaced by the first search).
+  explicit SearchEngine(IvfRabitqIndex index, const EngineConfig& config = {});
+  ~SearchEngine();
+
+  SearchEngine(const SearchEngine&) = delete;
+  SearchEngine& operator=(const SearchEngine&) = delete;
+
+  /// The owned index. Reading it while Insert runs on another thread races;
+  /// quiesce writers (or take no writers by construction) before touching
+  /// index internals directly. Serving-path accessors (Stats, size) are safe.
+  const IvfRabitqIndex& index() const { return index_; }
+
+  std::size_t num_threads() const { return pool_.num_threads(); }
+  /// Cached at construction: the serving paths read it lock-free, and even
+  /// an immutable-in-practice index_.dim() would race with Insert's move
+  /// of the underlying Matrix.
+  std::size_t dim() const { return dim_; }
+  /// Current number of indexed vectors (racy snapshot, safe to call anytime).
+  std::size_t size() const;
+  /// Index version: starts at 0, bumped by every successful Insert.
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Deterministic per-query seed stream: SplitMix64 of (base, ticket).
+  /// Query i of a SearchBatch(seed_base) uses QuerySeed(seed_base, i); the
+  /// parity tests replay the same seeds through the sequential reference.
+  static std::uint64_t QuerySeed(std::uint64_t base, std::uint64_t ticket);
+
+  /// Synchronous batched search: queries is num_queries x dim row-major.
+  /// results[i] receives the neighbors of query i, searched with
+  /// Rng(QuerySeed(seed_base, i)). Returns the first per-query error if any
+  /// query fails (remaining queries still execute). `agg` (optional) sums
+  /// the per-query IvfSearchStats.
+  Status SearchBatch(const float* queries, std::size_t num_queries,
+                     const IvfSearchParams& params, std::uint64_t seed_base,
+                     std::vector<std::vector<Neighbor>>* results,
+                     IvfSearchStats* agg = nullptr);
+
+  /// As above with the engine's config seed.
+  Status SearchBatch(const float* queries, std::size_t num_queries,
+                     const IvfSearchParams& params,
+                     std::vector<std::vector<Neighbor>>* results,
+                     IvfSearchStats* agg = nullptr);
+
+  /// Enqueues one query (copied) for the micro-batching scheduler and
+  /// returns a future that is fulfilled when its batch executes. The
+  /// engine-seeded overload draws the next ticket from the auto-seed stream;
+  /// pass an explicit seed to make the result reproducible independently of
+  /// submission interleaving.
+  std::future<EngineResult> SubmitAsync(const float* query,
+                                        const IvfSearchParams& params);
+  std::future<EngineResult> SubmitAsync(const float* query,
+                                        const IvfSearchParams& params,
+                                        std::uint64_t seed);
+  std::future<EngineResult> SubmitAsync(const float* query);
+
+  /// Appends one vector (copied) to the index. Excludes search batches for
+  /// the duration of the underlying IvfRabitqIndex::Add (exclusive lock),
+  /// then bumps the epoch. Queries batched before and after the insert see
+  /// consistent pre-/post-insert snapshots respectively.
+  Status Insert(const float* vec, std::uint32_t* id_out = nullptr);
+
+  EngineStatsSnapshot Stats() const;
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  /// Executes `n` gathered queries under one shared index lock. Exactly one
+  /// batch runs at a time (batch_mutex_): per-worker scratch slots and the
+  /// rotation buffer are reused across batches without reallocation.
+  /// `statuses`, `results`, `stats` are arrays of length n. `submit_times`
+  /// non-null switches the recorded per-query latency from batch execution
+  /// time to submit-to-completion time (the async path, queueing included).
+  void ExecuteBatch(const float* const* queries, std::size_t n,
+                    const IvfSearchParams* const* params,
+                    const std::uint64_t* seeds,
+                    const std::chrono::steady_clock::time_point* submit_times,
+                    Status* statuses, std::vector<Neighbor>* results,
+                    IvfSearchStats* stats);
+
+  void SchedulerLoop();
+
+  IvfRabitqIndex index_;
+  std::size_t dim_;
+  EngineConfig config_;
+  ThreadPool pool_;
+
+  // Readers (batches) share, Insert excludes; epoch_ versions the index.
+  mutable std::shared_mutex index_mutex_;
+  std::atomic<std::uint64_t> epoch_{0};
+
+  // One batch in flight at a time; guards the scratch below.
+  std::mutex batch_mutex_;
+  Matrix gather_buf_;       // batch x dim, for async requests
+  Matrix rotated_buf_;      // batch x total_bits, the batched rotation
+  std::vector<IvfSearchScratch> worker_scratch_;  // one per pool thread
+
+  EngineStatsCollector stats_;
+
+  // Async serving.
+  RequestQueue queue_;
+  std::atomic<std::uint64_t> next_ticket_{0};
+  std::thread scheduler_;
+};
+
+}  // namespace rabitq
+
+#endif  // RABITQ_ENGINE_SEARCH_ENGINE_H_

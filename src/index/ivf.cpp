@@ -62,14 +62,21 @@ Status IvfRabitqIndex::Build(const Matrix& data, const IvfConfig& ivf_config,
   return worker_status;
 }
 
+void IvfRabitqIndex::ProbeOrderInto(
+    const float* query,
+    std::vector<std::pair<float, std::uint32_t>>* out) const {
+  out->resize(centroids_.rows());
+  for (std::size_t l = 0; l < centroids_.rows(); ++l) {
+    (*out)[l] = {L2SqrDistance(query, centroids_.Row(l), dim()),
+                 static_cast<std::uint32_t>(l)};
+  }
+  std::sort(out->begin(), out->end());
+}
+
 std::vector<std::pair<float, std::uint32_t>>
 IvfRabitqIndex::ProbeOrderWithDistances(const float* query) const {
-  std::vector<std::pair<float, std::uint32_t>> by_dist(centroids_.rows());
-  for (std::size_t l = 0; l < centroids_.rows(); ++l) {
-    by_dist[l] = {L2SqrDistance(query, centroids_.Row(l), dim()),
-                  static_cast<std::uint32_t>(l)};
-  }
-  std::sort(by_dist.begin(), by_dist.end());
+  std::vector<std::pair<float, std::uint32_t>> by_dist;
+  ProbeOrderInto(query, &by_dist);
   return by_dist;
 }
 
@@ -84,36 +91,60 @@ std::vector<std::uint32_t> IvfRabitqIndex::ProbeOrder(
 Status IvfRabitqIndex::Search(const float* query, const IvfSearchParams& params,
                               Rng* rng, std::vector<Neighbor>* out,
                               IvfSearchStats* stats) const {
-  if (out == nullptr || rng == nullptr) {
-    return Status::InvalidArgument("null output/rng");
+  IvfSearchScratch scratch;
+  return SearchWithScratch(query, nullptr, params, rng, &scratch, out, stats);
+}
+
+Status IvfRabitqIndex::Search(const float* query, const IvfSearchParams& params,
+                              std::uint64_t seed, std::vector<Neighbor>* out,
+                              IvfSearchStats* stats) const {
+  Rng rng(seed);
+  IvfSearchScratch scratch;
+  return SearchWithScratch(query, nullptr, params, &rng, &scratch, out, stats);
+}
+
+Status IvfRabitqIndex::SearchWithScratch(const float* query,
+                                         const float* rotated_query,
+                                         const IvfSearchParams& params,
+                                         Rng* rng, IvfSearchScratch* scratch,
+                                         std::vector<Neighbor>* out,
+                                         IvfSearchStats* stats) const {
+  if (out == nullptr || rng == nullptr || scratch == nullptr) {
+    return Status::InvalidArgument("null output/rng/scratch");
   }
   if (params.k == 0) return Status::InvalidArgument("k must be positive");
   const float epsilon0 = params.epsilon0_override >= 0.0f
                              ? params.epsilon0_override
                              : encoder_.config().epsilon0;
-  const auto order = ProbeOrderWithDistances(query);
+  ProbeOrderInto(query, &scratch->probe_order);
+  const auto& order = scratch->probe_order;
   const std::size_t nprobe = std::min(params.nprobe, order.size());
 
   // Rotate the query ONCE; each probed list reuses it (Section 3.3's shared
-  // preprocessing, made explicit by PrepareQueryFromRotated).
-  std::vector<float> rotated_query(encoder_.total_bits());
-  RotateQueryOnce(encoder_, query, rotated_query.data());
+  // preprocessing, made explicit by PrepareQueryFromRotated). Serving-engine
+  // callers pass the row of a batched rotation instead.
+  if (rotated_query == nullptr) {
+    scratch->rotated_query.resize(encoder_.total_bits());
+    RotateQueryOnce(encoder_, query, scratch->rotated_query.data());
+    rotated_query = scratch->rotated_query.data();
+  }
 
   IvfSearchStats local_stats;
   TopKHeap exact_heap(params.k);
   // For the fixed-candidates and no-rerank policies: (estimate, id) pool.
-  std::vector<Neighbor> estimate_pool;
+  std::vector<Neighbor>& estimate_pool = scratch->estimate_pool;
+  estimate_pool.clear();
 
-  std::vector<float> est_buf;
-  std::vector<float> lb_buf;
-  QuantizedQuery qq;
+  std::vector<float>& est_buf = scratch->est_buf;
+  std::vector<float>& lb_buf = scratch->lb_buf;
+  QuantizedQuery& qq = scratch->query;
   for (std::size_t p = 0; p < nprobe; ++p) {
     const std::uint32_t list_id = order[p].second;
     const List& list = lists_[list_id];
     if (list.ids.empty()) continue;
     ++local_stats.lists_probed;
     RABITQ_RETURN_IF_ERROR(PrepareQueryFromRotated(
-        encoder_, rotated_query.data(), rotated_centroids_.Row(list_id),
+        encoder_, rotated_query, rotated_centroids_.Row(list_id),
         std::sqrt(std::max(0.0f, order[p].first)), rng, &qq));
     const std::size_t n = list.ids.size();
     est_buf.resize(n);
@@ -172,8 +203,8 @@ Status IvfRabitqIndex::Search(const float* query, const IvfSearchParams& params,
     const std::size_t keep = std::min(params.k, estimate_pool.size());
     std::partial_sort(estimate_pool.begin(), estimate_pool.begin() + keep,
                       estimate_pool.end());
-    estimate_pool.resize(keep);
-    *out = std::move(estimate_pool);
+    // Copy (not move) so the pool's capacity stays with the scratch.
+    out->assign(estimate_pool.begin(), estimate_pool.begin() + keep);
   }
   if (stats != nullptr) *stats = local_stats;
   return Status::Ok();

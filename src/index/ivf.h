@@ -56,6 +56,19 @@ struct IvfSearchStats {
   std::size_t lists_probed = 0;
 };
 
+/// Reusable workspace for SearchWithScratch. Buffers reach steady-state
+/// capacity after the first few queries, after which searches stop touching
+/// the allocator -- the serving engine keeps one scratch per worker thread.
+/// A scratch must never be shared by concurrent callers.
+struct IvfSearchScratch {
+  std::vector<std::pair<float, std::uint32_t>> probe_order;
+  std::vector<float> rotated_query;
+  std::vector<float> est_buf;
+  std::vector<float> lb_buf;
+  std::vector<Neighbor> estimate_pool;
+  QuantizedQuery query;
+};
+
 /// IVF index over RaBitQ codes. Keeps a copy of the raw vectors for exact
 /// re-ranking, mirroring the paper's in-memory setting.
 class IvfRabitqIndex {
@@ -89,9 +102,42 @@ class IvfRabitqIndex {
   std::vector<std::pair<float, std::uint32_t>> ProbeOrderWithDistances(
       const float* query) const;
 
+  /// Allocation-free variant writing the probe order into `*out`.
+  void ProbeOrderInto(const float* query,
+                      std::vector<std::pair<float, std::uint32_t>>* out) const;
+
   /// K-NN search. `rng` drives the randomized query quantization.
+  ///
+  /// Thread-safety contract: the query path is const and touches no mutable
+  /// index state, so any number of threads may search one index concurrently
+  /// -- provided each caller passes its OWN Rng (and scratch). Sharing one
+  /// Rng across concurrent searches is a data race, and even a synchronized
+  /// shared Rng would make results depend on thread scheduling. Searches
+  /// must not overlap the writers (Add/Build/Load); SearchEngine provides
+  /// that coordination for serving workloads.
   Status Search(const float* query, const IvfSearchParams& params, Rng* rng,
                 std::vector<Neighbor>* out, IvfSearchStats* stats = nullptr) const;
+
+  /// Rng-free search: seeds a fresh Rng(seed), making the result a pure
+  /// function of (index, query, params, seed) -- safe to call from any
+  /// number of threads with no shared state. The serving engine derives one
+  /// seed per query from its base seed; this overload is the sequential
+  /// reference that the engine's result-parity tests compare against.
+  Status Search(const float* query, const IvfSearchParams& params,
+                std::uint64_t seed, std::vector<Neighbor>* out,
+                IvfSearchStats* stats = nullptr) const;
+
+  /// Search core with caller-owned workspace (the hot path of the serving
+  /// engine). `rotated_query` optionally passes a precomputed P^T q
+  /// (encoder().total_bits() floats, e.g. one row of the engine's batched
+  /// rotation -- bit-identical to RotateQueryOnce by the Rotator contract);
+  /// nullptr computes it into the scratch. `scratch` must be non-null and
+  /// exclusive to this call for its duration.
+  Status SearchWithScratch(const float* query, const float* rotated_query,
+                           const IvfSearchParams& params, Rng* rng,
+                           IvfSearchScratch* scratch,
+                           std::vector<Neighbor>* out,
+                           IvfSearchStats* stats = nullptr) const;
 
   /// Appends one vector to the index after Build: encodes it against its
   /// nearest centroid and re-packs that list's batch layout (O(list size);

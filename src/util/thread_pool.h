@@ -1,6 +1,7 @@
-// Small fixed-size thread pool with a blocking ParallelFor, used by the index
-// phase (kmeans assignment, encoding, ground-truth computation). Query-phase
-// code is single-threaded, matching the paper's evaluation protocol.
+// Small fixed-size thread pool with a blocking ParallelFor (used by the index
+// phase: kmeans assignment, encoding, ground-truth computation) and a
+// future-returning SubmitTask (used by the query-serving engine to fan batch
+// work out with exception propagation).
 
 #ifndef RABITQ_UTIL_THREAD_POOL_H_
 #define RABITQ_UTIL_THREAD_POOL_H_
@@ -8,9 +9,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace rabitq {
@@ -27,8 +31,23 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution. The task must not throw:
+  /// an escaping exception terminates the worker (use SubmitTask when the
+  /// task can fail).
   void Submit(std::function<void()> task);
+
+  /// Enqueues `fn` and returns a future for its result. An exception thrown
+  /// by the task is captured and rethrown from future::get(), so callers can
+  /// join a fan-out and surface the first failure.
+  template <typename F>
+  auto SubmitTask(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    // shared_ptr because std::function requires copyable callables.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    Submit([task] { (*task)(); });
+    return result;
+  }
 
   /// Blocks until every submitted task has finished executing.
   void Wait();
