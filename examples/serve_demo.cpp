@@ -1,8 +1,11 @@
 // End-to-end demo of the query-serving engine: build an IVF+RaBitQ index,
 // hand it to a SearchEngine, and drive SubmitAsync from several producer
-// threads while another thread trickles inserts into the live index. Shows
-// the future-based API, the micro-batching scheduler at work (mean batch
-// size > 1 under concurrent load), and the per-engine stats endpoint.
+// threads while another thread churns the live index through its full
+// lifecycle -- inserts, deletes and in-place updates, with background
+// compaction reclaiming tombstones as their ratio crosses the configured
+// threshold. Shows the future-based API, the micro-batching scheduler at
+// work (mean batch size > 1 under concurrent load), and the per-engine
+// stats endpoint including the lifecycle gauges.
 //
 //   ./serve_demo [num_producers] [queries_per_producer]
 
@@ -68,6 +71,10 @@ int main(int argc, char** argv) {
   EngineConfig config;
   config.max_batch = 32;
   config.batch_linger_us = 200;
+  // Compact a list as soon as 10% of its entries are tombstones, so the
+  // short demo run actually exercises the background compactor.
+  config.compaction_tombstone_ratio = 0.10f;
+  config.compaction_min_dead = 8;
   IvfSearchParams params;
   params.k = 10;
   params.nprobe = 16;
@@ -104,15 +111,39 @@ int main(int argc, char** argv) {
     });
   }
 
-  // A writer trickles fresh vectors into the serving index concurrently.
+  // A writer churns the serving index concurrently: a fresh insert, a
+  // delete and an in-place update per round -- live traffic never stops.
+  // The writer tracks its own deletions rather than peeking at
+  // engine.index() mid-flight: reading index internals while the
+  // background compactor commits is outside the documented contract.
   std::thread writer([&] {
-    Matrix fresh = GaussianClusters(64, dim, 32, 3);
+    Matrix fresh = GaussianClusters(256, dim, 32, 3);
+    Rng rng(4);
+    std::vector<bool> deleted(n, false);
     for (std::size_t i = 0; i < fresh.rows(); ++i) {
       std::uint32_t id = 0;
-      if (engine.Insert(fresh.Row(i), &id).ok() && (i + 1) % 32 == 0) {
-        std::printf("writer: %zu inserts, index size %zu, epoch %llu\n",
-                    i + 1, engine.size(),
-                    static_cast<unsigned long long>(engine.epoch()));
+      if (!engine.Insert(fresh.Row(i), &id).ok()) continue;
+      const std::uint32_t victim = static_cast<std::uint32_t>(i * 7 % n);
+      if (!deleted[victim] && engine.Delete(victim).ok()) {
+        deleted[victim] = true;
+      }
+      const std::uint32_t moved = static_cast<std::uint32_t>(i * 13 % n);
+      if (!deleted[moved]) {
+        std::vector<float> vec(dim);
+        for (auto& v : vec) v = static_cast<float>(rng.Gaussian()) * 6.0f;
+        engine.Update(moved, vec.data());
+      }
+      if ((i + 1) % 64 == 0) {
+        const EngineStatsSnapshot s = engine.Stats();
+        std::printf("writer: +%llu -%llu ~%llu | live %llu, tombstones %llu,"
+                    " compactions %llu, epoch %llu\n",
+                    static_cast<unsigned long long>(s.inserts),
+                    static_cast<unsigned long long>(s.deletes),
+                    static_cast<unsigned long long>(s.updates),
+                    static_cast<unsigned long long>(s.live_vectors),
+                    static_cast<unsigned long long>(s.tombstones),
+                    static_cast<unsigned long long>(s.compactions),
+                    static_cast<unsigned long long>(s.epoch));
       }
     }
   });
@@ -120,12 +151,20 @@ int main(int argc, char** argv) {
   for (auto& t : producers) t.join();
   writer.join();
 
+  // Drain whatever tombstones the background pass has not claimed yet.
+  const Status compact_status = engine.CompactNow();
+  if (!compact_status.ok()) {
+    std::fprintf(stderr, "CompactNow failed: %s\n",
+                 compact_status.ToString().c_str());
+  }
+
   const EngineStatsSnapshot stats = engine.Stats();
   std::printf(
       "\nserved %llu queries in %llu batches (mean batch %.1f)\n"
       "qps %.0f | latency p50 %.0fus p99 %.0fus max %.0fus\n"
       "codes estimated %llu | candidates re-ranked %llu | lists probed %llu\n"
-      "inserts %llu (epoch %llu), final index size %zu\n",
+      "inserts %llu, deletes %llu, updates %llu, lists compacted %llu\n"
+      "epoch %llu | ids %zu, live %llu, tombstones %llu\n",
       static_cast<unsigned long long>(stats.queries),
       static_cast<unsigned long long>(stats.batches), stats.mean_batch_size,
       stats.qps, stats.latency_p50_us, stats.latency_p99_us,
@@ -134,6 +173,11 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.candidates_reranked),
       static_cast<unsigned long long>(stats.lists_probed),
       static_cast<unsigned long long>(stats.inserts),
-      static_cast<unsigned long long>(stats.epoch), engine.size());
+      static_cast<unsigned long long>(stats.deletes),
+      static_cast<unsigned long long>(stats.updates),
+      static_cast<unsigned long long>(stats.compactions),
+      static_cast<unsigned long long>(stats.epoch), engine.size(),
+      static_cast<unsigned long long>(stats.live_vectors),
+      static_cast<unsigned long long>(stats.tombstones));
   return 0;
 }

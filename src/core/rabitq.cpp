@@ -29,6 +29,49 @@ void RabitqCodeStore::Finalize() {
   PackFastScanCodes(nibbles.data(), n, num_segments, &packed_);
 }
 
+void RabitqCodeStore::FinalizeAppend() {
+  const std::size_t n = size();
+  if (n == 0) return;
+  if (packed_.num_vectors + 1 != n) {
+    Finalize();  // store was not finalized right before this append
+    return;
+  }
+  const std::size_t num_segments = total_bits_ / 4;
+  const std::size_t i = n - 1;
+  const std::size_t block = i / kFastScanBlockSize;
+  const std::size_t slot = i % kFastScanBlockSize;
+  if (block >= packed_.num_blocks) {
+    packed_.num_segments = num_segments;
+    packed_.num_blocks = block + 1;
+    // Tail slots of the new block start zero-filled, as PackFastScanCodes
+    // leaves them.
+    packed_.packed.resize(packed_.num_blocks * num_segments * 16, 0);
+  }
+  const std::uint64_t* code = BitsAt(i);
+  std::uint8_t* block_ptr = packed_.packed.data() + block * num_segments * 16;
+  for (std::size_t t = 0; t < num_segments; ++t) {
+    const std::uint8_t nibble = GetNibble(code, t);
+    std::uint8_t& byte = block_ptr[t * 16 + (slot & 15)];
+    byte = slot < 16 ? static_cast<std::uint8_t>((byte & 0xF0) | nibble)
+                     : static_cast<std::uint8_t>((byte & 0x0F) | (nibble << 4));
+  }
+  packed_.num_vectors = n;
+}
+
+void RabitqCodeStore::CompactInto(const std::uint8_t* dead,
+                                  RabitqCodeStore* out) const {
+  out->Init(total_bits_);
+  const std::size_t n = size();
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < n; ++i) live += dead[i] == 0;
+  out->Reserve(live);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dead[i]) continue;
+    out->Append(BitsAt(i), dist_to_centroid_[i], o_o_[i], bit_count_[i]);
+  }
+  if (out->size() > 0) out->Finalize();
+}
+
 Status RabitqEncoder::Init(std::size_t dim, const RabitqConfig& config) {
   if (dim == 0) return Status::InvalidArgument("dim must be positive");
   if (config.query_bits < 1 || config.query_bits > 8) {

@@ -99,6 +99,19 @@ class RabitqCodeStore {
   /// Call once after the last Append.
   void Finalize();
 
+  /// Incremental Finalize after appending ONE code to an already-finalized
+  /// store: writes the new code's nibbles into the (zero-filled) tail slots
+  /// of the packed layout -- O(B/4) instead of the O(n*B/4) full repack, the
+  /// piece that makes single-vector index appends amortized O(1). Falls back
+  /// to Finalize() when the store was not finalized at size()-1. The result
+  /// is bit-identical to a full Finalize() (tested).
+  void FinalizeAppend();
+
+  /// Appends the codes whose `dead` flag is 0 into `*out` (Init'ed to the
+  /// same width by this call) and finalizes it -- the code-store half of an
+  /// IVF list compaction. `dead` must hold size() entries.
+  void CompactInto(const std::uint8_t* dead, RabitqCodeStore* out) const;
+
   bool finalized() const { return packed_.num_vectors == size() && size() > 0; }
   const FastScanCodes& packed() const { return packed_; }
 

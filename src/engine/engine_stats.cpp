@@ -67,12 +67,30 @@ void EngineStatsCollector::RecordInsert() {
   ++inserts_;
 }
 
+void EngineStatsCollector::RecordDelete() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++deletes_;
+}
+
+void EngineStatsCollector::RecordUpdate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++updates_;
+}
+
+void EngineStatsCollector::RecordCompaction() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++compactions_;
+}
+
 EngineStatsSnapshot EngineStatsCollector::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   EngineStatsSnapshot snap;
   snap.queries = queries_;
   snap.batches = batches_;
   snap.inserts = inserts_;
+  snap.deletes = deletes_;
+  snap.updates = updates_;
+  snap.compactions = compactions_;
   snap.search_errors = search_errors_;
   snap.uptime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
@@ -95,6 +113,7 @@ void EngineStatsCollector::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   start_ = std::chrono::steady_clock::now();
   queries_ = batches_ = inserts_ = search_errors_ = 0;
+  deletes_ = updates_ = compactions_ = 0;
   codes_estimated_ = candidates_reranked_ = lists_probed_ = 0;
   latency_.Reset();
 }

@@ -20,8 +20,14 @@ struct EngineStatsSnapshot {
   std::uint64_t queries = 0;
   std::uint64_t batches = 0;
   std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t compactions = 0;  // lists compacted, not passes
   std::uint64_t search_errors = 0;
-  std::uint64_t epoch = 0;  // index version; bumped by every insert
+  std::uint64_t epoch = 0;  // index version; bumped by every mutation
+  // Index lifecycle gauges sampled at Stats() time.
+  std::uint64_t live_vectors = 0;
+  std::uint64_t tombstones = 0;
   double uptime_seconds = 0.0;
   double qps = 0.0;                // queries / uptime
   double mean_batch_size = 0.0;
@@ -65,6 +71,10 @@ class EngineStatsCollector {
   void RecordBatch(std::size_t batch_size, const double* latencies_us,
                    const IvfSearchStats& batch_stats, std::size_t errors);
   void RecordInsert();
+  void RecordDelete();
+  void RecordUpdate();
+  /// One list compacted (a background pass may record several).
+  void RecordCompaction();
 
   EngineStatsSnapshot Snapshot() const;
   /// Zeroes every counter and restarts the uptime/QPS clock.
@@ -76,6 +86,9 @@ class EngineStatsCollector {
   std::uint64_t queries_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t inserts_ = 0;
+  std::uint64_t deletes_ = 0;
+  std::uint64_t updates_ = 0;
+  std::uint64_t compactions_ = 0;
   std::uint64_t search_errors_ = 0;
   std::uint64_t codes_estimated_ = 0;
   std::uint64_t candidates_reranked_ = 0;

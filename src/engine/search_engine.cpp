@@ -27,16 +27,28 @@ SearchEngine::SearchEngine(IvfRabitqIndex index, const EngineConfig& config)
       pool_(config.num_threads),
       worker_scratch_(pool_.num_threads()) {
   scheduler_ = std::thread([this] { SchedulerLoop(); });
+  compactor_ = std::thread([this] { CompactorLoop(); });
 }
 
 SearchEngine::~SearchEngine() {
   queue_.Close();  // PopBatch drains what was accepted, then returns false
   if (scheduler_.joinable()) scheduler_.join();
+  {
+    std::lock_guard<std::mutex> lock(compactor_mutex_);
+    compactor_stop_ = true;
+  }
+  compactor_cv_.notify_all();
+  if (compactor_.joinable()) compactor_.join();
 }
 
 std::size_t SearchEngine::size() const {
   std::shared_lock<std::shared_mutex> lock(index_mutex_);
   return index_.size();
+}
+
+std::size_t SearchEngine::live_size() const {
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  return index_.live_size();
 }
 
 std::uint64_t SearchEngine::QuerySeed(std::uint64_t base,
@@ -187,8 +199,12 @@ std::future<EngineResult> SearchEngine::SubmitAsync(const float* query) {
 }
 
 Status SearchEngine::Insert(const float* vec, std::uint32_t* id_out) {
-  std::unique_lock<std::shared_mutex> write_lock(index_mutex_);
-  const Status status = index_.Add(vec, id_out);
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  Status status;
+  {
+    std::unique_lock<std::shared_mutex> write_lock(index_mutex_);
+    status = index_.Add(vec, id_out);
+  }
   if (status.ok()) {
     epoch_.fetch_add(1, std::memory_order_release);
     stats_.RecordInsert();
@@ -196,9 +212,129 @@ Status SearchEngine::Insert(const float* vec, std::uint32_t* id_out) {
   return status;
 }
 
+bool SearchEngine::ListNeedsCompaction(std::uint32_t list_id) const {
+  // Called under writer_mutex_ with no other writer possible, so reading
+  // list stats outside index_mutex_ is safe; O(1), unlike a full
+  // ListsNeedingCompaction scan.
+  if (config_.compaction_tombstone_ratio <= 0.0f) return false;
+  const std::size_t dead = index_.list_tombstones(list_id);
+  if (dead == 0 || dead < config_.compaction_min_dead) return false;
+  return static_cast<float>(dead) >=
+         config_.compaction_tombstone_ratio *
+             static_cast<float>(index_.list_ids(list_id).size());
+}
+
+Status SearchEngine::Delete(std::uint32_t id) {
+  bool kick = false;
+  Status status;
+  {
+    std::lock_guard<std::mutex> writer(writer_mutex_);
+    {
+      std::unique_lock<std::shared_mutex> write_lock(index_mutex_);
+      status = index_.Delete(id);
+    }
+    if (status.ok()) {
+      epoch_.fetch_add(1, std::memory_order_release);
+      stats_.RecordDelete();
+      // Delete leaves id_to_list_ pointing at the tombstoned entry's list.
+      kick = ListNeedsCompaction(index_.list_of(id));
+    }
+  }
+  if (kick) KickCompactor();
+  return status;
+}
+
+Status SearchEngine::Update(std::uint32_t id, const float* vec) {
+  bool kick = false;
+  Status status;
+  {
+    std::lock_guard<std::mutex> writer(writer_mutex_);
+    // The tombstone lands in the list currently holding the id; capture it
+    // before Update repoints id_to_list_ at the new nearest list.
+    const bool live = !index_.IsDeleted(id);
+    const std::uint32_t old_list = live ? index_.list_of(id) : 0;
+    {
+      std::unique_lock<std::shared_mutex> write_lock(index_mutex_);
+      status = index_.Update(id, vec);
+    }
+    if (status.ok()) {
+      epoch_.fetch_add(1, std::memory_order_release);
+      stats_.RecordUpdate();
+      kick = ListNeedsCompaction(old_list);
+    }
+  }
+  if (kick) KickCompactor();
+  return status;
+}
+
+Status SearchEngine::CompactNow() {
+  return RunCompactions(/*min_ratio=*/0.0f, /*min_dead=*/1);
+}
+
+Status SearchEngine::RunCompactions(float min_ratio, std::size_t min_dead) {
+  std::vector<std::uint32_t> victims;
+  {
+    std::lock_guard<std::mutex> writer(writer_mutex_);
+    victims = index_.ListsNeedingCompaction(min_ratio, min_dead);
+  }
+  Status first_error;
+  for (const std::uint32_t l : victims) {
+    // writer_mutex_ is held per LIST, not across the pass: it pins the list
+    // between plan (under the shared lock -- queries keep executing) and
+    // commit (brief exclusive swap), while Insert/Delete/Update interleave
+    // between lists instead of stalling for the whole pass.
+    std::lock_guard<std::mutex> writer(writer_mutex_);
+    if (index_.list_tombstones(l) == 0) continue;  // mutated since selection
+    IvfCompactionPlan plan;
+    Status s;
+    {
+      std::shared_lock<std::shared_mutex> read_lock(index_mutex_);
+      s = index_.PlanListCompaction(l, &plan);
+    }
+    if (s.ok()) {
+      std::unique_lock<std::shared_mutex> write_lock(index_mutex_);
+      s = index_.CommitListCompaction(std::move(plan));
+    }
+    if (s.ok()) {
+      epoch_.fetch_add(1, std::memory_order_release);
+      stats_.RecordCompaction();
+    } else if (first_error.ok()) {
+      first_error = s;
+    }
+  }
+  return first_error;
+}
+
+void SearchEngine::KickCompactor() {
+  {
+    std::lock_guard<std::mutex> lock(compactor_mutex_);
+    compactor_kicked_ = true;
+  }
+  compactor_cv_.notify_one();
+}
+
+void SearchEngine::CompactorLoop() {
+  std::unique_lock<std::mutex> lock(compactor_mutex_);
+  for (;;) {
+    compactor_cv_.wait(lock,
+                       [this] { return compactor_kicked_ || compactor_stop_; });
+    if (compactor_stop_) return;
+    compactor_kicked_ = false;
+    lock.unlock();
+    RunCompactions(config_.compaction_tombstone_ratio,
+                   config_.compaction_min_dead);
+    lock.lock();
+  }
+}
+
 EngineStatsSnapshot SearchEngine::Stats() const {
   EngineStatsSnapshot snap = stats_.Snapshot();
   snap.epoch = epoch();
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mutex_);
+    snap.live_vectors = index_.live_size();
+    snap.tombstones = index_.num_tombstones();
+  }
   return snap;
 }
 

@@ -14,8 +14,17 @@
 //     batched path, amortizing the per-batch costs across concurrent callers.
 //   * Read/write coordination: every batch executes against a consistent
 //     snapshot of the index (readers hold a shared lock for the batch's
-//     duration; Insert takes the lock exclusively between batches and bumps
-//     the epoch counter). Searches never block each other.
+//     duration; Insert/Delete/Update take the lock exclusively between
+//     batches and bump the epoch counter). Searches never block each other,
+//     and writers additionally serialize among themselves (writer_mutex_),
+//     which keeps the index's single-writer contract and lets compaction
+//     plan against a stable list.
+//   * Background compaction: when a mutation pushes a list's tombstone
+//     ratio past EngineConfig::compaction_tombstone_ratio, a dedicated
+//     maintenance thread rebuilds that list. The rebuild (plan) runs under
+//     the SHARED lock -- queries keep flowing -- and only the O(live-entries)
+//     swap (commit) takes the exclusive lock, so readers are never blocked
+//     longer than an epoch bump.
 //   * Determinism: each query is searched with a private Rng seeded from
 //     (engine seed, ticket) -- or an explicit caller seed -- so results are
 //     bit-identical to the sequential IvfRabitqIndex::Search(seed) reference
@@ -27,6 +36,7 @@
 #define RABITQ_ENGINE_SEARCH_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -54,6 +64,13 @@ struct EngineConfig {
   std::uint64_t seed = 0x5EEDC0FFEE5EEDULL;
   /// Default search parameters for SubmitAsync overloads without params.
   IvfSearchParams default_params;
+  /// Background compaction trigger: a list is rebuilt once its tombstone
+  /// ratio (dead entries / entries) reaches this. <= 0 disables the
+  /// background pass (CompactNow still works).
+  float compaction_tombstone_ratio = 0.25f;
+  /// Lists with fewer tombstones than this are never auto-compacted
+  /// (rebuilding a 3-entry list over one tombstone is churn, not progress).
+  std::size_t compaction_min_dead = 32;
 };
 
 /// Owns a built IvfRabitqIndex and serves k-NN queries concurrently.
@@ -67,9 +84,10 @@ class SearchEngine {
   SearchEngine(const SearchEngine&) = delete;
   SearchEngine& operator=(const SearchEngine&) = delete;
 
-  /// The owned index. Reading it while Insert runs on another thread races;
-  /// quiesce writers (or take no writers by construction) before touching
-  /// index internals directly. Serving-path accessors (Stats, size) are safe.
+  /// The owned index. Reading it while a writer (Insert/Delete/Update or a
+  /// background compaction commit) runs on another thread races; quiesce
+  /// writers (or take no writers by construction) before touching index
+  /// internals directly. Serving-path accessors (Stats, size) are safe.
   const IvfRabitqIndex& index() const { return index_; }
 
   std::size_t num_threads() const { return pool_.num_threads(); }
@@ -77,9 +95,12 @@ class SearchEngine {
   /// an immutable-in-practice index_.dim() would race with Insert's move
   /// of the underlying Matrix.
   std::size_t dim() const { return dim_; }
-  /// Current number of indexed vectors (racy snapshot, safe to call anytime).
+  /// Current number of ids ever assigned (racy snapshot, safe anytime).
   std::size_t size() const;
-  /// Index version: starts at 0, bumped by every successful Insert.
+  /// Current number of live (non-deleted) vectors (racy snapshot).
+  std::size_t live_size() const;
+  /// Index version: starts at 0, bumped by every successful mutation
+  /// (Insert/Delete/Update and each committed list compaction).
   std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   /// Deterministic per-query seed stream: SplitMix64 of (base, ticket).
@@ -121,6 +142,19 @@ class SearchEngine {
   /// consistent pre-/post-insert snapshots respectively.
   Status Insert(const float* vec, std::uint32_t* id_out = nullptr);
 
+  /// Tombstones `id`; it stops appearing in results from the next batch on.
+  /// May trigger a background compaction of the affected list.
+  Status Delete(std::uint32_t id);
+
+  /// Replaces the vector of live `id` in place (same id, new location).
+  /// May trigger a background compaction of the list left behind.
+  Status Update(std::uint32_t id, const float* vec);
+
+  /// Synchronously compacts every list that has any tombstone, regardless
+  /// of the configured trigger. Queries keep flowing during the rebuilds;
+  /// each list swap briefly excludes them. Returns the first error.
+  Status CompactNow();
+
   EngineStatsSnapshot Stats() const;
   void ResetStats() { stats_.Reset(); }
 
@@ -139,14 +173,29 @@ class SearchEngine {
                     IvfSearchStats* stats);
 
   void SchedulerLoop();
+  void CompactorLoop();
+  /// O(1) trigger check for the one list a mutation just touched. Must be
+  /// called under writer_mutex_.
+  bool ListNeedsCompaction(std::uint32_t list_id) const;
+  /// Wakes the compactor to re-scan for over-threshold lists.
+  void KickCompactor();
+  /// Plan+commit every list selected by (min_ratio, min_dead). Caller must
+  /// NOT hold writer_mutex_ or index_mutex_.
+  Status RunCompactions(float min_ratio, std::size_t min_dead);
 
   IvfRabitqIndex index_;
   std::size_t dim_;
   EngineConfig config_;
   ThreadPool pool_;
 
-  // Readers (batches) share, Insert excludes; epoch_ versions the index.
+  // Readers (batches) share index_mutex_; mutators take it exclusively for
+  // the duration of the index mutation. Mutators ALSO hold writer_mutex_
+  // for their full logical span, which (a) serializes writers against each
+  // other and (b) pins list state between a compaction's plan (shared lock
+  // only) and commit (exclusive lock). Lock order: writer_mutex_ before
+  // index_mutex_. epoch_ versions the index.
   mutable std::shared_mutex index_mutex_;
+  std::mutex writer_mutex_;
   std::atomic<std::uint64_t> epoch_{0};
 
   // One batch in flight at a time; guards the scratch below.
@@ -161,6 +210,13 @@ class SearchEngine {
   RequestQueue queue_;
   std::atomic<std::uint64_t> next_ticket_{0};
   std::thread scheduler_;
+
+  // Background compaction.
+  std::mutex compactor_mutex_;
+  std::condition_variable compactor_cv_;
+  bool compactor_kicked_ = false;
+  bool compactor_stop_ = false;
+  std::thread compactor_;
 };
 
 }  // namespace rabitq

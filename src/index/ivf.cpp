@@ -13,12 +13,12 @@ namespace rabitq {
 Status IvfRabitqIndex::Build(const Matrix& data, const IvfConfig& ivf_config,
                              const RabitqConfig& rabitq_config) {
   if (data.rows() == 0) return Status::InvalidArgument("empty dataset");
-  data_ = data;
+  data_.Assign(data);
 
   KMeansConfig kmeans = ivf_config.kmeans;
   kmeans.num_clusters = std::min(ivf_config.num_lists, data.rows());
   KMeansResult clustering;
-  RABITQ_RETURN_IF_ERROR(RunKMeans(data_, kmeans, &clustering));
+  RABITQ_RETURN_IF_ERROR(RunKMeans(data, kmeans, &clustering));
   centroids_ = std::move(clustering.centroids);
 
   RABITQ_RETURN_IF_ERROR(encoder_.Init(data.cols(), rabitq_config));
@@ -32,7 +32,7 @@ Status IvfRabitqIndex::Build(const Matrix& data, const IvfConfig& ivf_config,
 
   // Bucket membership, then per-list encoding (parallel across lists).
   lists_.assign(centroids_.rows(), List{});
-  for (std::size_t i = 0; i < data_.rows(); ++i) {
+  for (std::size_t i = 0; i < data.rows(); ++i) {
     lists_[clustering.assignments[i]].ids.push_back(
         static_cast<std::uint32_t>(i));
   }
@@ -46,7 +46,7 @@ Status IvfRabitqIndex::Build(const Matrix& data, const IvfConfig& ivf_config,
           list.codes.Init(encoder_.total_bits());
           list.codes.Reserve(list.ids.size());
           for (const std::uint32_t id : list.ids) {
-            const Status s = encoder_.EncodeAppend(data_.Row(id),
+            const Status s = encoder_.EncodeAppend(data.Row(id),
                                                    centroids_.Row(l),
                                                    &list.codes);
             if (!s.ok()) {
@@ -55,11 +55,27 @@ Status IvfRabitqIndex::Build(const Matrix& data, const IvfConfig& ivf_config,
               return;
             }
           }
+          list.dead.assign(list.ids.size(), 0);
           if (!list.ids.empty()) list.codes.Finalize();
         }
       },
       /*min_chunk=*/1);
-  return worker_status;
+  if (!worker_status.ok()) return worker_status;
+
+  // Every id starts live, positioned where bucketing put it.
+  const std::size_t n = data.rows();
+  id_live_.assign(n, 1);
+  id_to_list_.assign(n, 0);
+  id_to_pos_.assign(n, 0);
+  live_count_ = n;
+  num_tombstones_ = 0;
+  for (std::size_t l = 0; l < lists_.size(); ++l) {
+    for (std::size_t p = 0; p < lists_[l].ids.size(); ++p) {
+      id_to_list_[lists_[l].ids[p]] = static_cast<std::uint32_t>(l);
+      id_to_pos_[lists_[l].ids[p]] = static_cast<std::uint32_t>(p);
+    }
+  }
+  return Status::Ok();
 }
 
 void IvfRabitqIndex::ProbeOrderInto(
@@ -163,12 +179,16 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
     }
     local_stats.codes_estimated += n;
 
+    // Candidate selection consults the tombstones: a dead entry (deleted id
+    // or stale pre-Update code) is estimated by the batch kernel above --
+    // blocks are contiguous -- but never reaches the heap or the pool.
     switch (params.policy) {
       case RerankPolicy::kErrorBound:
         // Paper Section 4: drop a vector iff its distance lower bound
         // exceeds the current k-th best exact distance; otherwise compute
         // the exact distance right away so the threshold tightens as we go.
         for (std::size_t i = 0; i < n; ++i) {
+          if (list.dead[i]) continue;
           if (exact_heap.full() && lb_buf[i] > exact_heap.Threshold()) continue;
           const std::uint32_t id = list.ids[i];
           const float exact = L2SqrDistance(data_.Row(id), query, dim());
@@ -179,6 +199,7 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
       case RerankPolicy::kFixedCandidates:
       case RerankPolicy::kNone:
         for (std::size_t i = 0; i < n; ++i) {
+          if (list.dead[i]) continue;
           estimate_pool.emplace_back(est_buf[i], list.ids[i]);
         }
         break;
@@ -207,6 +228,123 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
     out->assign(estimate_pool.begin(), estimate_pool.begin() + keep);
   }
   if (stats != nullptr) *stats = local_stats;
+  return Status::Ok();
+}
+
+Status IvfRabitqIndex::AppendToNearestList(std::uint32_t id,
+                                           const float* vec) {
+  const std::uint32_t list_id = NearestCentroid(vec, centroids_);
+  List& list = lists_[list_id];
+  RABITQ_RETURN_IF_ERROR(
+      encoder_.EncodeAppend(vec, centroids_.Row(list_id), &list.codes));
+  list.ids.push_back(id);
+  list.dead.push_back(0);
+  list.codes.FinalizeAppend();  // extends the packed layout by one slot
+  ++list.generation;
+  id_to_list_[id] = list_id;
+  id_to_pos_[id] = static_cast<std::uint32_t>(list.ids.size() - 1);
+  return Status::Ok();
+}
+
+Status IvfRabitqIndex::Add(const float* vec, std::uint32_t* id_out) {
+  if (vec == nullptr) return Status::InvalidArgument("null vector");
+  if (lists_.empty()) return Status::FailedPrecondition("index not built");
+  const std::uint32_t id = data_.Append(vec);
+  // The id turns live only once its list entry exists; on append failure it
+  // stays permanently dead (IsDeleted == true), never a dangling mapping.
+  id_live_.push_back(0);
+  id_to_list_.push_back(0);
+  id_to_pos_.push_back(0);
+  RABITQ_RETURN_IF_ERROR(AppendToNearestList(id, vec));
+  id_live_[id] = 1;
+  ++live_count_;
+  if (id_out != nullptr) *id_out = id;
+  return Status::Ok();
+}
+
+Status IvfRabitqIndex::Delete(std::uint32_t id) {
+  if (lists_.empty()) return Status::FailedPrecondition("index not built");
+  if (IsDeleted(id)) return Status::NotFound("id not live");
+  List& list = lists_[id_to_list_[id]];
+  list.dead[id_to_pos_[id]] = 1;
+  ++list.num_dead;
+  ++list.generation;
+  id_live_[id] = 0;
+  --live_count_;
+  ++num_tombstones_;
+  return Status::Ok();
+}
+
+Status IvfRabitqIndex::Update(std::uint32_t id, const float* vec) {
+  if (vec == nullptr) return Status::InvalidArgument("null vector");
+  if (lists_.empty()) return Status::FailedPrecondition("index not built");
+  if (IsDeleted(id)) return Status::NotFound("id not live");
+  // Tombstone the stale entry, then re-encode against the (possibly new)
+  // nearest centroid. The id itself stays live throughout.
+  List& old_list = lists_[id_to_list_[id]];
+  old_list.dead[id_to_pos_[id]] = 1;
+  ++old_list.num_dead;
+  ++old_list.generation;
+  ++num_tombstones_;
+  data_.OverwriteRow(id, vec);
+  return AppendToNearestList(id, vec);
+}
+
+std::vector<std::uint32_t> IvfRabitqIndex::ListsNeedingCompaction(
+    float min_ratio, std::size_t min_dead) const {
+  std::vector<std::uint32_t> out;
+  for (std::size_t l = 0; l < lists_.size(); ++l) {
+    const List& list = lists_[l];
+    if (list.num_dead == 0 || list.num_dead < min_dead) continue;
+    const float ratio = static_cast<float>(list.num_dead) /
+                        static_cast<float>(list.ids.size());
+    if (ratio >= min_ratio) out.push_back(static_cast<std::uint32_t>(l));
+  }
+  return out;
+}
+
+Status IvfRabitqIndex::PlanListCompaction(std::uint32_t list_id,
+                                          IvfCompactionPlan* plan) const {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  if (list_id >= lists_.size()) return Status::InvalidArgument("bad list id");
+  const List& list = lists_[list_id];
+  plan->list_id = list_id;
+  plan->list_generation = list.generation;
+  plan->ids.clear();
+  plan->ids.reserve(list.ids.size() - list.num_dead);
+  for (std::size_t p = 0; p < list.ids.size(); ++p) {
+    if (!list.dead[p]) plan->ids.push_back(list.ids[p]);
+  }
+  list.codes.CompactInto(list.dead.data(), &plan->codes);
+  return Status::Ok();
+}
+
+Status IvfRabitqIndex::CommitListCompaction(IvfCompactionPlan&& plan) {
+  if (plan.list_id >= lists_.size()) {
+    return Status::InvalidArgument("bad list id");
+  }
+  List& list = lists_[plan.list_id];
+  if (list.generation != plan.list_generation) {
+    return Status::FailedPrecondition("stale compaction plan");
+  }
+  num_tombstones_ -= list.num_dead;
+  list.ids = std::move(plan.ids);
+  list.codes = std::move(plan.codes);
+  list.dead.assign(list.ids.size(), 0);
+  list.num_dead = 0;
+  ++list.generation;
+  for (std::size_t p = 0; p < list.ids.size(); ++p) {
+    id_to_pos_[list.ids[p]] = static_cast<std::uint32_t>(p);
+  }
+  return Status::Ok();
+}
+
+Status IvfRabitqIndex::Compact(float min_ratio, std::size_t min_dead) {
+  for (const std::uint32_t l : ListsNeedingCompaction(min_ratio, min_dead)) {
+    IvfCompactionPlan plan;
+    RABITQ_RETURN_IF_ERROR(PlanListCompaction(l, &plan));
+    RABITQ_RETURN_IF_ERROR(CommitListCompaction(std::move(plan)));
+  }
   return Status::Ok();
 }
 

@@ -9,6 +9,18 @@
 //   * kFixedCandidates (PQ-style): keep the `rerank_candidates` smallest
 //     estimates, then re-rank those -- the baseline knob of Section 5.
 //   * kNone: rank purely by estimated distances (Fig. 10 ablation).
+//
+// Beyond the paper's build-once protocol the index is fully mutable:
+//   * Add appends a vector in amortized O(1) (chunked raw storage, an
+//     incremental fast-scan repack of only the tail block);
+//   * Delete tombstones an id -- codes stay in place, the search path skips
+//     dead entries, so a delete is O(1) and never moves other vectors;
+//   * Update overwrites the raw vector and re-encodes it into the list of
+//     its (possibly new) nearest centroid, tombstoning the stale entry;
+//   * list compaction drops a list's tombstones and repacks its code store,
+//     split into a plan step (pure read, can run concurrently with
+//     searches) and a commit step (an O(live-entries) swap that is the only
+//     part needing exclusive access) -- see PlanListCompaction.
 
 #ifndef RABITQ_INDEX_IVF_H_
 #define RABITQ_INDEX_IVF_H_
@@ -22,6 +34,7 @@
 #include "core/query.h"
 #include "core/rabitq.h"
 #include "index/brute_force.h"
+#include "index/vector_store.h"
 #include "util/prng.h"
 
 namespace rabitq {
@@ -69,8 +82,27 @@ struct IvfSearchScratch {
   QuantizedQuery query;
 };
 
-/// IVF index over RaBitQ codes. Keeps a copy of the raw vectors for exact
-/// re-ranking, mirroring the paper's in-memory setting.
+/// A compacted replacement for one list, built by PlanListCompaction without
+/// disturbing the index and installed by CommitListCompaction. The embedded
+/// generation ties the plan to the exact list state it was derived from:
+/// commit refuses a plan whose list has since been mutated.
+struct IvfCompactionPlan {
+  std::uint32_t list_id = 0;
+  std::uint64_t list_generation = 0;
+  std::vector<std::uint32_t> ids;  // live ids, in list order
+  RabitqCodeStore codes;           // their codes, re-packed
+};
+
+/// IVF index over RaBitQ codes. Keeps the raw vectors (chunked storage) for
+/// exact re-ranking, mirroring the paper's in-memory setting.
+///
+/// Thread-safety contract: every const method is a pure read -- any number
+/// of threads may search/plan concurrently. The mutators (Build, Load, Add,
+/// Delete, Update, CommitListCompaction, Compact) require exclusive access:
+/// no concurrent reader or writer. PlanListCompaction is const and may
+/// overlap searches, but NOT writers (the plan would go stale -- commit
+/// detects this and fails closed). SearchEngine layers the shared/exclusive
+/// locking that upholds this contract for serving workloads.
 class IvfRabitqIndex {
  public:
   /// Builds the index: KMeans into num_lists buckets, then RaBitQ-encode
@@ -78,8 +110,15 @@ class IvfRabitqIndex {
   Status Build(const Matrix& data, const IvfConfig& ivf_config,
                const RabitqConfig& rabitq_config);
 
+  /// Total ids ever assigned (including tombstoned ones); ids are dense in
+  /// [0, size()).
   std::size_t size() const { return data_.rows(); }
-  std::size_t dim() const { return data_.cols(); }
+  /// Number of non-deleted vectors.
+  std::size_t live_size() const { return live_count_; }
+  /// Tombstoned list entries not yet dropped by compaction. Counts stale
+  /// Update entries too, so it can exceed size() - live_size().
+  std::size_t num_tombstones() const { return num_tombstones_; }
+  std::size_t dim() const { return data_.dim(); }
   std::size_t num_lists() const { return centroids_.rows(); }
   const RabitqEncoder& encoder() const { return encoder_; }
   const Matrix& centroids() const { return centroids_; }
@@ -89,6 +128,18 @@ class IvfRabitqIndex {
   const RabitqCodeStore& list_codes(std::size_t l) const {
     return lists_[l].codes;
   }
+  /// Tombstoned entries in list `l`.
+  std::size_t list_tombstones(std::size_t l) const {
+    return lists_[l].num_dead;
+  }
+  /// True iff `id` was deleted (or never assigned).
+  bool IsDeleted(std::uint32_t id) const {
+    return id >= id_live_.size() || id_live_[id] == 0;
+  }
+  /// List holding the current entry of a LIVE id (stale for deleted ids).
+  std::uint32_t list_of(std::uint32_t id) const { return id_to_list_[id]; }
+  /// Raw vector of a live id (the re-ranking source of truth).
+  const float* vector(std::uint32_t id) const { return data_.Row(id); }
 
   /// P^T c per list, precomputed at build time so the per-cluster query
   /// preparation is a subtract-and-scale (see PrepareQueryFromRotated).
@@ -106,15 +157,16 @@ class IvfRabitqIndex {
   void ProbeOrderInto(const float* query,
                       std::vector<std::pair<float, std::uint32_t>>* out) const;
 
-  /// K-NN search. `rng` drives the randomized query quantization.
+  /// K-NN search over the LIVE vectors (tombstones are skipped during
+  /// candidate selection). `rng` drives the randomized query quantization.
   ///
-  /// Thread-safety contract: the query path is const and touches no mutable
-  /// index state, so any number of threads may search one index concurrently
-  /// -- provided each caller passes its OWN Rng (and scratch). Sharing one
-  /// Rng across concurrent searches is a data race, and even a synchronized
+  /// Thread-safety: the query path is const and touches no mutable index
+  /// state, so any number of threads may search one index concurrently --
+  /// provided each caller passes its OWN Rng (and scratch). Sharing one Rng
+  /// across concurrent searches is a data race, and even a synchronized
   /// shared Rng would make results depend on thread scheduling. Searches
-  /// must not overlap the writers (Add/Build/Load); SearchEngine provides
-  /// that coordination for serving workloads.
+  /// must not overlap the mutators (see the class contract above);
+  /// SearchEngine provides that coordination for serving workloads.
   Status Search(const float* query, const IvfSearchParams& params, Rng* rng,
                 std::vector<Neighbor>* out, IvfSearchStats* stats = nullptr) const;
 
@@ -140,32 +192,87 @@ class IvfRabitqIndex {
                            IvfSearchStats* stats = nullptr) const;
 
   /// Appends one vector to the index after Build: encodes it against its
-  /// nearest centroid and re-packs that list's batch layout (O(list size);
-  /// suited to moderate trickle inserts, not bulk loads). The new vector's
-  /// id (== previous size()) is returned through `id_out` when non-null.
+  /// nearest centroid and extends that list's packed layout by one slot --
+  /// amortized O(1). The new vector's id (== previous size()) is returned
+  /// through `id_out` when non-null.
   Status Add(const float* vec, std::uint32_t* id_out = nullptr);
 
-  /// Serializes the full index (raw vectors, centroids, codes and the
-  /// quantizer configuration). The rotation matrix itself is NOT stored:
-  /// rotators are deterministic in (dim, bits, kind, seed), so Load
-  /// re-derives it from the saved config -- the same trick the paper uses
-  /// to never materialize the codebook.
+  /// Tombstones `id`: it stops appearing in search results immediately; its
+  /// code entry is reclaimed by the next compaction of its list. The raw
+  /// row stays allocated (ids are append-only), so memory is bounded by ids
+  /// ever assigned, not by the live count. NotFound if the id was never
+  /// assigned or already deleted.
+  Status Delete(std::uint32_t id);
+
+  /// Replaces the vector of a live `id` in place: overwrites the raw row,
+  /// tombstones the old list entry, and re-encodes into the list of the new
+  /// nearest centroid. The id is stable across the update.
+  Status Update(std::uint32_t id, const float* vec);
+
+  /// Lists whose tombstone ratio (num_dead / entries) reaches `min_ratio`
+  /// and whose num_dead is at least `min_dead` (compacting a 3-entry list
+  /// over one tombstone is churn, not progress).
+  std::vector<std::uint32_t> ListsNeedingCompaction(
+      float min_ratio, std::size_t min_dead = 1) const;
+
+  /// Builds a compacted replacement for one list into `*plan`. Const and
+  /// allocation-contained: may run concurrently with searches (it only
+  /// reads), but must not overlap writers.
+  Status PlanListCompaction(std::uint32_t list_id,
+                            IvfCompactionPlan* plan) const;
+
+  /// Installs a plan: swaps in the compacted ids/codes, clears the list's
+  /// tombstones and refreshes the id->position mapping. O(live entries of
+  /// the list) -- the only step that needs exclusive access, so readers are
+  /// blocked no longer than an epoch bump. FailedPrecondition if the list
+  /// changed after the plan was built.
+  Status CommitListCompaction(IvfCompactionPlan&& plan);
+
+  /// Blocking convenience: plan+commit every list selected by
+  /// ListsNeedingCompaction(min_ratio, min_dead). Requires exclusive access.
+  Status Compact(float min_ratio = 0.0f, std::size_t min_dead = 1);
+
+  /// Serializes the full index (raw vectors, centroids, codes, tombstones
+  /// and the quantizer configuration) in snapshot format v2 ("RBQIVF02").
+  /// The rotation matrix itself is NOT stored: rotators are deterministic in
+  /// (dim, bits, kind, seed), so Load re-derives it from the saved config --
+  /// the same trick the paper uses to never materialize the codebook.
   Status Save(const std::string& path) const;
 
-  /// Restores an index written by Save into `*this`.
+  /// Restores an index written by Save into `*this`. Reads both the current
+  /// v2 format and the legacy v1 ("RBQIVF01", no tombstones) format.
   Status Load(const std::string& path);
 
  private:
   struct List {
     std::vector<std::uint32_t> ids;
     RabitqCodeStore codes;
+    // Positional tombstones, parallel to `ids`: dead[p] == 1 marks a
+    // deleted id or the stale pre-Update entry of a re-encoded id.
+    std::vector<std::uint8_t> dead;
+    std::size_t num_dead = 0;
+    // Bumped on every mutation; pins compaction plans to a list state.
+    std::uint64_t generation = 0;
   };
 
-  Matrix data_;               // raw vectors (for re-ranking)
+  /// Appends (id, code-of-vec) to the list of vec's nearest centroid and
+  /// refreshes the id mapping; shared tail of Add and Update.
+  Status AppendToNearestList(std::uint32_t id, const float* vec);
+
+  ChunkedVectorStore data_;   // raw vectors (for re-ranking)
   Matrix centroids_;          // num_lists x dim
   Matrix rotated_centroids_;  // num_lists x total_bits: P^T c per list
   RabitqEncoder encoder_;
   std::vector<List> lists_;
+
+  // Per-id lifecycle state. id_to_list_/id_to_pos_ locate the CURRENT
+  // (non-dead) entry of a live id; stale for deleted ids (guarded by
+  // id_live_).
+  std::vector<std::uint8_t> id_live_;
+  std::vector<std::uint32_t> id_to_list_;
+  std::vector<std::uint32_t> id_to_pos_;
+  std::size_t live_count_ = 0;
+  std::size_t num_tombstones_ = 0;
 };
 
 }  // namespace rabitq

@@ -1,10 +1,13 @@
-// Save/Load and incremental insertion for IvfRabitqIndex. The on-disk
-// format stores the raw vectors, the coarse centroids, the per-list ids and
-// code-store arrays, and the RabitqConfig; the rotation is reconstructed
+// Save/Load for IvfRabitqIndex. Snapshot format v2 ("RBQIVF02") stores the
+// raw vectors, the coarse centroids, the per-list ids, positional tombstones
+// and code-store arrays, and the RabitqConfig; the rotation is reconstructed
 // deterministically from (dim, bits, kind, seed) at load time, mirroring the
 // paper's observation that the codebook never needs to be materialized.
+// Legacy v1 files ("RBQIVF01", written before the index became mutable; no
+// tombstone sections) still load: every entry is treated as live.
 
 #include <algorithm>
+#include <vector>
 
 #include "index/ivf.h"
 #include "util/serialize.h"
@@ -12,36 +15,22 @@
 namespace rabitq {
 
 namespace {
-constexpr char kMagic[8] = {'R', 'B', 'Q', 'I', 'V', 'F', '0', '1'};
-constexpr std::uint32_t kVersion = 1;
+// Readable formats, newest first; Save always writes kMagics[0]. Keeping
+// writer and reader on one table means a format bump cannot desynchronize
+// them.
+constexpr char kMagics[][8] = {{'R', 'B', 'Q', 'I', 'V', 'F', '0', '2'},
+                               {'R', 'B', 'Q', 'I', 'V', 'F', '0', '1'}};
+constexpr std::uint32_t kVersions[] = {2, 1};
+constexpr std::uint32_t kVersionV2 = 2;
+static_assert(std::size(kMagics) == std::size(kVersions),
+              "every readable magic needs its version");
 }  // namespace
-
-Status IvfRabitqIndex::Add(const float* vec, std::uint32_t* id_out) {
-  if (vec == nullptr) return Status::InvalidArgument("null vector");
-  if (lists_.empty()) return Status::FailedPrecondition("index not built");
-  const std::uint32_t id = static_cast<std::uint32_t>(data_.rows());
-
-  // Grow the raw-vector matrix by one row.
-  Matrix grown(data_.rows() + 1, dim());
-  std::copy_n(data_.data(), data_.size(), grown.data());
-  std::copy_n(vec, dim(), grown.Row(id));
-  data_ = std::move(grown);
-
-  const std::uint32_t list_id = NearestCentroid(vec, centroids_);
-  List& list = lists_[list_id];
-  list.ids.push_back(id);
-  RABITQ_RETURN_IF_ERROR(
-      encoder_.EncodeAppend(vec, centroids_.Row(list_id), &list.codes));
-  list.codes.Finalize();  // re-pack the batch layout for this list
-  if (id_out != nullptr) *id_out = id;
-  return Status::Ok();
-}
 
 Status IvfRabitqIndex::Save(const std::string& path) const {
   if (lists_.empty()) return Status::FailedPrecondition("index not built");
   std::unique_ptr<BinaryWriter> writer;
   RABITQ_RETURN_IF_ERROR(BinaryWriter::Open(path, &writer));
-  RABITQ_RETURN_IF_ERROR(WriteHeader(writer.get(), kMagic, kVersion));
+  RABITQ_RETURN_IF_ERROR(WriteHeader(writer.get(), kMagics[0], kVersions[0]));
 
   // Quantizer configuration (the rotator is re-derived from this on load).
   const RabitqConfig& config = encoder_.config();
@@ -53,18 +42,34 @@ Status IvfRabitqIndex::Save(const std::string& path) const {
       writer->WriteU32(static_cast<std::uint32_t>(config.rotator)));
   RABITQ_RETURN_IF_ERROR(writer->WriteU64(config.seed));
 
-  // Raw vectors and centroids.
+  // Raw vectors (chunk by chunk -- the store is not one contiguous block)
+  // and centroids.
   RABITQ_RETURN_IF_ERROR(writer->WriteU64(data_.rows()));
-  RABITQ_RETURN_IF_ERROR(writer->WriteBytes(data_.data(),
-                                            data_.size() * sizeof(float)));
+  for (std::size_t r = 0; r < data_.rows();) {
+    const std::size_t run =
+        std::min(ChunkedVectorStore::kChunkRows - (r % ChunkedVectorStore::kChunkRows),
+                 data_.rows() - r);
+    RABITQ_RETURN_IF_ERROR(
+        writer->WriteBytes(data_.Row(r), run * dim() * sizeof(float)));
+    r += run;
+  }
   RABITQ_RETURN_IF_ERROR(writer->WriteU64(centroids_.rows()));
   RABITQ_RETURN_IF_ERROR(writer->WriteBytes(
       centroids_.data(), centroids_.size() * sizeof(float)));
 
-  // Per-list ids and code arrays.
+  // Total list entries (live + tombstoned): un-compacted updates make the
+  // per-list entry count unbounded in n, so Load needs the real total to
+  // sanity-check per-list array lengths against.
+  std::uint64_t total_entries = 0;
+  for (const List& list : lists_) total_entries += list.ids.size();
+  RABITQ_RETURN_IF_ERROR(writer->WriteU64(total_entries));
+
+  // Per-list ids, tombstones and code arrays.
   for (const List& list : lists_) {
     RABITQ_RETURN_IF_ERROR(
         writer->WriteArray(list.ids.data(), list.ids.size()));
+    RABITQ_RETURN_IF_ERROR(
+        writer->WriteArray(list.dead.data(), list.dead.size()));
     const std::size_t n = list.codes.size();
     RABITQ_RETURN_IF_ERROR(writer->WriteU64(n));
     for (std::size_t i = 0; i < n; ++i) {
@@ -82,7 +87,10 @@ Status IvfRabitqIndex::Save(const std::string& path) const {
 Status IvfRabitqIndex::Load(const std::string& path) {
   std::unique_ptr<BinaryReader> reader;
   RABITQ_RETURN_IF_ERROR(BinaryReader::Open(path, &reader));
-  RABITQ_RETURN_IF_ERROR(ExpectHeader(reader.get(), kMagic, kVersion));
+  std::size_t format = 0;
+  RABITQ_RETURN_IF_ERROR(ExpectHeaderOneOf(reader.get(), kMagics, kVersions,
+                                           std::size(kMagics), &format));
+  const bool has_tombstones = kVersions[format] >= kVersionV2;
 
   std::uint64_t dim = 0, total_bits = 0, seed = 0;
   std::uint32_t query_bits = 0, rotator_kind = 0;
@@ -120,9 +128,21 @@ Status IvfRabitqIndex::Load(const std::string& path) {
   if (n > (std::uint64_t{1} << 40) / std::max<std::uint64_t>(dim, 1)) {
     return Status::IoError("corrupt vector count");
   }
-  data_.Reset(n, dim);
-  RABITQ_RETURN_IF_ERROR(
-      reader->ReadBytes(data_.data(), data_.size() * sizeof(float)));
+  data_.Init(dim);
+  {
+    // Stream the raw rows into the chunked store a chunk at a time.
+    std::vector<float> row_buf(ChunkedVectorStore::kChunkRows * dim);
+    for (std::uint64_t r = 0; r < n;) {
+      const std::size_t run = static_cast<std::size_t>(
+          std::min<std::uint64_t>(ChunkedVectorStore::kChunkRows, n - r));
+      RABITQ_RETURN_IF_ERROR(
+          reader->ReadBytes(row_buf.data(), run * dim * sizeof(float)));
+      for (std::size_t i = 0; i < run; ++i) {
+        data_.Append(row_buf.data() + i * dim);
+      }
+      r += run;
+    }
+  }
 
   std::uint64_t num_lists = 0;
   RABITQ_RETURN_IF_ERROR(reader->ReadU64(&num_lists));
@@ -139,12 +159,41 @@ Status IvfRabitqIndex::Load(const std::string& path) {
                                      rotated_centroids_.Row(l));
   }
 
+  // v2 lists may exceed n entries (Update leaves a stale entry per
+  // re-encode, unboundedly many until compaction), so the per-list sanity
+  // bound comes from the stored total entry count; v1 entries are exactly
+  // the n build-time ids.
+  std::uint64_t total_entries = n;
+  if (has_tombstones) {
+    RABITQ_RETURN_IF_ERROR(reader->ReadU64(&total_entries));
+    if (total_entries > (std::uint64_t{1} << 40)) {
+      return Status::IoError("corrupt entry count");
+    }
+  }
+
   lists_.assign(num_lists, List{});
   const std::size_t words = WordsForBits(total_bits);
   std::vector<std::uint64_t> bits(words);
+  num_tombstones_ = 0;
+  std::uint64_t entries_seen = 0;
   for (List& list : lists_) {
     RABITQ_RETURN_IF_ERROR(
-        (reader->ReadArray<std::uint32_t>(&list.ids, n + 1)));
+        (reader->ReadArray<std::uint32_t>(&list.ids, total_entries)));
+    entries_seen += list.ids.size();
+    if (entries_seen > total_entries) {
+      return Status::IoError("list entries exceed stored total");
+    }
+    if (has_tombstones) {
+      RABITQ_RETURN_IF_ERROR(
+          (reader->ReadArray<std::uint8_t>(&list.dead, total_entries)));
+      if (list.dead.size() != list.ids.size()) {
+        return Status::IoError("list id/tombstone count mismatch");
+      }
+      for (const std::uint8_t d : list.dead) list.num_dead += d != 0;
+      num_tombstones_ += list.num_dead;
+    } else {
+      list.dead.assign(list.ids.size(), 0);
+    }
     std::uint64_t codes = 0;
     RABITQ_RETURN_IF_ERROR(reader->ReadU64(&codes));
     if (codes != list.ids.size()) {
@@ -163,6 +212,28 @@ Status IvfRabitqIndex::Load(const std::string& path) {
       list.codes.Append(bits.data(), dist, o_o, bit_count);
     }
     if (!list.ids.empty()) list.codes.Finalize();
+  }
+
+  // Rebuild the per-id lifecycle state from the list contents: an id is
+  // live iff it has a (unique) non-dead entry.
+  id_live_.assign(n, 0);
+  id_to_list_.assign(n, 0);
+  id_to_pos_.assign(n, 0);
+  live_count_ = 0;
+  for (std::size_t l = 0; l < lists_.size(); ++l) {
+    const List& list = lists_[l];
+    for (std::size_t p = 0; p < list.ids.size(); ++p) {
+      const std::uint32_t id = list.ids[p];
+      if (id >= n) return Status::IoError("list id out of range");
+      if (list.dead[p]) continue;
+      if (id_live_[id]) {
+        return Status::IoError("id live in more than one list entry");
+      }
+      id_live_[id] = 1;
+      id_to_list_[id] = static_cast<std::uint32_t>(l);
+      id_to_pos_[id] = static_cast<std::uint32_t>(p);
+      ++live_count_;
+    }
   }
   return Status::Ok();
 }

@@ -1,0 +1,36 @@
+#include "index/vector_store.h"
+
+#include <algorithm>
+
+namespace rabitq {
+
+void ChunkedVectorStore::Init(std::size_t dim) {
+  dim_ = dim;
+  rows_ = 0;
+  chunks_.clear();
+}
+
+void ChunkedVectorStore::Assign(const Matrix& data) {
+  Init(data.cols());
+  const std::size_t n = data.rows();
+  chunks_.reserve((n + kChunkRows - 1) / kChunkRows);
+  for (std::size_t r = 0; r < n; ++r) Append(data.Row(r));
+}
+
+std::uint32_t ChunkedVectorStore::Append(const float* vec) {
+  if (rows_ == chunks_.size() * kChunkRows) {
+    chunks_.emplace_back(kChunkRows * dim_, 0.0f);
+  }
+  const std::uint32_t id = static_cast<std::uint32_t>(rows_);
+  ++rows_;
+  std::copy_n(vec, dim_, chunks_[id / kChunkRows].data() +
+                             (id % kChunkRows) * dim_);
+  return id;
+}
+
+void ChunkedVectorStore::OverwriteRow(std::size_t r, const float* vec) {
+  std::copy_n(vec, dim_,
+              chunks_[r / kChunkRows].data() + (r % kChunkRows) * dim_);
+}
+
+}  // namespace rabitq

@@ -1,0 +1,62 @@
+// Chunked raw-vector storage for the mutable IVF index. Rows live in
+// fixed-size chunks (kChunkRows x dim each), so a single-vector append costs
+// one dim-float copy plus, at most, one new-chunk allocation -- amortized
+// O(1), unlike a dense Matrix whose grow-by-one is a full reallocate-and-copy
+// (N single inserts would cost O(N^2)). Two properties the index relies on:
+//   * Row pointers are stable: existing chunks never move or reallocate, so
+//     a pointer handed out before an append stays valid after it.
+//   * Rows are 64-byte aligned whenever dim * sizeof(float) is a multiple of
+//     64 -- same alignment contract as Matrix rows.
+// Thread safety: const accessors may run concurrently; Append/OverwriteRow
+// need external exclusion from each other AND from readers of the affected
+// row (SearchEngine provides this via its writer lock).
+
+#ifndef RABITQ_INDEX_VECTOR_STORE_H_
+#define RABITQ_INDEX_VECTOR_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/aligned_buffer.h"
+
+namespace rabitq {
+
+/// Append-only (plus in-place overwrite) chunked row store of floats.
+class ChunkedVectorStore {
+ public:
+  /// Rows per chunk; 4096 rows of a 128-dim vector is a 2 MiB chunk.
+  static constexpr std::size_t kChunkRows = 4096;
+
+  /// Drops all rows and fixes the row width.
+  void Init(std::size_t dim);
+
+  /// Bulk-load: Init(data.cols()) then copy every row of `data`.
+  void Assign(const Matrix& data);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t dim() const { return dim_; }
+  bool empty() const { return rows_ == 0; }
+
+  const float* Row(std::size_t r) const {
+    return chunks_[r / kChunkRows].data() + (r % kChunkRows) * dim_;
+  }
+
+  /// Appends one row (copied); returns its row id == previous rows().
+  std::uint32_t Append(const float* vec);
+
+  /// Overwrites row `r` in place (Update's raw-vector half).
+  void OverwriteRow(std::size_t r, const float* vec);
+
+ private:
+  std::size_t dim_ = 0;
+  std::size_t rows_ = 0;
+  // Chunk buffers are allocated at full capacity up front and never resized,
+  // so growing the outer vector moves only the (heap-stable) inner handles.
+  std::vector<AlignedVector<float>> chunks_;
+};
+
+}  // namespace rabitq
+
+#endif  // RABITQ_INDEX_VECTOR_STORE_H_

@@ -106,4 +106,20 @@ Status ExpectHeader(BinaryReader* reader, const char magic[8],
   return Status::Ok();
 }
 
+Status ExpectHeaderOneOf(BinaryReader* reader, const char (*magics)[8],
+                         const std::uint32_t* versions, std::size_t count,
+                         std::size_t* found_index) {
+  char got[8];
+  RABITQ_RETURN_IF_ERROR(reader->ReadBytes(got, 8));
+  std::uint32_t version = 0;
+  RABITQ_RETURN_IF_ERROR(reader->ReadU32(&version));
+  for (std::size_t i = 0; i < count; ++i) {
+    if (std::memcmp(got, magics[i], 8) == 0 && version == versions[i]) {
+      if (found_index != nullptr) *found_index = i;
+      return Status::Ok();
+    }
+  }
+  return Status::IoError("unrecognized magic/version (not a rabitq file?)");
+}
+
 }  // namespace rabitq

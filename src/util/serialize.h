@@ -87,6 +87,14 @@ Status WriteHeader(BinaryWriter* writer, const char magic[8],
 Status ExpectHeader(BinaryReader* reader, const char magic[8],
                     std::uint32_t expected_version);
 
+/// Multi-version header check for formats that stay load-compatible across
+/// revisions: accepts any of the `count` (magic, version) pairs and reports
+/// which one matched through `*found_index`. The magic/version arrays are
+/// parallel, ordered however the caller likes (typically newest first).
+Status ExpectHeaderOneOf(BinaryReader* reader, const char (*magics)[8],
+                         const std::uint32_t* versions, std::size_t count,
+                         std::size_t* found_index);
+
 }  // namespace rabitq
 
 #endif  // RABITQ_UTIL_SERIALIZE_H_

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <thread>
@@ -229,6 +230,16 @@ TEST_F(EngineTestFixture, ConcurrentInsertAndSearch) {
   std::vector<std::uint32_t> inserted_ids(kInserts);
   for (std::size_t i = 0; i < kInserts; ++i) {
     ASSERT_TRUE(engine.Insert(new_vectors.Row(i), &inserted_ids[i]).ok());
+  }
+  // The inserts can outrun the first async search; keep the searchers alive
+  // until at least one result lands so the >0 assertion below is not a race
+  // against the micro-batching linger. Deadline-bounded so a searcher
+  // regression fails the test instead of hanging it.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (searches_served.load(std::memory_order_relaxed) == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
   }
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : searchers) t.join();

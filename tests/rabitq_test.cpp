@@ -192,6 +192,78 @@ TEST(RabitqCodeStoreTest, FinalizePacksNibbles) {
   }
 }
 
+// Growing a store one code at a time through FinalizeAppend must produce
+// exactly the packed bytes of a one-shot Finalize over the same codes --
+// the invariant behind amortized-O(1) index appends.
+TEST(RabitqCodeStoreTest, FinalizeAppendMatchesFullFinalize) {
+  Rng rng(321);
+  const std::size_t total_bits = 128;
+  const std::size_t words = WordsForBits(total_bits);
+  RabitqCodeStore incremental(total_bits);
+  RabitqCodeStore reference(total_bits);
+  // 71 codes: crosses two block boundaries and ends mid-block.
+  for (std::size_t i = 0; i < 71; ++i) {
+    std::uint64_t bits[2] = {rng.NextU64(), rng.NextU64()};
+    const float d = rng.UniformFloat() + 0.5f;
+    const float o_o = rng.UniformFloat() * 0.3f + 0.6f;
+    const std::uint32_t pop = static_cast<std::uint32_t>(rng.UniformInt(128));
+    incremental.Append(bits, d, o_o, pop);
+    incremental.FinalizeAppend();
+    reference.Append(bits, d, o_o, pop);
+
+    RabitqCodeStore full(total_bits);
+    for (std::size_t j = 0; j <= i; ++j) {
+      full.Append(reference.BitsAt(j), reference.dist_to_centroid(j),
+                  reference.o_o(j), reference.bit_count(j));
+    }
+    full.Finalize();
+    ASSERT_TRUE(incremental.finalized());
+    ASSERT_EQ(incremental.packed().num_blocks, full.packed().num_blocks);
+    ASSERT_EQ(incremental.packed().packed.size(), full.packed().packed.size());
+    for (std::size_t b = 0; b < incremental.packed().packed.size(); ++b) {
+      ASSERT_EQ(incremental.packed().packed[b], full.packed().packed[b])
+          << "byte " << b << " after append " << i;
+    }
+  }
+  EXPECT_EQ(incremental.words_per_code(), words);
+}
+
+// CompactInto keeps exactly the live codes, in order, and the result is
+// finalized and bit-identical to appending the survivors directly.
+TEST(RabitqCodeStoreTest, CompactIntoDropsDeadEntries) {
+  Rng rng(99);
+  const std::size_t total_bits = 64;
+  RabitqCodeStore store(total_bits);
+  std::vector<std::uint8_t> dead;
+  RabitqCodeStore expect(total_bits);
+  for (std::size_t i = 0; i < 50; ++i) {
+    std::uint64_t bits = rng.NextU64();
+    const float d = rng.UniformFloat() + 0.5f;
+    const float o_o = 0.8f;
+    const std::uint32_t pop = static_cast<std::uint32_t>(rng.UniformInt(64));
+    store.Append(&bits, d, o_o, pop);
+    dead.push_back(i % 3 == 0 ? 1 : 0);
+    if (i % 3 != 0) expect.Append(&bits, d, o_o, pop);
+  }
+  store.Finalize();
+  expect.Finalize();
+
+  RabitqCodeStore compacted;
+  store.CompactInto(dead.data(), &compacted);
+  ASSERT_EQ(compacted.size(), expect.size());
+  ASSERT_TRUE(compacted.finalized());
+  for (std::size_t i = 0; i < compacted.size(); ++i) {
+    EXPECT_EQ(compacted.BitsAt(i)[0], expect.BitsAt(i)[0]);
+    EXPECT_FLOAT_EQ(compacted.dist_to_centroid(i), expect.dist_to_centroid(i));
+    EXPECT_FLOAT_EQ(compacted.o_o(i), expect.o_o(i));
+    EXPECT_EQ(compacted.bit_count(i), expect.bit_count(i));
+  }
+  ASSERT_EQ(compacted.packed().packed.size(), expect.packed().packed.size());
+  for (std::size_t b = 0; b < compacted.packed().packed.size(); ++b) {
+    ASSERT_EQ(compacted.packed().packed[b], expect.packed().packed[b]);
+  }
+}
+
 TEST(RabitqCodeStoreTest, EncoderRejectsMismatchedStore) {
   RabitqEncoder enc;
   ASSERT_TRUE(enc.Init(64, RabitqConfig{}).ok());

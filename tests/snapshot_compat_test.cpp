@@ -1,0 +1,207 @@
+// Snapshot format compatibility: the committed v1 golden file (written by
+// the pre-lifecycle code, magic "RBQIVF01") must keep loading, and the v2
+// format ("RBQIVF02") must round-trip a mutated index -- tombstones, stale
+// update entries and all -- with bit-identical search results.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "index/ivf.h"
+#include "util/prng.h"
+
+#ifndef RABITQ_TEST_DATA_DIR
+#define RABITQ_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace rabitq {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Mirrors the generator that produced tests/data/golden_v1.rbq: 200 x 16
+// Gaussian vectors from Rng(123), 8 lists, default RabitqConfig.
+constexpr std::size_t kGoldenN = 200;
+constexpr std::size_t kGoldenDim = 16;
+constexpr std::size_t kGoldenLists = 8;
+constexpr std::size_t kGoldenBits = 64;
+
+void ExpectSameNeighbors(const std::vector<Neighbor>& a,
+                         const std::vector<Neighbor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].second, b[i].second) << "rank " << i;
+    EXPECT_EQ(a[i].first, b[i].first) << "rank " << i;
+  }
+}
+
+std::vector<std::vector<Neighbor>> SearchAll(const IvfRabitqIndex& index,
+                                             const IvfSearchParams& params) {
+  Rng qrng(5150);
+  std::vector<std::vector<Neighbor>> out;
+  for (std::size_t q = 0; q < 10; ++q) {
+    std::vector<float> query(index.dim());
+    for (auto& v : query) v = static_cast<float>(qrng.Gaussian());
+    std::vector<Neighbor> result;
+    EXPECT_TRUE(index.Search(query.data(), params, /*seed=*/9000 + q, &result)
+                    .ok());
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+TEST(SnapshotCompatTest, V1GoldenFileLoads) {
+  IvfRabitqIndex index;
+  const std::string golden =
+      std::string(RABITQ_TEST_DATA_DIR) + "/golden_v1.rbq";
+  ASSERT_TRUE(index.Load(golden).ok()) << "cannot load v1 golden " << golden;
+  EXPECT_EQ(index.size(), kGoldenN);
+  EXPECT_EQ(index.dim(), kGoldenDim);
+  EXPECT_EQ(index.num_lists(), kGoldenLists);
+  EXPECT_EQ(index.encoder().total_bits(), kGoldenBits);
+  // v1 predates tombstones: everything is live.
+  EXPECT_EQ(index.live_size(), kGoldenN);
+  EXPECT_EQ(index.num_tombstones(), 0u);
+
+  // Every id is live in exactly one list, and a full-probe self-search
+  // finds each sampled vector at distance ~0.
+  std::size_t total_entries = 0;
+  for (std::size_t l = 0; l < index.num_lists(); ++l) {
+    total_entries += index.list_ids(l).size();
+    EXPECT_EQ(index.list_tombstones(l), 0u);
+  }
+  EXPECT_EQ(total_entries, kGoldenN);
+  IvfSearchParams params;
+  params.k = 1;
+  params.nprobe = index.num_lists();
+  for (std::uint32_t id = 0; id < kGoldenN; id += 37) {
+    std::vector<Neighbor> out;
+    ASSERT_TRUE(index.Search(index.vector(id), params, id, &out).ok());
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].second, id);
+    EXPECT_NEAR(out[0].first, 0.0f, 1e-5f);
+  }
+}
+
+TEST(SnapshotCompatTest, V1GoldenSurvivesV2RoundTripBitIdentically) {
+  IvfRabitqIndex v1;
+  ASSERT_TRUE(
+      v1.Load(std::string(RABITQ_TEST_DATA_DIR) + "/golden_v1.rbq").ok());
+  IvfSearchParams params;
+  params.k = 10;
+  params.nprobe = 4;
+  const auto before = SearchAll(v1, params);
+
+  const std::string path = TempPath("golden_as_v2.rbq");
+  ASSERT_TRUE(v1.Save(path).ok());  // rewrites in the current (v2) format
+  IvfRabitqIndex v2;
+  ASSERT_TRUE(v2.Load(path).ok());
+  const auto after = SearchAll(v2, params);
+  for (std::size_t q = 0; q < before.size(); ++q) {
+    ExpectSameNeighbors(before[q], after[q]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCompatTest, MutatedIndexRoundTripsBitIdentically) {
+  // Build, then mutate: deletes, updates (which leave stale tombstoned
+  // entries in their old lists) and fresh appends.
+  Rng rng(2024);
+  Matrix data(600, 24);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  IvfRabitqIndex index;
+  IvfConfig ivf;
+  ivf.num_lists = 12;
+  ASSERT_TRUE(index.Build(data, ivf, RabitqConfig{}).ok());
+  for (std::uint32_t id = 0; id < 600; id += 3) {
+    ASSERT_TRUE(index.Delete(id).ok());
+  }
+  std::vector<float> vec(24);
+  // Step 51 keeps id = 1 (mod 3), dodging the ids deleted above.
+  for (std::uint32_t id = 1; id < 600; id += 51) {
+    for (auto& v : vec) v = static_cast<float>(rng.Gaussian()) * 3.0f;
+    ASSERT_TRUE(index.Update(id, vec.data()).ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    for (auto& v : vec) v = static_cast<float>(rng.Gaussian());
+    ASSERT_TRUE(index.Add(vec.data()).ok());
+  }
+  ASSERT_GT(index.num_tombstones(), 0u);
+
+  IvfSearchParams params;
+  params.k = 10;
+  params.nprobe = 12;
+  const auto before = SearchAll(index, params);
+
+  const std::string path = TempPath("mutated_v2.rbq");
+  ASSERT_TRUE(index.Save(path).ok());
+  IvfRabitqIndex loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+
+  // Lifecycle accounting survives the round trip...
+  EXPECT_EQ(loaded.size(), index.size());
+  EXPECT_EQ(loaded.live_size(), index.live_size());
+  EXPECT_EQ(loaded.num_tombstones(), index.num_tombstones());
+  for (std::size_t l = 0; l < index.num_lists(); ++l) {
+    EXPECT_EQ(loaded.list_tombstones(l), index.list_tombstones(l));
+    EXPECT_EQ(loaded.list_ids(l), index.list_ids(l));
+  }
+  for (std::uint32_t id = 0; id < index.size(); ++id) {
+    EXPECT_EQ(loaded.IsDeleted(id), index.IsDeleted(id)) << "id " << id;
+  }
+
+  // ...and search results are bit-identical.
+  const auto after = SearchAll(loaded, params);
+  for (std::size_t q = 0; q < before.size(); ++q) {
+    ExpectSameNeighbors(before[q], after[q]);
+  }
+
+  // The reloaded index keeps mutating correctly: compaction drains the
+  // restored tombstones and the results stay bit-identical.
+  ASSERT_TRUE(loaded.Compact().ok());
+  EXPECT_EQ(loaded.num_tombstones(), 0u);
+  const auto compacted = SearchAll(loaded, params);
+  for (std::size_t q = 0; q < before.size(); ++q) {
+    ExpectSameNeighbors(before[q], compacted[q]);
+  }
+  std::remove(path.c_str());
+}
+
+// Regression: repeated updates of one id leave that id's lists with far
+// more (tombstoned) entries than the index has vectors; the v2 loader's
+// per-list sanity bound must come from the stored entry total, not from n.
+TEST(SnapshotCompatTest, HeavilyUpdatedTinyIndexRoundTrips) {
+  Rng rng(9);
+  Matrix data(4, 8);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  IvfRabitqIndex index;
+  IvfConfig ivf;
+  ivf.num_lists = 2;
+  ASSERT_TRUE(index.Build(data, ivf, RabitqConfig{}).ok());
+  std::vector<float> vec(8);
+  for (int round = 0; round < 10; ++round) {
+    for (auto& v : vec) v = static_cast<float>(rng.Gaussian());
+    ASSERT_TRUE(index.Update(0, vec.data()).ok());
+  }
+  ASSERT_EQ(index.num_tombstones(), 10u);
+
+  const std::string path = TempPath("tiny_updated.rbq");
+  ASSERT_TRUE(index.Save(path).ok());
+  IvfRabitqIndex loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded.size(), 4u);
+  EXPECT_EQ(loaded.live_size(), 4u);
+  EXPECT_EQ(loaded.num_tombstones(), 10u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rabitq
