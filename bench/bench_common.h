@@ -48,6 +48,18 @@ inline std::size_t EnvQueryCap(std::size_t default_cap) {
   return parsed > 0 ? static_cast<std::size_t>(parsed) : default_cap;
 }
 
+/// "--shards S" from argv (the sharded-sweep benches); `fallback` when the
+/// flag is absent or malformed.
+inline std::size_t ParseShards(int argc, char** argv, std::size_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--shards") {
+      const long parsed = std::atol(argv[i + 1]);
+      if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+  }
+  return fallback;
+}
+
 /// The suite sized for a bench run: the paper's six datasets at roughly
 /// N = 9k..18k (scale them up with RABITQ_BENCH_SCALE for deeper runs).
 inline std::vector<SyntheticSpec> BenchSuite(std::size_t query_cap) {

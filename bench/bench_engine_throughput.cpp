@@ -2,7 +2,12 @@
 // the paper's sequential single-query Search, swept over thread count and
 // batch size at equal recall (same index and estimator; the per-query seed
 // streams differ only in the randomized query rounding, which the recall
-// column shows is noise). Emits one JSON object for dashboard scraping.
+// column shows is noise), plus a sharded scatter-gather sweep reporting
+// build time, query QPS and concurrent-writer mutation throughput per
+// shard count. Emits one JSON object for dashboard scraping.
+//
+//   ./bench_engine_throughput [--shards S]   (sharded sweep runs {1, S};
+//                                             default S = 4)
 //
 // Environment knobs:
 //   RABITQ_BENCH_SCALE    dataset size multiplier (default 1.0 -> N = 20000)
@@ -12,6 +17,7 @@
 //                         (default 4; raise for stabler numbers)
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
@@ -22,6 +28,7 @@
 #include "eval/ground_truth.h"
 #include "eval/metrics.h"
 #include "index/ivf.h"
+#include "index/sharded.h"
 #include "util/prng.h"
 #include "util/timer.h"
 
@@ -67,7 +74,7 @@ std::size_t EnvSize(const char* name, std::size_t fallback) {
 
 }  // namespace
 
-int Run() {
+int Run(int argc, char** argv) {
   const std::size_t n = static_cast<std::size_t>(20000 * EnvScale());
   const std::size_t dim = 96;
   const std::size_t num_queries = EnvQueryCap(256);
@@ -162,6 +169,89 @@ int Run() {
     }
   }
   std::remove(tmp_path);
+
+  // ---- Sharded scatter-gather sweep: per shard count, the parallel build
+  // time (independent per-shard clustering, lists split across shards so
+  // the clustering work scales down with S), batched query QPS, and the
+  // mutation throughput of concurrent writers -- the per-shard writer
+  // mutexes are what turns S writers from serialized into parallel.
+  const std::size_t max_shards = ParseShards(argc, argv, 4);
+  std::vector<std::size_t> shard_counts = {1};
+  if (max_shards > 1) shard_counts.push_back(max_shards);
+  for (const std::size_t shards : shard_counts) {
+    ShardedConfig scfg;
+    scfg.num_shards = shards;
+    scfg.clustering = ShardClustering::kPerShard;
+    scfg.ivf.num_lists = std::max<std::size_t>(1, 256 / shards);
+    ShardedIndex sharded;
+    WallTimer build_timer;
+    CheckOk(sharded.Build(data, scfg), "sharded Build");
+    const double build_s = build_timer.ElapsedSeconds();
+
+    EngineConfig config;
+    config.num_threads = max_threads;
+    SearchEngine engine(std::move(sharded), config);
+    IvfSearchParams sparams = params;
+    sparams.nprobe = std::max<std::size_t>(1, params.nprobe / shards);
+
+    std::vector<std::vector<Neighbor>> all(num_queries);
+    WallTimer query_timer;
+    for (std::size_t r = 0; r < repeat; ++r) {
+      for (std::size_t begin = 0; begin < num_queries; begin += 32) {
+        const std::size_t count = std::min<std::size_t>(32, num_queries - begin);
+        std::vector<std::vector<Neighbor>> results;
+        CheckOk(engine.SearchBatch(queries.Row(begin), count, sparams,
+                                   SearchEngine::QuerySeed(kSeedBase, begin),
+                                   &results),
+                "sharded SearchBatch");
+        for (std::size_t i = 0; i < count; ++i) {
+          all[begin + i] = std::move(results[i]);
+        }
+      }
+    }
+    const double query_s = query_timer.ElapsedSeconds();
+
+    // Concurrent writers: each thread owns a disjoint id slice (updates)
+    // and also appends fresh vectors; ops hash across every shard. Writer
+    // count is independent of the engine pool -- these are caller threads,
+    // and per-shard writer mutexes are what they contend on.
+    const std::size_t writers = 4;
+    const std::size_t ops_per_writer =
+        std::max<std::size_t>(200, n / 8 / std::max<std::size_t>(writers, 1));
+    std::atomic<std::size_t> mutations{0};
+    std::vector<std::thread> writer_threads;
+    WallTimer mutation_timer;
+    for (std::size_t w = 0; w < writers; ++w) {
+      writer_threads.emplace_back([&, w] {
+        Rng rng(900 + w);
+        std::vector<float> vec(dim);
+        std::uint32_t owned = static_cast<std::uint32_t>(w);
+        for (std::size_t op = 0; op < ops_per_writer; ++op) {
+          for (auto& v : vec) v = static_cast<float>(rng.Gaussian()) * 8.0f;
+          if (op % 2 == 0) {
+            CheckOk(engine.Insert(vec.data(), nullptr), "sharded Insert");
+          } else {
+            CheckOk(engine.Update(owned, vec.data()), "sharded Update");
+            owned = static_cast<std::uint32_t>((owned + writers) % n);
+          }
+          mutations.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : writer_threads) t.join();
+    const double mutation_s = mutation_timer.ElapsedSeconds();
+
+    std::printf(",\n  {\"mode\":\"sharded\",\"shards\":%zu,\"threads\":%zu,"
+                "\"build_s\":%.3f,\"qps\":%.1f,\"recall\":%.4f,"
+                "\"mutation_writers\":%zu,\"mutation_ops_per_s\":%.0f}",
+                shards, max_threads, build_s,
+                static_cast<double>(num_queries * repeat) /
+                    std::max(query_s, 1e-9),
+                RecallOf(gt, all, params.k), writers,
+                static_cast<double>(mutations.load()) /
+                    std::max(mutation_s, 1e-9));
+  }
+
   std::printf("\n]}\n");
   return 0;
 }
@@ -169,4 +259,4 @@ int Run() {
 }  // namespace bench
 }  // namespace rabitq
 
-int main() { return rabitq::bench::Run(); }
+int main(int argc, char** argv) { return rabitq::bench::Run(argc, argv); }

@@ -5,6 +5,9 @@
 // copied the full raw-vector matrix per insert, so this curve was linear).
 // Emits one JSON object for dashboard scraping.
 //
+//   ./bench_lifecycle [--shards S]   (sharded churn series runs {1, S};
+//                                     default S = 4)
+//
 // Environment knobs:
 //   RABITQ_BENCH_SCALE    dataset size multiplier (default 1.0 -> N = 20000)
 //   RABITQ_BENCH_QUERIES  queries for the serving-during-churn series
@@ -13,12 +16,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "engine/search_engine.h"
 #include "index/ivf.h"
+#include "index/sharded.h"
 #include "util/prng.h"
 #include "util/timer.h"
 
@@ -45,7 +50,7 @@ Matrix Clustered(std::size_t n, std::size_t dim, std::size_t clusters,
 
 }  // namespace
 
-int Run() {
+int Run(int argc, char** argv) {
   const std::size_t base_n = static_cast<std::size_t>(20000 * EnvScale());
   const std::size_t insert_n = base_n;  // double the index by single inserts
   const std::size_t dim = 96;
@@ -182,6 +187,65 @@ int Run() {
                 static_cast<unsigned long long>(stats.tombstones));
   }
 
+  // --- Sharded mutation throughput: the same concurrent churn (4 writer
+  // threads, mixed insert/update/delete) against 1 shard vs S shards. The
+  // per-shard writer mutexes are the whole story: with one shard every
+  // mutation serializes, with S shards writers collide only when their ids
+  // hash to the same shard.
+  const std::size_t max_shards = ParseShards(argc, argv, 4);
+  for (const std::size_t shards :
+       std::vector<std::size_t>{1, max_shards > 1 ? max_shards : 0}) {
+    if (shards == 0) continue;
+    ShardedConfig scfg;
+    scfg.num_shards = shards;
+    scfg.clustering = ShardClustering::kPerShard;
+    scfg.ivf.num_lists = std::max<std::size_t>(1, 256 / shards);
+    ShardedIndex sharded;
+    CheckOk(sharded.Build(data, scfg), "sharded Build");
+    EngineConfig config;
+    config.compaction_tombstone_ratio = 0.2f;
+    config.compaction_min_dead = 64;
+    SearchEngine engine(std::move(sharded), config);
+
+    const std::size_t writers = 4;
+    const std::size_t ops_per_writer = base_n / 8;
+    std::atomic<std::size_t> ops{0};
+    std::vector<std::thread> writer_threads;
+    WallTimer timer;
+    for (std::size_t w = 0; w < writers; ++w) {
+      writer_threads.emplace_back([&, w] {
+        Rng rng(700 + w);
+        std::vector<float> vec(dim);
+        // Disjoint id slices per writer; deletes walk forward so an id is
+        // deleted at most once.
+        std::uint32_t owned = static_cast<std::uint32_t>(w);
+        for (std::size_t op = 0; op < ops_per_writer; ++op) {
+          const std::uint64_t dice = rng.UniformInt(3);
+          if (dice == 0 && owned < base_n) {
+            CheckOk(engine.Delete(owned), "sharded engine Delete");
+            owned += static_cast<std::uint32_t>(writers);
+          } else if (dice == 1 && owned < base_n) {
+            for (auto& v : vec) v = static_cast<float>(rng.Gaussian()) * 8.0f;
+            CheckOk(engine.Update(owned, vec.data()), "sharded engine Update");
+          } else {
+            for (auto& v : vec) v = static_cast<float>(rng.Gaussian()) * 8.0f;
+            CheckOk(engine.Insert(vec.data(), nullptr),
+                    "sharded engine Insert");
+          }
+          ops.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : writer_threads) t.join();
+    const double seconds = timer.ElapsedSeconds();
+    const EngineStatsSnapshot stats = engine.Stats();
+    std::printf(",\n  {\"op\":\"sharded_churn\",\"shards\":%zu,\"writers\":%zu,"
+                "\"ops\":%zu,\"ops_per_s\":%.0f,\"compactions\":%llu}",
+                shards, writers, ops.load(),
+                static_cast<double>(ops.load()) / std::max(seconds, 1e-9),
+                static_cast<unsigned long long>(stats.compactions));
+  }
+
   std::printf("\n]}\n");
   return 0;
 }
@@ -189,4 +253,4 @@ int Run() {
 }  // namespace bench
 }  // namespace rabitq
 
-int main() { return rabitq::bench::Run(); }
+int main(int argc, char** argv) { return rabitq::bench::Run(argc, argv); }

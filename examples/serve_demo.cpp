@@ -1,34 +1,36 @@
-// End-to-end demo of the query-serving engine: build an IVF+RaBitQ index,
-// hand it to a SearchEngine, and drive SubmitAsync from several producer
-// threads while another thread churns the live index through its full
-// lifecycle -- inserts, deletes and in-place updates, with background
-// compaction reclaiming tombstones as their ratio crosses the configured
-// threshold. Shows the future-based API, the micro-batching scheduler at
-// work (mean batch size > 1 under concurrent load), and the per-engine
-// stats endpoint including the lifecycle gauges.
+// End-to-end demo of the query-serving engine: build a (possibly sharded)
+// IVF+RaBitQ index, hand it to a SearchEngine, and drive SubmitAsync from
+// several producer threads while another thread churns the live index
+// through its full lifecycle -- inserts, deletes and in-place updates, with
+// background compaction reclaiming tombstones as their ratio crosses the
+// configured threshold. Shows the future-based API, the micro-batching
+// scheduler at work (mean batch size > 1 under concurrent load), the
+// scatter-gather shard fan-out, and the per-engine stats endpoint including
+// the lifecycle gauges.
 //
-//   ./serve_demo [num_producers] [queries_per_producer]
+//   ./serve_demo [num_producers] [queries_per_producer] [--shards S]
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <future>
 #include <thread>
 #include <vector>
 
 #include "engine/search_engine.h"
 #include "index/ivf.h"
+#include "index/sharded.h"
 #include "util/prng.h"
 
 using rabitq::EngineConfig;
 using rabitq::EngineResult;
 using rabitq::EngineStatsSnapshot;
-using rabitq::IvfConfig;
-using rabitq::IvfRabitqIndex;
 using rabitq::IvfSearchParams;
 using rabitq::Matrix;
-using rabitq::RabitqConfig;
 using rabitq::Rng;
 using rabitq::SearchEngine;
+using rabitq::ShardedConfig;
+using rabitq::ShardedIndex;
 using rabitq::Status;
 
 namespace {
@@ -53,16 +55,39 @@ Matrix GaussianClusters(std::size_t n, std::size_t dim, std::size_t clusters,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t num_producers = argc > 1 ? std::atol(argv[1]) : 4;
-  const std::size_t queries_per_producer = argc > 2 ? std::atol(argv[2]) : 200;
+  std::size_t num_shards = 1;
+  std::vector<std::size_t> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0) {
+      if (i + 1 >= argc || std::atol(argv[i + 1]) < 1) {
+        std::fprintf(stderr,
+                     "usage: serve_demo [num_producers] "
+                     "[queries_per_producer] [--shards S>=1]\n");
+        return 1;
+      }
+      num_shards = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else {
+      positional.push_back(static_cast<std::size_t>(std::atol(argv[i])));
+    }
+  }
+  const std::size_t num_producers =
+      positional.size() > 0 ? positional[0] : 4;
+  const std::size_t queries_per_producer =
+      positional.size() > 1 ? positional[1] : 200;
   const std::size_t n = 20000, dim = 64;
 
-  std::printf("building IVF+RaBitQ index over %zu x %zu vectors...\n", n, dim);
+  std::printf("building IVF+RaBitQ index over %zu x %zu vectors (%zu shard%s)"
+              "...\n",
+              n, dim, num_shards, num_shards == 1 ? "" : "s");
   Matrix data = GaussianClusters(n, dim, 32, 1);
-  IvfRabitqIndex index;
-  IvfConfig ivf;
-  ivf.num_lists = 128;
-  Status status = index.Build(data, ivf, RabitqConfig{});
+  ShardedIndex index;
+  ShardedConfig sharded_config;
+  sharded_config.num_shards = num_shards;
+  // Split the list budget across the shards so the total probe work stays
+  // comparable as --shards grows.
+  sharded_config.ivf.num_lists =
+      std::max<std::size_t>(1, 128 / num_shards);
+  Status status = index.Build(data, sharded_config);
   if (!status.ok()) {
     std::fprintf(stderr, "Build failed: %s\n", status.ToString().c_str());
     return 1;
@@ -77,11 +102,11 @@ int main(int argc, char** argv) {
   config.compaction_min_dead = 8;
   IvfSearchParams params;
   params.k = 10;
-  params.nprobe = 16;
+  params.nprobe = std::max<std::size_t>(1, 16 / num_shards);  // per shard
   config.default_params = params;
   SearchEngine engine(std::move(index), config);
-  std::printf("engine up: %zu worker thread(s), max_batch=%zu\n",
-              engine.num_threads(), config.max_batch);
+  std::printf("engine up: %zu worker thread(s), %zu shard(s), max_batch=%zu\n",
+              engine.num_threads(), engine.num_shards(), config.max_batch);
 
   // Producers: each thread submits its queries and immediately waits on the
   // returned futures -- the scheduler gathers concurrent submissions into

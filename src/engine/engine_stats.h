@@ -25,7 +25,8 @@ struct EngineStatsSnapshot {
   std::uint64_t compactions = 0;  // lists compacted, not passes
   std::uint64_t search_errors = 0;
   std::uint64_t epoch = 0;  // index version; bumped by every mutation
-  // Index lifecycle gauges sampled at Stats() time.
+  // Index lifecycle gauges sampled at Stats() time (summed over shards).
+  std::uint64_t num_shards = 1;
   std::uint64_t live_vectors = 0;
   std::uint64_t tombstones = 0;
   double uptime_seconds = 0.0;

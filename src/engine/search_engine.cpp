@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "util/prng.h"
+
 namespace rabitq {
 
 namespace {
@@ -20,15 +22,21 @@ IvfSearchStats SumStats(const IvfSearchStats* stats, std::size_t n) {
 
 }  // namespace
 
-SearchEngine::SearchEngine(IvfRabitqIndex index, const EngineConfig& config)
+SearchEngine::SearchEngine(ShardedIndex index, const EngineConfig& config)
     : index_(std::move(index)),
       dim_(index_.dim()),
       config_(config),
       pool_(config.num_threads),
       worker_scratch_(pool_.num_threads()) {
+  for (std::size_t s = 0; s < index_.num_shards(); ++s) {
+    sync_.push_back(std::make_unique<ShardSync>());
+  }
   scheduler_ = std::thread([this] { SchedulerLoop(); });
   compactor_ = std::thread([this] { CompactorLoop(); });
 }
+
+SearchEngine::SearchEngine(IvfRabitqIndex index, const EngineConfig& config)
+    : SearchEngine(ShardedIndex::FromSingle(std::move(index)), config) {}
 
 SearchEngine::~SearchEngine() {
   queue_.Close();  // PopBatch drains what was accepted, then returns false
@@ -41,24 +49,20 @@ SearchEngine::~SearchEngine() {
   if (compactor_.joinable()) compactor_.join();
 }
 
-std::size_t SearchEngine::size() const {
-  std::shared_lock<std::shared_mutex> lock(index_mutex_);
-  return index_.size();
-}
+std::size_t SearchEngine::size() const { return index_.size(); }
 
 std::size_t SearchEngine::live_size() const {
-  std::shared_lock<std::shared_mutex> lock(index_mutex_);
-  return index_.live_size();
+  std::size_t live = 0;
+  for (std::size_t s = 0; s < index_.num_shards(); ++s) {
+    std::shared_lock<std::shared_mutex> lock(sync_[s]->index_mutex);
+    live += index_.shard(s).live_size();
+  }
+  return live;
 }
 
 std::uint64_t SearchEngine::QuerySeed(std::uint64_t base,
                                       std::uint64_t ticket) {
-  // SplitMix64 finalizer over a golden-ratio-strided ticket stream: every
-  // (base, ticket) pair lands on an independent, well-mixed Rng seed.
-  std::uint64_t z = base + 0x9E3779B97F4A7C15ULL * (ticket + 1);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
+  return MixSeed(base, ticket);
 }
 
 void SearchEngine::ExecuteBatch(
@@ -69,10 +73,22 @@ void SearchEngine::ExecuteBatch(
   using Clock = std::chrono::steady_clock;
   std::lock_guard<std::mutex> batch_lock(batch_mutex_);
   const Clock::time_point start = Clock::now();
+  const std::size_t S = index_.num_shards();
+  if (S == 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      statuses[i] = Status::FailedPrecondition("engine index not built");
+    }
+    return;
+  }
 
-  // The whole batch runs against one consistent snapshot of the index:
-  // Insert cannot interleave with a batch, only run between batches.
-  std::shared_lock<std::shared_mutex> read_lock(index_mutex_);
+  // The whole batch runs against one consistent snapshot: shared locks on
+  // every shard, so mutations run between batches (or overlap batches that
+  // have already finished with their shard -- never mid-read).
+  std::vector<std::shared_lock<std::shared_mutex>> read_locks;
+  read_locks.reserve(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    read_locks.emplace_back(sync_[s]->index_mutex);
+  }
 
   // Gather and rotate every query with one matrix-matrix product -- the
   // per-query gemv this replaces is the dominant shared-preprocessing cost.
@@ -83,31 +99,35 @@ void SearchEngine::ExecuteBatch(
   }
   index_.encoder().rotator().InverseRotateBatch(gather_buf_, &rotated_buf_);
 
-  // Fan the per-query work out over the pool, one contiguous chunk per
-  // worker slot so chunk c exclusively owns worker_scratch_[c].
-  const std::size_t chunks = std::min(pool_.num_threads(), n);
-  const std::size_t per_chunk = (n + chunks - 1) / chunks;
+  // Scatter: (query x shard) cells fanned out over the pool, one contiguous
+  // chunk per worker slot so chunk c exclusively owns worker_scratch_[c].
+  const std::size_t cells = n * S;
+  cell_status_.assign(cells, Status::Ok());
+  cell_results_.resize(cells);
+  cell_stats_.assign(cells, IvfSearchStats{});
+  const std::size_t chunks = std::min(pool_.num_threads(), cells);
+  const std::size_t per_chunk = (cells + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * per_chunk;
-    const std::size_t end = std::min(begin + per_chunk, n);
+    const std::size_t end = std::min(begin + per_chunk, cells);
     if (begin >= end) break;
     futures.push_back(pool_.SubmitTask([&, c, begin, end] {
-      IvfSearchScratch& scratch = worker_scratch_[c];
-      for (std::size_t i = begin; i < end; ++i) {
-        Rng rng(seeds[i]);
-        statuses[i] =
-            index_.SearchWithScratch(queries[i], rotated_buf_.Row(i),
-                                     *params[i], &rng, &scratch, &results[i],
-                                     &stats[i]);
+      IvfSearchScratch& scratch = worker_scratch_[c].shard_scratch;
+      for (std::size_t cell = begin; cell < end; ++cell) {
+        const std::size_t q = cell / S;
+        const std::size_t s = cell % S;
+        cell_status_[cell] = index_.SearchShard(
+            s, queries[q], rotated_buf_.Row(q), *params[q], seeds[q],
+            &scratch, &cell_results_[cell], &cell_stats_[cell]);
       }
     }));
   }
   // Drain EVERY chunk before surfacing a failure: packaged_task futures do
   // not block on destruction, so rethrowing from the first get() would
-  // unwind (freeing the caller's result arrays and releasing batch_mutex_)
-  // while the remaining workers still write through those pointers.
+  // unwind (freeing the cell buffers and releasing batch_mutex_) while the
+  // remaining workers still write through those pointers.
   std::exception_ptr first_error;
   for (auto& f : futures) {
     try {
@@ -117,7 +137,41 @@ void SearchEngine::ExecuteBatch(
     }
   }
   if (first_error) std::rethrow_exception(first_error);
-  read_lock.unlock();
+
+  // Gather: per-query merge of the S shard cells into global results.
+  futures.clear();
+  const std::size_t merge_chunks = std::min(pool_.num_threads(), n);
+  const std::size_t per_merge = (n + merge_chunks - 1) / merge_chunks;
+  for (std::size_t c = 0; c < merge_chunks; ++c) {
+    const std::size_t begin = c * per_merge;
+    const std::size_t end = std::min(begin + per_merge, n);
+    if (begin >= end) break;
+    futures.push_back(pool_.SubmitTask([&, c, begin, end] {
+      for (std::size_t q = begin; q < end; ++q) {
+        Status st;
+        for (std::size_t s = 0; s < S && st.ok(); ++s) {
+          st = cell_status_[q * S + s];
+        }
+        if (st.ok()) {
+          st = index_.MergeShardResults(queries[q], *params[q],
+                                        &cell_results_[q * S],
+                                        &cell_stats_[q * S],
+                                        &worker_scratch_[c], &results[q],
+                                        &stats[q]);
+        }
+        statuses[q] = st;
+      }
+    }));
+  }
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  for (auto& lock : read_locks) lock.unlock();
 
   const Clock::time_point end = Clock::now();
   const double batch_us =
@@ -199,45 +253,53 @@ std::future<EngineResult> SearchEngine::SubmitAsync(const float* query) {
 }
 
 Status SearchEngine::Insert(const float* vec, std::uint32_t* id_out) {
-  std::lock_guard<std::mutex> writer(writer_mutex_);
+  std::uint32_t id = 0, shard = 0;
+  RABITQ_RETURN_IF_ERROR(index_.ReserveId(&id, &shard));
   Status status;
   {
-    std::unique_lock<std::shared_mutex> write_lock(index_mutex_);
-    status = index_.Add(vec, id_out);
+    std::lock_guard<std::mutex> writer(sync_[shard]->writer_mutex);
+    std::unique_lock<std::shared_mutex> write_lock(sync_[shard]->index_mutex);
+    status = index_.CompleteAdd(id, shard, vec);
   }
   if (status.ok()) {
     epoch_.fetch_add(1, std::memory_order_release);
     stats_.RecordInsert();
+    if (id_out != nullptr) *id_out = id;
   }
   return status;
 }
 
-bool SearchEngine::ListNeedsCompaction(std::uint32_t list_id) const {
-  // Called under writer_mutex_ with no other writer possible, so reading
-  // list stats outside index_mutex_ is safe; O(1), unlike a full
-  // ListsNeedingCompaction scan.
+bool SearchEngine::ListNeedsCompaction(std::uint32_t shard,
+                                       std::uint32_t list_id) const {
+  // Called under the shard's writer_mutex with no other writer of that
+  // shard possible, so reading its list stats outside index_mutex is safe;
+  // O(1), unlike a full ListsNeedingCompaction scan.
   if (config_.compaction_tombstone_ratio <= 0.0f) return false;
-  const std::size_t dead = index_.list_tombstones(list_id);
+  const IvfRabitqIndex& s = index_.shard(shard);
+  const std::size_t dead = s.list_tombstones(list_id);
   if (dead == 0 || dead < config_.compaction_min_dead) return false;
   return static_cast<float>(dead) >=
          config_.compaction_tombstone_ratio *
-             static_cast<float>(index_.list_ids(list_id).size());
+             static_cast<float>(s.list_ids(list_id).size());
 }
 
 Status SearchEngine::Delete(std::uint32_t id) {
+  std::uint32_t shard = 0;
+  if (!index_.TryShardOf(id, &shard)) return Status::NotFound("id not live");
   bool kick = false;
   Status status;
   {
-    std::lock_guard<std::mutex> writer(writer_mutex_);
+    std::lock_guard<std::mutex> writer(sync_[shard]->writer_mutex);
     {
-      std::unique_lock<std::shared_mutex> write_lock(index_mutex_);
+      std::unique_lock<std::shared_mutex> write_lock(sync_[shard]->index_mutex);
       status = index_.Delete(id);
     }
     if (status.ok()) {
       epoch_.fetch_add(1, std::memory_order_release);
       stats_.RecordDelete();
-      // Delete leaves id_to_list_ pointing at the tombstoned entry's list.
-      kick = ListNeedsCompaction(index_.list_of(id));
+      // Delete leaves the local id pointing at the tombstoned entry's list.
+      kick = ListNeedsCompaction(
+          shard, index_.shard(shard).list_of(index_.local_of(id)));
     }
   }
   if (kick) KickCompactor();
@@ -245,22 +307,25 @@ Status SearchEngine::Delete(std::uint32_t id) {
 }
 
 Status SearchEngine::Update(std::uint32_t id, const float* vec) {
+  std::uint32_t shard = 0;
+  if (!index_.TryShardOf(id, &shard)) return Status::NotFound("id not live");
   bool kick = false;
   Status status;
   {
-    std::lock_guard<std::mutex> writer(writer_mutex_);
+    std::lock_guard<std::mutex> writer(sync_[shard]->writer_mutex);
     // The tombstone lands in the list currently holding the id; capture it
-    // before Update repoints id_to_list_ at the new nearest list.
+    // before Update repoints the shard's id->list mapping.
     const bool live = !index_.IsDeleted(id);
-    const std::uint32_t old_list = live ? index_.list_of(id) : 0;
+    const std::uint32_t old_list =
+        live ? index_.shard(shard).list_of(index_.local_of(id)) : 0;
     {
-      std::unique_lock<std::shared_mutex> write_lock(index_mutex_);
+      std::unique_lock<std::shared_mutex> write_lock(sync_[shard]->index_mutex);
       status = index_.Update(id, vec);
     }
     if (status.ok()) {
       epoch_.fetch_add(1, std::memory_order_release);
       stats_.RecordUpdate();
-      kick = ListNeedsCompaction(old_list);
+      kick = ListNeedsCompaction(shard, old_list);
     }
   }
   if (kick) KickCompactor();
@@ -272,34 +337,38 @@ Status SearchEngine::CompactNow() {
 }
 
 Status SearchEngine::RunCompactions(float min_ratio, std::size_t min_dead) {
-  std::vector<std::uint32_t> victims;
-  {
-    std::lock_guard<std::mutex> writer(writer_mutex_);
-    victims = index_.ListsNeedingCompaction(min_ratio, min_dead);
-  }
   Status first_error;
-  for (const std::uint32_t l : victims) {
-    // writer_mutex_ is held per LIST, not across the pass: it pins the list
-    // between plan (under the shared lock -- queries keep executing) and
-    // commit (brief exclusive swap), while Insert/Delete/Update interleave
-    // between lists instead of stalling for the whole pass.
-    std::lock_guard<std::mutex> writer(writer_mutex_);
-    if (index_.list_tombstones(l) == 0) continue;  // mutated since selection
-    IvfCompactionPlan plan;
-    Status s;
+  for (std::size_t shard = 0; shard < index_.num_shards(); ++shard) {
+    std::vector<std::uint32_t> victims;
     {
-      std::shared_lock<std::shared_mutex> read_lock(index_mutex_);
-      s = index_.PlanListCompaction(l, &plan);
+      std::lock_guard<std::mutex> writer(sync_[shard]->writer_mutex);
+      victims = index_.shard(shard).ListsNeedingCompaction(min_ratio, min_dead);
     }
-    if (s.ok()) {
-      std::unique_lock<std::shared_mutex> write_lock(index_mutex_);
-      s = index_.CommitListCompaction(std::move(plan));
-    }
-    if (s.ok()) {
-      epoch_.fetch_add(1, std::memory_order_release);
-      stats_.RecordCompaction();
-    } else if (first_error.ok()) {
-      first_error = s;
+    for (const std::uint32_t l : victims) {
+      // The shard's writer_mutex is held per LIST, not across the pass: it
+      // pins the list between plan (under the shared lock -- queries keep
+      // executing) and commit (brief exclusive swap), while mutations of
+      // this shard interleave between lists instead of stalling, and other
+      // shards are never touched at all.
+      std::lock_guard<std::mutex> writer(sync_[shard]->writer_mutex);
+      IvfRabitqIndex* target = index_.mutable_shard(shard);
+      if (target->list_tombstones(l) == 0) continue;  // mutated since selection
+      IvfCompactionPlan plan;
+      Status s;
+      {
+        std::shared_lock<std::shared_mutex> read_lock(sync_[shard]->index_mutex);
+        s = target->PlanListCompaction(l, &plan);
+      }
+      if (s.ok()) {
+        std::unique_lock<std::shared_mutex> write_lock(sync_[shard]->index_mutex);
+        s = target->CommitListCompaction(std::move(plan));
+      }
+      if (s.ok()) {
+        epoch_.fetch_add(1, std::memory_order_release);
+        stats_.RecordCompaction();
+      } else if (first_error.ok()) {
+        first_error = s;
+      }
     }
   }
   return first_error;
@@ -330,10 +399,11 @@ void SearchEngine::CompactorLoop() {
 EngineStatsSnapshot SearchEngine::Stats() const {
   EngineStatsSnapshot snap = stats_.Snapshot();
   snap.epoch = epoch();
-  {
-    std::shared_lock<std::shared_mutex> lock(index_mutex_);
-    snap.live_vectors = index_.live_size();
-    snap.tombstones = index_.num_tombstones();
+  snap.num_shards = index_.num_shards();
+  for (std::size_t s = 0; s < index_.num_shards(); ++s) {
+    std::shared_lock<std::shared_mutex> lock(sync_[s]->index_mutex);
+    snap.live_vectors += index_.shard(s).live_size();
+    snap.tombstones += index_.shard(s).num_tombstones();
   }
   return snap;
 }

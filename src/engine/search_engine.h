@@ -1,34 +1,36 @@
-// Concurrent query-serving engine on top of IvfRabitqIndex -- the layer the
-// paper's evaluation protocol (one thread, one query at a time) leaves out.
-// Layering: linalg -> quant/core -> cluster/index -> engine -> bench/examples.
+// Concurrent query-serving engine over a sharded IVF+RaBitQ index -- the
+// layer the paper's evaluation protocol (one thread, one query at a time)
+// leaves out. Layering: linalg -> quant/core -> cluster/index -> engine ->
+// bench/examples.
 //
 // What it does:
 //   * Batched execution (SearchBatch): rotates a whole batch of queries with
 //     ONE matrix-matrix product (Rotator::InverseRotateBatch) instead of one
-//     gemv per query, then fans the per-query probe/estimate/re-rank work out
-//     across a private ThreadPool. Each worker owns an IvfSearchScratch, so
-//     the hot path stops allocating once the buffers reach steady state.
+//     gemv per query, then scatters the (query x shard) work cells across a
+//     private ThreadPool and gathers per-query global results with a merge
+//     pass. Each worker owns its scratch, so the hot path stops allocating
+//     once the buffers reach steady state.
 //   * Micro-batching (SubmitAsync): producers enqueue single queries and get
 //     futures; a scheduler thread gathers the queue into batches (up to
 //     max_batch, lingering batch_linger_us) and runs them through the same
 //     batched path, amortizing the per-batch costs across concurrent callers.
-//   * Read/write coordination: every batch executes against a consistent
-//     snapshot of the index (readers hold a shared lock for the batch's
-//     duration; Insert/Delete/Update take the lock exclusively between
-//     batches and bump the epoch counter). Searches never block each other,
-//     and writers additionally serialize among themselves (writer_mutex_),
-//     which keeps the index's single-writer contract and lets compaction
-//     plan against a stable list.
+//   * Read/write coordination, PER SHARD: every batch executes against a
+//     consistent snapshot (shared lock on every shard for the batch's
+//     duration); Insert/Delete/Update lock only the ONE shard their id
+//     hashes to -- exclusively for the index mutation, plus that shard's
+//     writer mutex for the logical span. Mutations to different shards no
+//     longer contend, which is the write-scaling point of sharding; the
+//     engine-wide single writer mutex of the unsharded engine is gone.
 //   * Background compaction: when a mutation pushes a list's tombstone
-//     ratio past EngineConfig::compaction_tombstone_ratio, a dedicated
-//     maintenance thread rebuilds that list. The rebuild (plan) runs under
-//     the SHARED lock -- queries keep flowing -- and only the O(live-entries)
-//     swap (commit) takes the exclusive lock, so readers are never blocked
-//     longer than an epoch bump.
-//   * Determinism: each query is searched with a private Rng seeded from
-//     (engine seed, ticket) -- or an explicit caller seed -- so results are
-//     bit-identical to the sequential IvfRabitqIndex::Search(seed) reference
-//     no matter how many threads serve the batch or how requests interleave.
+//     ratio past EngineConfig::compaction_tombstone_ratio, a maintenance
+//     thread rebuilds that (shard, list). The rebuild (plan) runs under the
+//     shard's SHARED lock -- queries keep flowing -- and only the
+//     O(live-entries) swap (commit) takes the shard's exclusive lock.
+//   * Determinism: each query is searched with seeds derived from
+//     (engine seed, ticket) -- or an explicit caller seed -- and per-list
+//     rounding seeds derive from (query seed, list id), so results are
+//     bit-identical to the sequential reference no matter how many threads
+//     or shards serve the batch or how requests interleave.
 //
 // Thread safety: every public method may be called from any thread.
 
@@ -48,6 +50,7 @@
 #include "engine/engine_stats.h"
 #include "engine/request_queue.h"
 #include "index/ivf.h"
+#include "index/sharded.h"
 #include "util/thread_pool.h"
 
 namespace rabitq {
@@ -73,12 +76,16 @@ struct EngineConfig {
   std::size_t compaction_min_dead = 32;
 };
 
-/// Owns a built IvfRabitqIndex and serves k-NN queries concurrently.
+/// Owns a built (possibly sharded) index and serves k-NN concurrently.
 class SearchEngine {
  public:
-  /// Takes ownership of a BUILT index (engine serving an empty index is a
-  /// config error surfaced by the first search).
+  /// Takes ownership of a BUILT sharded index (an engine serving an empty
+  /// index is a config error surfaced by the first search).
+  explicit SearchEngine(ShardedIndex index, const EngineConfig& config = {});
+
+  /// Convenience: wraps a single IvfRabitqIndex as a 1-shard configuration.
   explicit SearchEngine(IvfRabitqIndex index, const EngineConfig& config = {});
+
   ~SearchEngine();
 
   SearchEngine(const SearchEngine&) = delete;
@@ -88,12 +95,13 @@ class SearchEngine {
   /// background compaction commit) runs on another thread races; quiesce
   /// writers (or take no writers by construction) before touching index
   /// internals directly. Serving-path accessors (Stats, size) are safe.
-  const IvfRabitqIndex& index() const { return index_; }
+  const ShardedIndex& index() const { return index_; }
 
   std::size_t num_threads() const { return pool_.num_threads(); }
+  std::size_t num_shards() const { return index_.num_shards(); }
   /// Cached at construction: the serving paths read it lock-free, and even
   /// an immutable-in-practice index_.dim() would race with Insert's move
-  /// of the underlying Matrix.
+  /// of the underlying storage.
   std::size_t dim() const { return dim_; }
   /// Current number of ids ever assigned (racy snapshot, safe anytime).
   std::size_t size() const;
@@ -109,10 +117,10 @@ class SearchEngine {
   static std::uint64_t QuerySeed(std::uint64_t base, std::uint64_t ticket);
 
   /// Synchronous batched search: queries is num_queries x dim row-major.
-  /// results[i] receives the neighbors of query i, searched with
-  /// Rng(QuerySeed(seed_base, i)). Returns the first per-query error if any
-  /// query fails (remaining queries still execute). `agg` (optional) sums
-  /// the per-query IvfSearchStats.
+  /// results[i] receives the neighbors of query i (GLOBAL ids), searched
+  /// with seed QuerySeed(seed_base, i). Returns the first per-query error
+  /// if any query fails (remaining queries still execute). `agg` (optional)
+  /// sums the per-query IvfSearchStats.
   Status SearchBatch(const float* queries, std::size_t num_queries,
                      const IvfSearchParams& params, std::uint64_t seed_base,
                      std::vector<std::vector<Neighbor>>* results,
@@ -136,32 +144,46 @@ class SearchEngine {
                                         std::uint64_t seed);
   std::future<EngineResult> SubmitAsync(const float* query);
 
-  /// Appends one vector (copied) to the index. Excludes search batches for
-  /// the duration of the underlying IvfRabitqIndex::Add (exclusive lock),
-  /// then bumps the epoch. Queries batched before and after the insert see
+  /// Appends one vector (copied): reserves the next global id, then
+  /// excludes search batches from ONLY the owning shard for the duration of
+  /// the underlying append. Queries batched before and after the insert see
   /// consistent pre-/post-insert snapshots respectively.
   Status Insert(const float* vec, std::uint32_t* id_out = nullptr);
 
   /// Tombstones `id`; it stops appearing in results from the next batch on.
-  /// May trigger a background compaction of the affected list.
+  /// May trigger a background compaction of the affected (shard, list).
   Status Delete(std::uint32_t id);
 
-  /// Replaces the vector of live `id` in place (same id, new location).
+  /// Replaces the vector of live `id` in place (same id and shard).
   /// May trigger a background compaction of the list left behind.
   Status Update(std::uint32_t id, const float* vec);
 
-  /// Synchronously compacts every list that has any tombstone, regardless
-  /// of the configured trigger. Queries keep flowing during the rebuilds;
-  /// each list swap briefly excludes them. Returns the first error.
+  /// Synchronously compacts every list of every shard that has any
+  /// tombstone, regardless of the configured trigger. Queries keep flowing
+  /// during the rebuilds; each list swap briefly excludes them from its
+  /// shard. Returns the first error.
   Status CompactNow();
 
   EngineStatsSnapshot Stats() const;
   void ResetStats() { stats_.Reset(); }
 
  private:
-  /// Executes `n` gathered queries under one shared index lock. Exactly one
-  /// batch runs at a time (batch_mutex_): per-worker scratch slots and the
-  /// rotation buffer are reused across batches without reallocation.
+  /// Per-shard coordination: readers (batches) share index_mutex; mutators
+  /// take it exclusively for the index mutation and ALSO hold writer_mutex
+  /// for their full logical span -- serializing writers of the SAME shard
+  /// against each other and pinning list state between a compaction's plan
+  /// (shared lock only) and commit (exclusive lock). Writers of different
+  /// shards run fully in parallel. Lock order: writer_mutex before
+  /// index_mutex; shard locks in ascending shard order.
+  struct ShardSync {
+    mutable std::shared_mutex index_mutex;
+    std::mutex writer_mutex;
+  };
+
+  /// Executes `n` gathered queries: one shared lock per shard, one batched
+  /// rotation, then a (query x shard) scatter across the pool followed by a
+  /// per-query merge pass. Exactly one batch runs at a time (batch_mutex_):
+  /// per-worker scratch and the cell buffers are reused across batches.
   /// `statuses`, `results`, `stats` are arrays of length n. `submit_times`
   /// non-null switches the recorded per-query latency from batch execution
   /// time to submit-to-completion time (the async path, queueing included).
@@ -175,34 +197,31 @@ class SearchEngine {
   void SchedulerLoop();
   void CompactorLoop();
   /// O(1) trigger check for the one list a mutation just touched. Must be
-  /// called under writer_mutex_.
-  bool ListNeedsCompaction(std::uint32_t list_id) const;
+  /// called under sync_[shard]->writer_mutex.
+  bool ListNeedsCompaction(std::uint32_t shard, std::uint32_t list_id) const;
   /// Wakes the compactor to re-scan for over-threshold lists.
   void KickCompactor();
-  /// Plan+commit every list selected by (min_ratio, min_dead). Caller must
-  /// NOT hold writer_mutex_ or index_mutex_.
+  /// Plan+commit every (shard, list) selected by (min_ratio, min_dead).
+  /// Caller must hold NO shard locks.
   Status RunCompactions(float min_ratio, std::size_t min_dead);
 
-  IvfRabitqIndex index_;
+  ShardedIndex index_;
   std::size_t dim_;
   EngineConfig config_;
   ThreadPool pool_;
 
-  // Readers (batches) share index_mutex_; mutators take it exclusively for
-  // the duration of the index mutation. Mutators ALSO hold writer_mutex_
-  // for their full logical span, which (a) serializes writers against each
-  // other and (b) pins list state between a compaction's plan (shared lock
-  // only) and commit (exclusive lock). Lock order: writer_mutex_ before
-  // index_mutex_. epoch_ versions the index.
-  mutable std::shared_mutex index_mutex_;
-  std::mutex writer_mutex_;
+  std::vector<std::unique_ptr<ShardSync>> sync_;  // one per shard
   std::atomic<std::uint64_t> epoch_{0};
 
   // One batch in flight at a time; guards the scratch below.
   std::mutex batch_mutex_;
-  Matrix gather_buf_;       // batch x dim, for async requests
-  Matrix rotated_buf_;      // batch x total_bits, the batched rotation
-  std::vector<IvfSearchScratch> worker_scratch_;  // one per pool thread
+  Matrix gather_buf_;   // batch x dim, for async requests
+  Matrix rotated_buf_;  // batch x total_bits, the batched rotation
+  std::vector<ShardedSearchScratch> worker_scratch_;  // one per pool thread
+  // (query x shard) cell buffers, laid out q * num_shards + s.
+  std::vector<Status> cell_status_;
+  std::vector<std::vector<Neighbor>> cell_results_;
+  std::vector<IvfSearchStats> cell_stats_;
 
   EngineStatsCollector stats_;
 

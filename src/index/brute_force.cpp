@@ -17,7 +17,13 @@ void TopKHeap::Push(float dist, std::uint32_t id) {
     std::push_heap(heap_.begin(), heap_.end());
     return;
   }
-  if (dist >= heap_.front().first) return;
+  // Full lexicographic (dist, id) comparison, not dist alone: duplicate
+  // distances resolve to the smaller id, which makes the kept set a pure
+  // function of the candidate SET (not of push order). Scatter-gather
+  // sharding relies on this -- per-shard heaps see candidates in a different
+  // order than a single-shard scan, and ties at the k-th distance must not
+  // make the merged result diverge.
+  if (Neighbor{dist, id} >= heap_.front()) return;
   std::pop_heap(heap_.begin(), heap_.end());
   heap_.back() = {dist, id};
   std::push_heap(heap_.begin(), heap_.end());

@@ -13,13 +13,31 @@ namespace rabitq {
 Status IvfRabitqIndex::Build(const Matrix& data, const IvfConfig& ivf_config,
                              const RabitqConfig& rabitq_config) {
   if (data.rows() == 0) return Status::InvalidArgument("empty dataset");
-  data_.Assign(data);
-
   KMeansConfig kmeans = ivf_config.kmeans;
   kmeans.num_clusters = std::min(ivf_config.num_lists, data.rows());
   KMeansResult clustering;
   RABITQ_RETURN_IF_ERROR(RunKMeans(data, kmeans, &clustering));
-  centroids_ = std::move(clustering.centroids);
+  return BuildFromClustering(data, std::move(clustering.centroids),
+                             clustering.assignments.data(), rabitq_config);
+}
+
+Status IvfRabitqIndex::BuildFromClustering(const Matrix& data, Matrix centroids,
+                                           const std::uint32_t* assignments,
+                                           const RabitqConfig& rabitq_config) {
+  if (data.rows() == 0) return Status::InvalidArgument("empty dataset");
+  if (centroids.rows() == 0 || centroids.cols() != data.cols()) {
+    return Status::InvalidArgument("bad centroid matrix");
+  }
+  if (assignments == nullptr) {
+    return Status::InvalidArgument("null assignments");
+  }
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    if (assignments[i] >= centroids.rows()) {
+      return Status::InvalidArgument("assignment out of range");
+    }
+  }
+  data_.Assign(data);
+  centroids_ = std::move(centroids);
 
   RABITQ_RETURN_IF_ERROR(encoder_.Init(data.cols(), rabitq_config));
 
@@ -33,8 +51,7 @@ Status IvfRabitqIndex::Build(const Matrix& data, const IvfConfig& ivf_config,
   // Bucket membership, then per-list encoding (parallel across lists).
   lists_.assign(centroids_.rows(), List{});
   for (std::size_t i = 0; i < data.rows(); ++i) {
-    lists_[clustering.assignments[i]].ids.push_back(
-        static_cast<std::uint32_t>(i));
+    lists_[assignments[i]].ids.push_back(static_cast<std::uint32_t>(i));
   }
   Status worker_status = Status::Ok();
   std::mutex status_mutex;
@@ -107,26 +124,28 @@ std::vector<std::uint32_t> IvfRabitqIndex::ProbeOrder(
 Status IvfRabitqIndex::Search(const float* query, const IvfSearchParams& params,
                               Rng* rng, std::vector<Neighbor>* out,
                               IvfSearchStats* stats) const {
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
   IvfSearchScratch scratch;
-  return SearchWithScratch(query, nullptr, params, rng, &scratch, out, stats);
+  return SearchWithScratch(query, nullptr, params, rng->NextU64(), &scratch,
+                           out, stats);
 }
 
 Status IvfRabitqIndex::Search(const float* query, const IvfSearchParams& params,
                               std::uint64_t seed, std::vector<Neighbor>* out,
                               IvfSearchStats* stats) const {
-  Rng rng(seed);
   IvfSearchScratch scratch;
-  return SearchWithScratch(query, nullptr, params, &rng, &scratch, out, stats);
+  return SearchWithScratch(query, nullptr, params, seed, &scratch, out, stats);
 }
 
 Status IvfRabitqIndex::SearchWithScratch(const float* query,
                                          const float* rotated_query,
                                          const IvfSearchParams& params,
-                                         Rng* rng, IvfSearchScratch* scratch,
+                                         std::uint64_t seed,
+                                         IvfSearchScratch* scratch,
                                          std::vector<Neighbor>* out,
                                          IvfSearchStats* stats) const {
-  if (out == nullptr || rng == nullptr || scratch == nullptr) {
-    return Status::InvalidArgument("null output/rng/scratch");
+  if (out == nullptr || scratch == nullptr) {
+    return Status::InvalidArgument("null output/scratch");
   }
   if (params.k == 0) return Status::InvalidArgument("k must be positive");
   const float epsilon0 = params.epsilon0_override >= 0.0f
@@ -159,9 +178,13 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
     const List& list = lists_[list_id];
     if (list.ids.empty()) continue;
     ++local_stats.lists_probed;
+    // Per-list rounding seed: a pure function of (query seed, list id), so
+    // the quantized query of a list is identical no matter which shard of a
+    // sharded index holds it or in what order lists are probed.
+    Rng list_rng(MixSeed(seed, list_id));
     RABITQ_RETURN_IF_ERROR(PrepareQueryFromRotated(
         encoder_, rotated_query, rotated_centroids_.Row(list_id),
-        std::sqrt(std::max(0.0f, order[p].first)), rng, &qq));
+        std::sqrt(std::max(0.0f, order[p].first)), &list_rng, &qq));
     const std::size_t n = list.ids.size();
     est_buf.resize(n);
     lb_buf.resize(n);

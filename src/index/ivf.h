@@ -110,6 +110,15 @@ class IvfRabitqIndex {
   Status Build(const Matrix& data, const IvfConfig& ivf_config,
                const RabitqConfig& rabitq_config);
 
+  /// Builds the index from an externally supplied clustering: `centroids`
+  /// (L x dim) and `assignments` (data.rows() entries, each < L). Build is
+  /// exactly RunKMeans + this. ShardedIndex uses it to give every shard the
+  /// SAME centroid set (one global clustering), which is what makes the
+  /// scatter-gather merge bit-identical to a single-shard index.
+  Status BuildFromClustering(const Matrix& data, Matrix centroids,
+                             const std::uint32_t* assignments,
+                             const RabitqConfig& rabitq_config);
+
   /// Total ids ever assigned (including tombstoned ones); ids are dense in
   /// [0, size()).
   std::size_t size() const { return data_.rows(); }
@@ -158,23 +167,24 @@ class IvfRabitqIndex {
                       std::vector<std::pair<float, std::uint32_t>>* out) const;
 
   /// K-NN search over the LIVE vectors (tombstones are skipped during
-  /// candidate selection). `rng` drives the randomized query quantization.
+  /// candidate selection). `rng` supplies the 64-bit base seed of the
+  /// randomized query quantization (one NextU64 draw per search); per probed
+  /// list the search uses Rng(MixSeed(base, list_id)), so the rounding of
+  /// each list is a pure function of (base seed, list id) -- see MixSeed.
   ///
   /// Thread-safety: the query path is const and touches no mutable index
   /// state, so any number of threads may search one index concurrently --
-  /// provided each caller passes its OWN Rng (and scratch). Sharing one Rng
-  /// across concurrent searches is a data race, and even a synchronized
-  /// shared Rng would make results depend on thread scheduling. Searches
-  /// must not overlap the mutators (see the class contract above);
-  /// SearchEngine provides that coordination for serving workloads.
+  /// provided each caller passes its OWN Rng (and scratch). Searches must
+  /// not overlap the mutators (see the class contract above); SearchEngine
+  /// provides that coordination for serving workloads.
   Status Search(const float* query, const IvfSearchParams& params, Rng* rng,
                 std::vector<Neighbor>* out, IvfSearchStats* stats = nullptr) const;
 
-  /// Rng-free search: seeds a fresh Rng(seed), making the result a pure
-  /// function of (index, query, params, seed) -- safe to call from any
-  /// number of threads with no shared state. The serving engine derives one
-  /// seed per query from its base seed; this overload is the sequential
-  /// reference that the engine's result-parity tests compare against.
+  /// Seeded search: the result is a pure function of (index, query, params,
+  /// seed) -- safe to call from any number of threads with no shared state.
+  /// The serving engine derives one seed per query from its base seed; this
+  /// overload is the sequential reference that the engine's result-parity
+  /// tests compare against.
   Status Search(const float* query, const IvfSearchParams& params,
                 std::uint64_t seed, std::vector<Neighbor>* out,
                 IvfSearchStats* stats = nullptr) const;
@@ -183,10 +193,11 @@ class IvfRabitqIndex {
   /// engine). `rotated_query` optionally passes a precomputed P^T q
   /// (encoder().total_bits() floats, e.g. one row of the engine's batched
   /// rotation -- bit-identical to RotateQueryOnce by the Rotator contract);
-  /// nullptr computes it into the scratch. `scratch` must be non-null and
-  /// exclusive to this call for its duration.
+  /// nullptr computes it into the scratch. `seed` is the per-query base of
+  /// the per-list rounding seeds. `scratch` must be non-null and exclusive
+  /// to this call for its duration.
   Status SearchWithScratch(const float* query, const float* rotated_query,
-                           const IvfSearchParams& params, Rng* rng,
+                           const IvfSearchParams& params, std::uint64_t seed,
                            IvfSearchScratch* scratch,
                            std::vector<Neighbor>* out,
                            IvfSearchStats* stats = nullptr) const;

@@ -102,6 +102,16 @@ Status IvfRabitqIndex::Load(const std::string& path) {
   RABITQ_RETURN_IF_ERROR(reader->ReadU32(&rotator_kind));
   RABITQ_RETURN_IF_ERROR(reader->ReadU64(&seed));
   if (dim == 0 || dim > (1u << 20)) return Status::IoError("corrupt dim");
+  // Bound the code width BEFORE Init reconstructs the B x B rotator (an
+  // O(B^3) orthogonalization for kDense): a bit-flipped width must fail
+  // closed, not hang or OOM. Legitimate widths are the padded dimension
+  // times at most a small zero-padding factor (Section 5.1); 8x is already
+  // far beyond anything the accuracy knob pays for.
+  const std::uint64_t padded_dim = (dim + 63) / 64 * 64;
+  if (total_bits == 0 || total_bits % 64 != 0 ||
+      total_bits > 8 * padded_dim) {
+    return Status::IoError("corrupt code width");
+  }
   if (rotator_kind > static_cast<std::uint32_t>(RotatorKind::kIdentity)) {
     return Status::IoError("corrupt rotator kind");
   }
@@ -125,7 +135,8 @@ Status IvfRabitqIndex::Load(const std::string& path) {
 
   std::uint64_t n = 0;
   RABITQ_RETURN_IF_ERROR(reader->ReadU64(&n));
-  if (n > (std::uint64_t{1} << 40) / std::max<std::uint64_t>(dim, 1)) {
+  if (n > (std::uint64_t{1} << 40) / std::max<std::uint64_t>(dim, 1) ||
+      n * dim * sizeof(float) > reader->BytesRemaining()) {
     return Status::IoError("corrupt vector count");
   }
   data_.Init(dim);
@@ -146,7 +157,8 @@ Status IvfRabitqIndex::Load(const std::string& path) {
 
   std::uint64_t num_lists = 0;
   RABITQ_RETURN_IF_ERROR(reader->ReadU64(&num_lists));
-  if (num_lists == 0 || num_lists > n + 1) {
+  if (num_lists == 0 || num_lists > n + 1 ||
+      num_lists * dim * sizeof(float) > reader->BytesRemaining()) {
     return Status::IoError("corrupt list count");
   }
   centroids_.Reset(num_lists, dim);

@@ -1,0 +1,517 @@
+#include "index/sharded.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "cluster/kmeans.h"
+#include "linalg/vector_ops.h"
+#include "util/serialize.h"
+
+namespace rabitq {
+
+namespace {
+
+constexpr char kManifestMagic[8] = {'R', 'B', 'Q', 'S', 'H', 'R', 'D', '1'};
+constexpr std::uint32_t kManifestVersion = 1;
+
+std::string ManifestPath(const std::string& dir) { return dir + "/MANIFEST"; }
+
+std::string ShardBlobPath(const std::string& dir, std::size_t s) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard_%04zu.rbq", s);
+  return dir + "/" + name;
+}
+
+/// Runs fn(s) for every shard in [0, n) across up to `hardware` threads.
+/// Statuses land in st[s]; the caller surfaces the first error.
+void ForEachShardParallel(std::size_t n,
+                          const std::function<Status(std::size_t)>& fn,
+                          std::vector<Status>* st) {
+  st->assign(n, Status::Ok());
+  const std::size_t threads = std::min<std::size_t>(
+      n, std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (std::size_t s = t; s < n; s += threads) (*st)[s] = fn(s);
+    });
+  }
+  for (auto& thread : pool) thread.join();
+}
+
+Status FirstError(const std::vector<Status>& st) {
+  for (const Status& s : st) {
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+ShardedIndex ShardedIndex::FromSingle(IvfRabitqIndex&& index) {
+  ShardedIndex out;
+  auto shard = std::make_unique<IvfRabitqIndex>(std::move(index));
+  const std::size_t n = shard->size();
+  out.shards_.push_back(std::move(shard));
+  out.next_id_ = static_cast<std::uint32_t>(n);
+  out.id_shard_.assign(n, 0);
+  out.id_local_.resize(n);
+  out.local_to_global_.resize(1);
+  out.local_to_global_[0].resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.id_local_[i] = static_cast<std::uint32_t>(i);
+    out.local_to_global_[0][i] = static_cast<std::uint32_t>(i);
+  }
+  return out;
+}
+
+Status ShardedIndex::Build(const Matrix& data, const ShardedConfig& config) {
+  const std::size_t S = config.num_shards;
+  if (S == 0 || S > kMaxShards) {
+    return Status::InvalidArgument("shard count out of range");
+  }
+  if (data.rows() == 0) return Status::InvalidArgument("empty dataset");
+  if (data.rows() < S) {
+    return Status::InvalidArgument("fewer vectors than shards");
+  }
+  // Reset to the unbuilt state up front and only commit the new shards on
+  // success: a failed (re)build must leave an empty index, never stale id
+  // maps pointing into a differently-sized or half-built shard vector.
+  shards_.clear();
+  next_id_ = 0;
+  id_shard_.clear();
+  id_local_.clear();
+  local_to_global_.clear();
+
+  // Round-robin partition: global id g -> (shard g % S, local g / S).
+  std::vector<Matrix> shard_data(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    const std::size_t rows = (data.rows() - s + S - 1) / S;
+    shard_data[s].Reset(rows, data.cols());
+  }
+  for (std::size_t g = 0; g < data.rows(); ++g) {
+    std::copy_n(data.Row(g), data.cols(), shard_data[g % S].Row(g / S));
+  }
+
+  std::vector<std::unique_ptr<IvfRabitqIndex>> shards;
+  for (std::size_t s = 0; s < S; ++s) {
+    shards.push_back(std::make_unique<IvfRabitqIndex>());
+  }
+
+  std::vector<Status> st;
+  if (config.clustering == ShardClustering::kShared) {
+    // One global clustering; every shard encodes against the same
+    // centroids, which is what makes scatter-gather bit-identical to the
+    // single-shard index (same codes, same per-list query rounding).
+    KMeansConfig kmeans = config.ivf.kmeans;
+    kmeans.num_clusters = std::min(config.ivf.num_lists, data.rows());
+    KMeansResult clustering;
+    RABITQ_RETURN_IF_ERROR(RunKMeans(data, kmeans, &clustering));
+    std::vector<std::vector<std::uint32_t>> shard_assign(S);
+    for (std::size_t s = 0; s < S; ++s) {
+      shard_assign[s].reserve(shard_data[s].rows());
+    }
+    for (std::size_t g = 0; g < data.rows(); ++g) {
+      shard_assign[g % S].push_back(clustering.assignments[g]);
+    }
+    const Matrix& centroids = clustering.centroids;
+    ForEachShardParallel(
+        S,
+        [&](std::size_t s) {
+          Matrix copy = centroids;
+          return shards[s]->BuildFromClustering(
+              shard_data[s], std::move(copy), shard_assign[s].data(),
+              config.rabitq);
+        },
+        &st);
+  } else {
+    // Independent per-shard clustering: S smaller KMeans runs in parallel,
+    // the build-time win of partitioned RaBitQ deployments.
+    ForEachShardParallel(
+        S,
+        [&](std::size_t s) {
+          return shards[s]->Build(shard_data[s], config.ivf, config.rabitq);
+        },
+        &st);
+  }
+  RABITQ_RETURN_IF_ERROR(FirstError(st));
+
+  shards_ = std::move(shards);
+  next_id_ = static_cast<std::uint32_t>(data.rows());
+  id_shard_.resize(data.rows());
+  id_local_.resize(data.rows());
+  local_to_global_.assign(S, {});
+  for (std::size_t g = 0; g < data.rows(); ++g) {
+    id_shard_[g] = static_cast<std::uint32_t>(g % S);
+    id_local_[g] = static_cast<std::uint32_t>(g / S);
+    local_to_global_[g % S].push_back(static_cast<std::uint32_t>(g));
+  }
+  return Status::Ok();
+}
+
+std::size_t ShardedIndex::size() const {
+  std::lock_guard<std::mutex> lock(*id_mutex_);
+  return next_id_;
+}
+
+std::size_t ShardedIndex::live_size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->live_size();
+  return total;
+}
+
+std::size_t ShardedIndex::num_tombstones() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->num_tombstones();
+  return total;
+}
+
+bool ShardedIndex::IsDeleted(std::uint32_t id) const {
+  std::uint32_t s = 0, local = 0;
+  {
+    std::lock_guard<std::mutex> lock(*id_mutex_);
+    if (id >= next_id_ || id_local_[id] == kPendingLocal) return true;
+    s = id_shard_[id];
+    local = id_local_[id];
+  }
+  return shards_[s]->IsDeleted(local);
+}
+
+const float* ShardedIndex::vector(std::uint32_t id) const {
+  std::uint32_t s = 0, local = 0;
+  {
+    std::lock_guard<std::mutex> lock(*id_mutex_);
+    s = id_shard_[id];
+    local = id_local_[id];
+  }
+  return shards_[s]->vector(local);
+}
+
+bool ShardedIndex::TryShardOf(std::uint32_t id, std::uint32_t* shard) const {
+  std::lock_guard<std::mutex> lock(*id_mutex_);
+  if (id >= next_id_) return false;
+  *shard = id_shard_[id];
+  return true;
+}
+
+std::uint32_t ShardedIndex::local_of(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(*id_mutex_);
+  return id_local_[id];
+}
+
+Status ShardedIndex::Search(const float* query, const IvfSearchParams& params,
+                            std::uint64_t seed, std::vector<Neighbor>* out,
+                            IvfSearchStats* stats) const {
+  ShardedSearchScratch scratch;
+  return SearchWithScratch(query, nullptr, params, seed, &scratch, out, stats);
+}
+
+Status ShardedIndex::SearchWithScratch(const float* query,
+                                       const float* rotated_query,
+                                       const IvfSearchParams& params,
+                                       std::uint64_t seed,
+                                       ShardedSearchScratch* scratch,
+                                       std::vector<Neighbor>* out,
+                                       IvfSearchStats* stats) const {
+  if (out == nullptr || scratch == nullptr) {
+    return Status::InvalidArgument("null output/scratch");
+  }
+  if (params.k == 0) return Status::InvalidArgument("k must be positive");
+  if (shards_.empty()) return Status::FailedPrecondition("index not built");
+  if (rotated_query == nullptr) {
+    scratch->rotated_query.resize(encoder().total_bits());
+    RotateQueryOnce(encoder(), query, scratch->rotated_query.data());
+    rotated_query = scratch->rotated_query.data();
+  }
+  const std::size_t S = shards_.size();
+  scratch->shard_results.resize(S);
+  scratch->shard_stats.assign(S, IvfSearchStats{});
+  for (std::size_t s = 0; s < S; ++s) {
+    RABITQ_RETURN_IF_ERROR(SearchShard(s, query, rotated_query, params, seed,
+                                       &scratch->shard_scratch,
+                                       &scratch->shard_results[s],
+                                       &scratch->shard_stats[s]));
+  }
+  return MergeShardResults(query, params, scratch->shard_results.data(),
+                           scratch->shard_stats.data(), scratch, out, stats);
+}
+
+Status ShardedIndex::SearchShard(std::size_t shard, const float* query,
+                                 const float* rotated_query,
+                                 const IvfSearchParams& params,
+                                 std::uint64_t seed, IvfSearchScratch* scratch,
+                                 std::vector<Neighbor>* out,
+                                 IvfSearchStats* stats) const {
+  IvfSearchParams shard_params = params;
+  if (params.policy == RerankPolicy::kFixedCandidates) {
+    // Gather estimates only; the merge selects the globally best
+    // max(k, R) of them and re-ranks exactly -- a budget split
+    // proportional to per-shard candidate quality.
+    shard_params.policy = RerankPolicy::kNone;
+    shard_params.k = std::max(params.k, params.rerank_candidates);
+  }
+  return shards_[shard]->SearchWithScratch(query, rotated_query, shard_params,
+                                           seed, scratch, out, stats);
+}
+
+Status ShardedIndex::MergeShardResults(const float* query,
+                                       const IvfSearchParams& params,
+                                       const std::vector<Neighbor>* shard_results,
+                                       const IvfSearchStats* shard_stats,
+                                       ShardedSearchScratch* scratch,
+                                       std::vector<Neighbor>* out,
+                                       IvfSearchStats* stats) const {
+  if (out == nullptr || scratch == nullptr) {
+    return Status::InvalidArgument("null output/scratch");
+  }
+  if (params.k == 0) return Status::InvalidArgument("k must be positive");
+  const std::size_t S = shards_.size();
+  auto& cands = scratch->cands;
+  cands.clear();
+  for (std::size_t s = 0; s < S; ++s) {
+    for (const Neighbor& nb : shard_results[s]) {
+      cands.push_back({nb.first, local_to_global_[s][nb.second],
+                       shards_[s]->vector(nb.second)});
+    }
+  }
+  // (key, global id) order: deterministic under duplicate keys, and -- for
+  // build-order ids -- identical to the order a single-shard scan sorts its
+  // candidate pool into.
+  std::sort(cands.begin(), cands.end(),
+            [](const ShardedSearchScratch::MergeCand& a,
+               const ShardedSearchScratch::MergeCand& b) {
+              return a.key != b.key ? a.key < b.key : a.gid < b.gid;
+            });
+
+  IvfSearchStats agg;
+  if (shard_stats != nullptr) {
+    for (std::size_t s = 0; s < S; ++s) {
+      agg.codes_estimated += shard_stats[s].codes_estimated;
+      agg.candidates_reranked += shard_stats[s].candidates_reranked;
+      agg.lists_probed += shard_stats[s].lists_probed;
+    }
+  }
+
+  if (params.policy == RerankPolicy::kFixedCandidates) {
+    // The globally best max(k, R) estimates, re-ranked exactly -- the same
+    // candidate set (and, with deterministic ties, the same result) as the
+    // single-shard kFixedCandidates path.
+    const std::size_t keep =
+        std::min(std::max(params.rerank_candidates, params.k), cands.size());
+    TopKHeap heap(params.k);
+    const std::size_t d = dim();
+    for (std::size_t i = 0; i < keep; ++i) {
+      heap.Push(L2SqrDistance(cands[i].vec, query, d), cands[i].gid);
+    }
+    *out = heap.ExtractSorted();
+    agg.candidates_reranked += keep;
+  } else {
+    // kErrorBound carries exact distances, kNone carries estimates; both
+    // merge to the k globally smallest keys.
+    const std::size_t keep = std::min(params.k, cands.size());
+    out->resize(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      (*out)[i] = {cands[i].key, cands[i].gid};
+    }
+  }
+  if (stats != nullptr) *stats = agg;
+  return Status::Ok();
+}
+
+Status ShardedIndex::Add(const float* vec, std::uint32_t* id_out) {
+  std::uint32_t id = 0, shard = 0;
+  RABITQ_RETURN_IF_ERROR(ReserveId(&id, &shard));
+  RABITQ_RETURN_IF_ERROR(CompleteAdd(id, shard, vec));
+  if (id_out != nullptr) *id_out = id;
+  return Status::Ok();
+}
+
+Status ShardedIndex::ReserveId(std::uint32_t* id_out,
+                               std::uint32_t* shard_out) {
+  if (id_out == nullptr || shard_out == nullptr) {
+    return Status::InvalidArgument("null outputs");
+  }
+  if (shards_.empty()) return Status::FailedPrecondition("index not built");
+  std::lock_guard<std::mutex> lock(*id_mutex_);
+  const std::uint32_t id = next_id_++;
+  id_shard_.push_back(id % static_cast<std::uint32_t>(shards_.size()));
+  id_local_.push_back(kPendingLocal);
+  *id_out = id;
+  *shard_out = id_shard_.back();
+  return Status::Ok();
+}
+
+Status ShardedIndex::CompleteAdd(std::uint32_t id, std::uint32_t shard,
+                                 const float* vec) {
+  if (shard >= shards_.size()) return Status::InvalidArgument("bad shard");
+  IvfRabitqIndex& target = *shards_[shard];
+  const std::size_t before = target.size();
+  std::uint32_t local = 0;
+  const Status status = target.Add(vec, &local);
+  if (target.size() > before) {
+    // The shard assigned a local slot (even on a failed append the raw row
+    // exists and stays dead); keep the maps in lock-step with it.
+    local_to_global_[shard].push_back(id);
+    std::lock_guard<std::mutex> lock(*id_mutex_);
+    id_local_[id] = static_cast<std::uint32_t>(before);
+  }
+  return status;
+}
+
+Status ShardedIndex::Delete(std::uint32_t id) {
+  std::uint32_t s = 0, local = 0;
+  {
+    std::lock_guard<std::mutex> lock(*id_mutex_);
+    if (id >= next_id_ || id_local_[id] == kPendingLocal) {
+      return Status::NotFound("id not live");
+    }
+    s = id_shard_[id];
+    local = id_local_[id];
+  }
+  return shards_[s]->Delete(local);
+}
+
+Status ShardedIndex::Update(std::uint32_t id, const float* vec) {
+  std::uint32_t s = 0, local = 0;
+  {
+    std::lock_guard<std::mutex> lock(*id_mutex_);
+    if (id >= next_id_ || id_local_[id] == kPendingLocal) {
+      return Status::NotFound("id not live");
+    }
+    s = id_shard_[id];
+    local = id_local_[id];
+  }
+  // IvfRabitqIndex::Update keeps the local id stable, so the maps and the
+  // shard assignment (a pure function of the global id) are untouched.
+  return shards_[s]->Update(local, vec);
+}
+
+Status ShardedIndex::Compact(float min_ratio, std::size_t min_dead) {
+  for (auto& shard : shards_) {
+    RABITQ_RETURN_IF_ERROR(shard->Compact(min_ratio, min_dead));
+  }
+  return Status::Ok();
+}
+
+Status ShardedIndex::Save(const std::string& path) const {
+  if (shards_.empty()) return Status::FailedPrecondition("index not built");
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return Status::IoError("cannot create snapshot directory " + path);
+  }
+  {
+    std::unique_ptr<BinaryWriter> writer;
+    RABITQ_RETURN_IF_ERROR(BinaryWriter::Open(ManifestPath(path), &writer));
+    RABITQ_RETURN_IF_ERROR(
+        WriteHeader(writer.get(), kManifestMagic, kManifestVersion));
+    RABITQ_RETURN_IF_ERROR(writer->WriteU64(shards_.size()));
+    RABITQ_RETURN_IF_ERROR(writer->WriteU64(dim()));
+    RABITQ_RETURN_IF_ERROR(writer->WriteU64(next_id_));
+    for (const auto& map : local_to_global_) {
+      RABITQ_RETURN_IF_ERROR(writer->WriteArray(map.data(), map.size()));
+    }
+    RABITQ_RETURN_IF_ERROR(writer->Close());
+  }
+  std::vector<Status> st;
+  ForEachShardParallel(
+      shards_.size(),
+      [&](std::size_t s) { return shards_[s]->Save(ShardBlobPath(path, s)); },
+      &st);
+  return FirstError(st);
+}
+
+Status ShardedIndex::Load(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(path, ec)) {
+    // Single-file v1/v2 snapshot -> 1-shard configuration.
+    IvfRabitqIndex single;
+    RABITQ_RETURN_IF_ERROR(single.Load(path));
+    *this = FromSingle(std::move(single));
+    return Status::Ok();
+  }
+
+  std::uint64_t num_shards = 0, dim = 0, next_id = 0;
+  std::vector<std::vector<std::uint32_t>> maps;
+  {
+    std::unique_ptr<BinaryReader> reader;
+    RABITQ_RETURN_IF_ERROR(BinaryReader::Open(ManifestPath(path), &reader));
+    RABITQ_RETURN_IF_ERROR(
+        ExpectHeader(reader.get(), kManifestMagic, kManifestVersion));
+    RABITQ_RETURN_IF_ERROR(reader->ReadU64(&num_shards));
+    if (num_shards == 0 || num_shards > kMaxShards) {
+      return Status::IoError("corrupt shard count");
+    }
+    RABITQ_RETURN_IF_ERROR(reader->ReadU64(&dim));
+    if (dim == 0 || dim > (1u << 20)) return Status::IoError("corrupt dim");
+    RABITQ_RETURN_IF_ERROR(reader->ReadU64(&next_id));
+    if (next_id > 0xFFFFFFFFull) return Status::IoError("corrupt id count");
+    maps.resize(num_shards);
+    for (std::uint64_t s = 0; s < num_shards; ++s) {
+      RABITQ_RETURN_IF_ERROR(
+          (reader->ReadArray<std::uint32_t>(&maps[s], next_id)));
+    }
+  }
+
+  std::vector<std::unique_ptr<IvfRabitqIndex>> shards(num_shards);
+  std::vector<Status> st;
+  ForEachShardParallel(
+      num_shards,
+      [&](std::size_t s) {
+        shards[s] = std::make_unique<IvfRabitqIndex>();
+        return shards[s]->Load(ShardBlobPath(path, s));
+      },
+      &st);
+  RABITQ_RETURN_IF_ERROR(FirstError(st));
+  for (std::uint64_t s = 0; s < num_shards; ++s) {
+    if (shards[s]->dim() != dim) {
+      return Status::IoError("shard dim mismatch with manifest");
+    }
+    if (shards[s]->size() != maps[s].size()) {
+      return Status::IoError("shard size mismatch with manifest id map");
+    }
+    if (shards[s]->encoder().total_bits() != shards[0]->encoder().total_bits()) {
+      return Status::IoError("shard code width mismatch");
+    }
+  }
+  // The id maps must cover the id space exactly; checked by size here so a
+  // corrupt next_id fails closed BEFORE RebuildIdMaps sizes its tables to
+  // it, and by bijection below.
+  std::uint64_t mapped = 0;
+  for (const auto& map : maps) mapped += map.size();
+  if (mapped != next_id) {
+    return Status::IoError("id maps do not cover the id space");
+  }
+
+  shards_ = std::move(shards);
+  next_id_ = static_cast<std::uint32_t>(next_id);
+  local_to_global_ = std::move(maps);
+  return RebuildIdMaps();
+}
+
+Status ShardedIndex::RebuildIdMaps() {
+  id_shard_.assign(next_id_, 0);
+  id_local_.assign(next_id_, kPendingLocal);
+  std::vector<std::uint8_t> seen(next_id_, 0);
+  for (std::size_t s = 0; s < local_to_global_.size(); ++s) {
+    for (std::size_t l = 0; l < local_to_global_[s].size(); ++l) {
+      const std::uint32_t gid = local_to_global_[s][l];
+      if (gid >= next_id_) return Status::IoError("id map entry out of range");
+      if (seen[gid]) return Status::IoError("global id mapped twice");
+      seen[gid] = 1;
+      id_shard_[gid] = static_cast<std::uint32_t>(s);
+      id_local_[gid] = static_cast<std::uint32_t>(l);
+    }
+  }
+  for (std::uint32_t gid = 0; gid < next_id_; ++gid) {
+    if (!seen[gid]) return Status::IoError("global id unmapped");
+  }
+  return Status::Ok();
+}
+
+}  // namespace rabitq

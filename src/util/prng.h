@@ -13,6 +13,23 @@
 
 namespace rabitq {
 
+/// Mixes two 64-bit values into one well-distributed seed (a SplitMix64
+/// finalizer over a golden-ratio-strided stream). This is THE seed-derivation
+/// primitive of the library: the serving engine derives per-query seeds from
+/// (engine seed, ticket), and the IVF search path derives per-probed-list
+/// rounding seeds from (query seed, list id). Deriving per-list seeds --
+/// instead of consuming one generator sequentially across probed lists --
+/// makes each list's randomized query quantization a pure function of
+/// (query seed, list id), so a sharded index whose shards quantize against
+/// the same centroid set reproduces the single-shard estimate stream
+/// bit-for-bit, no matter how lists are distributed over shards.
+inline std::uint64_t MixSeed(std::uint64_t base, std::uint64_t stream) {
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 /// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:

@@ -85,6 +85,15 @@ Status BinaryReader::ReadF32(float* value) {
   return ReadBytes(value, sizeof(*value));
 }
 
+std::uint64_t BinaryReader::BytesRemaining() const {
+  const long pos = std::ftell(file_);
+  if (pos < 0) return 0;
+  if (std::fseek(file_, 0, SEEK_END) != 0) return 0;
+  const long end = std::ftell(file_);
+  std::fseek(file_, pos, SEEK_SET);
+  return end > pos ? static_cast<std::uint64_t>(end - pos) : 0;
+}
+
 Status WriteHeader(BinaryWriter* writer, const char magic[8],
                    std::uint32_t version) {
   RABITQ_RETURN_IF_ERROR(writer->WriteBytes(magic, 8));

@@ -62,14 +62,24 @@ class BinaryReader {
   Status ReadF32(float* value);
   Status ReadBytes(void* data, std::size_t size);
 
+  /// Bytes between the current read position and the end of the file.
+  /// Loaders use this to reject corrupt counts BEFORE allocating: a flipped
+  /// length field must fail closed with an IoError, not take down the
+  /// process with a multi-terabyte resize.
+  std::uint64_t BytesRemaining() const;
+
   /// Length-prefixed primitive array; `max_count` guards against corrupt
-  /// headers allocating unbounded memory.
+  /// headers allocating unbounded memory, and the declared payload must
+  /// actually fit in the remaining file bytes before anything is resized.
   template <typename T, typename Vec>
   Status ReadArray(Vec* out, std::size_t max_count = (std::size_t{1} << 32)) {
     std::uint64_t count = 0;
     RABITQ_RETURN_IF_ERROR(ReadU64(&count));
     if (count > max_count) {
       return Status::IoError("array length exceeds sanity bound");
+    }
+    if (count * sizeof(T) > BytesRemaining()) {
+      return Status::IoError("array length exceeds file size");
     }
     out->resize(static_cast<std::size_t>(count));
     return ReadBytes(out->data(), static_cast<std::size_t>(count) * sizeof(T));

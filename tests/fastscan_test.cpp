@@ -85,6 +85,97 @@ INSTANTIATE_TEST_SUITE_P(
                       // would overflow u16 by 7x.
                       FastScanCase{96, 480}, FastScanCase{40, 513}));
 
+// Exhaustive randomized cross-check: many random (n, segments) shapes --
+// segment counts that are NOT multiples of 16 (odd, prime, off-by-one
+// around the 16-lane boundaries) and vector counts around the 32-vector
+// block edges -- must agree bit-for-bit between the SIMD kernel, the scalar
+// reference, and direct per-vector accumulation. This is the padding-edge
+// sweep: any mistake in tail-slot zero fill or partial-segment handling
+// shows up as a mismatch on some shape.
+TEST(FastScanTest, RandomShapesSimdScalarAndDirectAgreeBitForBit) {
+  Rng rng(20240731);
+  const std::size_t odd_segments[] = {1, 2, 3, 5, 7, 15, 17, 31, 33,
+                                      47, 63, 65, 127, 129, 255, 257};
+  const std::size_t edge_vectors[] = {1, 2, 31, 32, 33, 63, 64, 65, 95, 97};
+  for (int trial = 0; trial < 60; ++trial) {
+    std::size_t n, segments;
+    if (trial < 16) {
+      segments = odd_segments[trial];
+      n = edge_vectors[trial % std::size(edge_vectors)];
+    } else {
+      segments = 1 + rng.UniformInt(300);
+      n = 1 + rng.UniformInt(150);
+    }
+    std::vector<std::uint8_t> codes(n * segments);
+    for (auto& c : codes) c = static_cast<std::uint8_t>(rng.UniformInt(16));
+    AlignedVector<std::uint8_t> luts(segments * 16);
+    for (auto& l : luts) l = static_cast<std::uint8_t>(rng.UniformInt(256));
+
+    FastScanCodes packed;
+    PackFastScanCodes(codes.data(), n, segments, &packed);
+    ASSERT_EQ(packed.num_blocks, (n + 31) / 32)
+        << "n=" << n << " segments=" << segments;
+    const auto expected =
+        DirectAccumulate(codes.data(), n, segments, luts.data());
+    std::uint32_t simd[kFastScanBlockSize], ref[kFastScanBlockSize];
+    for (std::size_t b = 0; b < packed.num_blocks; ++b) {
+      FastScanAccumulateBlock(packed.BlockPtr(b), segments, luts.data(), simd);
+      FastScanAccumulateBlockScalar(packed.BlockPtr(b), segments, luts.data(),
+                                    ref);
+      ASSERT_EQ(std::memcmp(simd, ref, sizeof(simd)), 0)
+          << "SIMD != scalar at block " << b << " n=" << n
+          << " segments=" << segments;
+      const std::size_t begin = b * kFastScanBlockSize;
+      const std::size_t end = std::min(begin + kFastScanBlockSize, n);
+      for (std::size_t v = begin; v < end; ++v) {
+        ASSERT_EQ(simd[v - begin], expected[v])
+            << "vector " << v << " n=" << n << " segments=" << segments;
+      }
+    }
+  }
+}
+
+// Regression guard for the degenerate shapes the IVF lists produce: an
+// EMPTY list packs to zero blocks (nothing to scan, nothing to crash on)
+// and a single-code store lives alone in a tail block whose 31 padding
+// slots must stay zero.
+TEST(FastScanTest, EmptyInputPacksToZeroBlocks) {
+  FastScanCodes packed;
+  // Pre-populate so we can tell Pack actually reset the layout.
+  std::vector<std::uint8_t> one(8, 3);
+  PackFastScanCodes(one.data(), 1, 8, &packed);
+  ASSERT_EQ(packed.num_blocks, 1u);
+  PackFastScanCodes(nullptr, 0, 8, &packed);
+  EXPECT_EQ(packed.num_vectors, 0u);
+  EXPECT_EQ(packed.num_blocks, 0u);
+  // A scan over zero blocks is a no-op by construction; nothing to call.
+}
+
+TEST(FastScanTest, SingleCodeTailBlockIsExactAndZeroPadded) {
+  Rng rng(99);
+  for (const std::size_t segments : {1ul, 4ul, 17ul, 240ul}) {
+    std::vector<std::uint8_t> codes(segments);
+    for (auto& c : codes) c = static_cast<std::uint8_t>(rng.UniformInt(16));
+    AlignedVector<std::uint8_t> luts(segments * 16);
+    for (auto& l : luts) l = static_cast<std::uint8_t>(rng.UniformInt(256));
+    FastScanCodes packed;
+    PackFastScanCodes(codes.data(), 1, segments, &packed);
+    ASSERT_EQ(packed.num_blocks, 1u);
+    std::uint32_t acc[kFastScanBlockSize];
+    FastScanAccumulateBlock(packed.BlockPtr(0), segments, luts.data(), acc);
+    const auto expected = DirectAccumulate(codes.data(), 1, segments,
+                                           luts.data());
+    EXPECT_EQ(acc[0], expected[0]) << "segments=" << segments;
+    // Padding slots accumulate lut[t][0] sums only -- i.e. exactly what a
+    // zero-filled code yields. Verify against an explicit zero code.
+    std::uint32_t zero_sum = 0;
+    for (std::size_t t = 0; t < segments; ++t) zero_sum += luts[t * 16];
+    for (std::size_t v = 1; v < kFastScanBlockSize; ++v) {
+      EXPECT_EQ(acc[v], zero_sum) << "pad slot " << v;
+    }
+  }
+}
+
 TEST(FastScanTest, OverflowSafeAtMaxLutValues) {
   // All codes select LUT entries of 255 across 600 segments: the true sum
   // 153000 overflows u16 4.6x; the chunked kernel must be exact.

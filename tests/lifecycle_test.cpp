@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <set>
 #include <thread>
 #include <vector>
@@ -87,6 +88,8 @@ class LifecycleTest : public ::testing::Test {
     params_.k = kK;
     params_.nprobe = kLists;  // full probe: isolates lifecycle effects
   }
+
+  void RunEngineChurnStress(std::size_t num_shards);
 
   Matrix data_;
   Matrix queries_;
@@ -317,16 +320,33 @@ TEST_F(LifecycleTest, TenThousandSingleInsertsStayCheap) {
   EXPECT_EQ(out[0].second, 10499u);
 }
 
+// Shard count for the sharded variants of the stress tests; the CI matrix
+// sweeps it (SHARDS=1 and SHARDS=4).
+std::size_t EnvShards(std::size_t fallback) {
+  const char* value = std::getenv("SHARDS");
+  if (value == nullptr) return fallback;
+  const long parsed = std::atol(value);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
 // Interleaved Search/Insert/Delete/Update from many threads through the
 // engine, with an aggressive compaction trigger so background compactions
-// overlap the churn. Asserts no failures, consistent final accounting, and
-// post-quiesce searchability of the survivors.
-TEST_F(LifecycleTest, EngineChurnStress) {
+// overlap the churn. Asserts no failures, consistent final accounting
+// (aggregated across shards), and post-quiesce searchability of the
+// survivors. Runs both unsharded (num_shards == 1) and sharded, where
+// mutators hash across shards and contend on different writer mutexes.
+void LifecycleTest::RunEngineChurnStress(std::size_t num_shards) {
   EngineConfig config;
   config.num_threads = 4;
   config.compaction_tombstone_ratio = 0.10f;
   config.compaction_min_dead = 4;
-  SearchEngine engine(BuildIndex(data_, kLists), config);
+  ShardedIndex sharded;
+  ShardedConfig sharded_config;
+  sharded_config.num_shards = num_shards;
+  sharded_config.ivf.num_lists = kLists;
+  ASSERT_TRUE(sharded.Build(data_, sharded_config).ok());
+  SearchEngine engine(std::move(sharded), config);
+  ASSERT_EQ(engine.num_shards(), num_shards);
 
   constexpr std::size_t kMutators = 2;
   constexpr std::size_t kSearchers = 3;
@@ -399,12 +419,30 @@ TEST_F(LifecycleTest, EngineChurnStress) {
   EXPECT_EQ(engine.size(), kN + inserts_done.load());
   EXPECT_EQ(engine.live_size(), kN + inserts_done.load() - deletes_done.load());
 
+  // Lifecycle gauges must be exact AGGREGATES over the shards: writers are
+  // quiesced, so summing per-shard accounting has to reproduce both the
+  // engine stats and the global counts.
+  const ShardedIndex& index = engine.index();
+  ASSERT_EQ(index.num_shards(), num_shards);
+  std::size_t shard_live = 0, shard_tombstones = 0, shard_ids = 0;
+  for (std::size_t s = 0; s < index.num_shards(); ++s) {
+    shard_live += index.shard(s).live_size();
+    shard_tombstones += index.shard(s).num_tombstones();
+    shard_ids += index.shard(s).size();
+  }
+  EXPECT_EQ(shard_live, stats.live_vectors);
+  EXPECT_EQ(shard_tombstones, stats.tombstones);
+  EXPECT_EQ(shard_ids, engine.size());
+  EXPECT_EQ(stats.num_shards, num_shards);
+
   // Drain every remaining tombstone, then verify the index agrees with
   // itself: every live id is its own nearest neighbor at full probe.
   ASSERT_TRUE(engine.CompactNow().ok());
   const EngineStatsSnapshot after = engine.Stats();
   EXPECT_EQ(after.tombstones, 0u);
-  const IvfRabitqIndex& index = engine.index();
+  for (std::size_t s = 0; s < index.num_shards(); ++s) {
+    EXPECT_EQ(index.shard(s).num_tombstones(), 0u) << "shard " << s;
+  }
   IvfSearchParams one = params_;
   one.k = 1;
   one.nprobe = index.num_lists();
@@ -415,8 +453,15 @@ TEST_F(LifecycleTest, EngineChurnStress) {
     std::vector<Neighbor> out;
     ASSERT_TRUE(index.Search(index.vector(id), one, 5000 + id, &out).ok());
     ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].second, id);
     EXPECT_NEAR(out[0].first, 0.0f, 1e-3f);
   }
+}
+
+TEST_F(LifecycleTest, EngineChurnStress) { RunEngineChurnStress(1); }
+
+TEST_F(LifecycleTest, EngineChurnStressSharded) {
+  RunEngineChurnStress(EnvShards(4));
 }
 
 // Background compaction actually fires on its own when the tombstone ratio

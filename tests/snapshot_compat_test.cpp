@@ -6,10 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "index/ivf.h"
+#include "index/sharded.h"
 #include "util/prng.h"
 
 #ifndef RABITQ_TEST_DATA_DIR
@@ -201,6 +204,213 @@ TEST(SnapshotCompatTest, HeavilyUpdatedTinyIndexRoundTrips) {
   EXPECT_EQ(loaded.live_size(), 4u);
   EXPECT_EQ(loaded.num_tombstones(), 10u);
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption robustness: the loaders must FAIL CLOSED on damaged snapshots.
+// Truncations at any offset must produce an error (never a crash, never a
+// silently short index); single-bit flips must never crash or OOM -- they
+// either error out or, when they hit non-structural payload bytes (raw
+// vector data has no checksum), load an index that still upholds its own
+// invariants and can serve a search.
+
+std::vector<unsigned char> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// A small index with every lifecycle feature in the file: tombstones,
+// stale update entries, appends.
+IvfRabitqIndex BuildMutatedIndex() {
+  Rng rng(404);
+  Matrix data(150, 12);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  IvfRabitqIndex index;
+  IvfConfig ivf;
+  ivf.num_lists = 6;
+  EXPECT_TRUE(index.Build(data, ivf, RabitqConfig{}).ok());
+  std::vector<float> vec(12);
+  for (std::uint32_t id = 0; id < 150; id += 5) {
+    EXPECT_TRUE(index.Delete(id).ok());
+  }
+  for (std::uint32_t id = 1; id < 150; id += 31) {
+    if (id % 5 == 0) continue;  // deleted above
+    for (auto& v : vec) v = static_cast<float>(rng.Gaussian());
+    EXPECT_TRUE(index.Update(id, vec.data()).ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    for (auto& v : vec) v = static_cast<float>(rng.Gaussian());
+    EXPECT_TRUE(index.Add(vec.data()).ok());
+  }
+  return index;
+}
+
+// If a corrupted file loaded "successfully", the result must still be a
+// self-consistent index: accounting adds up and a full-probe search runs
+// without crashing.
+void ExpectLoadedIndexIsConsistent(const IvfRabitqIndex& index) {
+  ASSERT_GT(index.num_lists(), 0u);
+  EXPECT_LE(index.live_size(), index.size());
+  std::size_t live = 0, dead = 0;
+  for (std::size_t l = 0; l < index.num_lists(); ++l) {
+    EXPECT_LE(index.list_tombstones(l), index.list_ids(l).size());
+    EXPECT_EQ(index.list_ids(l).size(), index.list_codes(l).size());
+    live += index.list_ids(l).size() - index.list_tombstones(l);
+    dead += index.list_tombstones(l);
+  }
+  EXPECT_EQ(live, index.live_size());
+  EXPECT_EQ(dead, index.num_tombstones());
+  std::vector<float> query(index.dim(), 0.25f);
+  IvfSearchParams params;
+  params.k = 5;
+  params.nprobe = index.num_lists();
+  std::vector<Neighbor> out;
+  EXPECT_TRUE(index.Search(query.data(), params, /*seed=*/1, &out).ok());
+  for (const Neighbor& nb : out) {
+    EXPECT_FALSE(index.IsDeleted(nb.second));
+  }
+}
+
+TEST(SnapshotFuzzTest, V2TruncationsFailClosed) {
+  const std::string path = TempPath("fuzz_truncate.rbq");
+  ASSERT_TRUE(BuildMutatedIndex().Save(path).ok());
+  const std::vector<unsigned char> bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 64u);
+
+  // Every header-region prefix, then a deterministic sample of the rest.
+  std::vector<std::size_t> lengths;
+  for (std::size_t len = 0; len < 64; ++len) lengths.push_back(len);
+  Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    lengths.push_back(64 + rng.UniformInt(bytes.size() - 64 - 1));
+  }
+  lengths.push_back(bytes.size() - 1);  // one byte short
+
+  const std::string mutant = TempPath("fuzz_truncate_mutant.rbq");
+  for (const std::size_t len : lengths) {
+    WriteFileBytes(mutant,
+                   {bytes.begin(), bytes.begin() + static_cast<long>(len)});
+    IvfRabitqIndex loaded;
+    EXPECT_FALSE(loaded.Load(mutant).ok())
+        << "truncation to " << len << " of " << bytes.size()
+        << " bytes loaded successfully";
+  }
+  std::remove(path.c_str());
+  std::remove(mutant.c_str());
+}
+
+TEST(SnapshotFuzzTest, V2BitFlipsNeverCrashAndHeaderFlipsFailClosed) {
+  const std::string path = TempPath("fuzz_flip.rbq");
+  ASSERT_TRUE(BuildMutatedIndex().Save(path).ok());
+  const std::vector<unsigned char> bytes = ReadFileBytes(path);
+
+  // Every bit of the header region (magic + version + config), then a
+  // deterministic sample across the whole payload.
+  std::vector<std::pair<std::size_t, int>> flips;
+  for (std::size_t off = 0; off < 48; ++off) {
+    for (int bit = 0; bit < 8; ++bit) flips.emplace_back(off, bit);
+  }
+  Rng rng(11);
+  for (int i = 0; i < 256; ++i) {
+    flips.emplace_back(rng.UniformInt(bytes.size()),
+                       static_cast<int>(rng.UniformInt(8)));
+  }
+
+  const std::string mutant = TempPath("fuzz_flip_mutant.rbq");
+  for (const auto& [off, bit] : flips) {
+    std::vector<unsigned char> corrupted = bytes;
+    corrupted[off] ^= static_cast<unsigned char>(1u << bit);
+    WriteFileBytes(mutant, corrupted);
+    IvfRabitqIndex loaded;
+    const Status status = loaded.Load(mutant);  // must not crash or OOM
+    if (off < 12) {
+      // Magic or version damage must always be rejected.
+      EXPECT_FALSE(status.ok()) << "header flip at " << off << ":" << bit;
+    } else if (status.ok()) {
+      ExpectLoadedIndexIsConsistent(loaded);
+    }
+  }
+  std::remove(path.c_str());
+  std::remove(mutant.c_str());
+}
+
+TEST(SnapshotFuzzTest, ShardedManifestCorruptionFailsClosed) {
+  const std::string dir =
+      ::testing::TempDir() + "/fuzz_sharded_snapshot";
+  std::filesystem::remove_all(dir);
+  {
+    Rng rng(21);
+    Matrix data(120, 8);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data.data()[i] = static_cast<float>(rng.Gaussian());
+    }
+    ShardedIndex index;
+    ShardedConfig config;
+    config.num_shards = 3;
+    config.ivf.num_lists = 4;
+    ASSERT_TRUE(index.Build(data, config).ok());
+    for (std::uint32_t id = 0; id < 120; id += 9) {
+      ASSERT_TRUE(index.Delete(id).ok());
+    }
+    ASSERT_TRUE(index.Save(dir).ok());
+  }
+  const std::string manifest = dir + "/MANIFEST";
+  const std::vector<unsigned char> bytes = ReadFileBytes(manifest);
+  ASSERT_GT(bytes.size(), 12u);
+
+  // Any manifest truncation fails closed (step > 1 keeps the test quick;
+  // the offsets still sweep header, counts, and map regions).
+  for (std::size_t len = 0; len < bytes.size(); len += 13) {
+    WriteFileBytes(manifest,
+                   {bytes.begin(), bytes.begin() + static_cast<long>(len)});
+    ShardedIndex loaded;
+    EXPECT_FALSE(loaded.Load(dir).ok()) << "manifest truncated to " << len;
+  }
+
+  // Bit flips never crash; structural damage (shard count, id space, map
+  // entries) is caught by the bijection and size cross-checks.
+  Rng rng(13);
+  for (int i = 0; i < 64; ++i) {
+    std::vector<unsigned char> corrupted = bytes;
+    const std::size_t off = rng.UniformInt(bytes.size());
+    corrupted[off] ^= static_cast<unsigned char>(1u << rng.UniformInt(8));
+    WriteFileBytes(manifest, corrupted);
+    ShardedIndex loaded;
+    const Status status = loaded.Load(dir);  // must not crash
+    if (status.ok()) {
+      // Payload-only damage: the index must still be self-consistent.
+      EXPECT_EQ(loaded.num_shards(), 3u);
+      EXPECT_LE(loaded.live_size(), loaded.size());
+    }
+  }
+  WriteFileBytes(manifest, bytes);
+
+  // A missing or truncated shard blob fails closed too.
+  {
+    const std::string blob = dir + "/shard_0001.rbq";
+    const std::vector<unsigned char> blob_bytes = ReadFileBytes(blob);
+    WriteFileBytes(blob, {blob_bytes.begin(),
+                          blob_bytes.begin() +
+                              static_cast<long>(blob_bytes.size() / 2)});
+    ShardedIndex loaded;
+    EXPECT_FALSE(loaded.Load(dir).ok()) << "truncated shard blob loaded";
+    std::filesystem::remove(blob);
+    ShardedIndex loaded2;
+    EXPECT_FALSE(loaded2.Load(dir).ok()) << "missing shard blob loaded";
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
