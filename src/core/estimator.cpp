@@ -1,7 +1,13 @@
 #include "core/estimator.h"
 
 #include <algorithm>
+#include <cfloat>
 #include <cmath>
+#include <cstring>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
 
 #include "quant/fastscan.h"
 #include "util/bit_ops.h"
@@ -10,41 +16,217 @@ namespace rabitq {
 
 namespace {
 
+// One lane of the fused assembly, written so that every operation maps 1:1
+// onto the AVX2 kernel below (explicit std::fma <-> fmadd/fnmadd, lone
+// mul/add <-> mul_ps/add_ps). The explicit fma calls are not just speed:
+// they pin the rounding sequence so the compiler cannot contract the scalar
+// path differently from the hand-written SIMD path, which is what keeps the
+// two bit-identical.
+//
+// Edge handling mirrors the kernel's blends: a q_dist == 0 query overrides
+// the whole lane with f_sq, then a dist_to_centroid == 0 code wins with
+// q_sq. (For codes produced by Append the blends are actually no-ops --
+// d == 0 implies f_sq = f_cross = 0 and f_err = 0, so the arithmetic already
+// lands on the same values -- but the blends keep the contract independent
+// of those identities.)
+inline void AssembleLane(float s_f, float pc_f, float d, float f_sq,
+                         float f_cross, float f_inv_oo, float f_err,
+                         float q_dist, float q_sq, float ip_scale,
+                         float pop_scale, float bias, float epsilon0,
+                         float* dist_out, float* lb_out) {
+  const float x_qbar = std::fma(ip_scale, s_f, std::fma(pop_scale, pc_f, bias));
+  const float ip = x_qbar * f_inv_oo;
+  const float cross = f_cross * q_dist;
+  const float base = f_sq + q_sq;
+  float dist = std::fma(-cross, ip, base);
+  float lb = epsilon0 > 0.0f ? std::fma(-cross, f_err * epsilon0, dist) : dist;
+  if (q_dist == 0.0f) {
+    dist = f_sq;
+    lb = f_sq;
+  }
+  if (d == 0.0f) {
+    dist = q_sq;
+    lb = q_sq;
+  }
+  *dist_out = dist;
+  *lb_out = lb;
+}
+
 // Assembles the distance estimate from the raw bit dot product S = <x_b, qu>.
+// Same per-lane operation order as AssembleLane (early returns instead of
+// blends -- the values are identical), plus the ip/ip_error outputs the
+// batch path does not carry.
 inline DistanceEstimate Assemble(const QuantizedQuery& query,
                                  const RabitqCodeView& code, std::uint32_t s,
                                  float epsilon0, bool unbias) {
   DistanceEstimate est;
+  const float q_sq = query.q_dist * query.q_dist;
   if (code.dist_to_centroid == 0.0f) {
-    est.dist_sq = query.q_dist * query.q_dist;
+    est.dist_sq = q_sq;
     est.lower_bound_sq = est.dist_sq;
     est.ip = 1.0f;
     return est;
   }
   if (query.q_dist == 0.0f) {
-    est.dist_sq = code.dist_to_centroid * code.dist_to_centroid;
+    est.dist_sq = code.f_sq;
     est.lower_bound_sq = est.dist_sq;
     est.ip = 1.0f;
     return est;
   }
   // Eq. 20: <x-bar, q-bar>.
-  const float x_qbar = query.ip_scale * static_cast<float>(s) +
-                       query.pop_scale * static_cast<float>(code.bit_count) +
-                       query.bias;
-  // Thm 3.2: divide by <o-bar, o> for unbiasedness; the biased ablation
-  // (Appendix F.2) keeps <o-bar, q> as-is.
-  const float o_o = std::max(code.o_o, 1e-9f);
-  est.ip = unbias ? x_qbar / o_o : x_qbar;
-  const float cross = 2.0f * code.dist_to_centroid * query.q_dist;
-  est.dist_sq = code.dist_to_centroid * code.dist_to_centroid +
-                query.q_dist * query.q_dist - cross * est.ip;
+  const float x_qbar =
+      std::fma(query.ip_scale, static_cast<float>(s),
+               std::fma(query.pop_scale, static_cast<float>(code.bit_count),
+                        query.bias));
+  // Thm 3.2: multiply by the precomputed 1/<o-bar, o> for unbiasedness; the
+  // biased ablation (Appendix F.2) keeps <o-bar, q> as-is.
+  est.ip = unbias ? x_qbar * code.f_inv_oo : x_qbar;
+  const float cross = code.f_cross * query.q_dist;
+  const float base = code.f_sq + q_sq;
+  est.dist_sq = std::fma(-cross, est.ip, base);
   if (epsilon0 > 0.0f) {
-    est.ip_error = IpErrorBound(o_o, epsilon0, query.total_bits);
-    est.lower_bound_sq = est.dist_sq - cross * est.ip_error;
+    est.ip_error = code.f_err * epsilon0;
+    est.lower_bound_sq = std::fma(-cross, est.ip_error, est.dist_sq);
   } else {
     est.lower_bound_sq = est.dist_sq;
   }
   return est;
+}
+
+// Folds the structural masks into a survivors bitmask: tail lanes of a
+// partial block and tombstoned entries never survive.
+inline std::uint32_t FoldAliveMask(std::uint32_t mask, const std::uint8_t* dead,
+                                   std::size_t count) {
+  std::uint32_t alive = count >= kFastScanBlockSize
+                            ? 0xFFFFFFFFu
+                            : ((1u << count) - 1u);
+  if (dead != nullptr) {
+    for (std::size_t k = 0; k < count; ++k) {
+      alive &= ~(static_cast<std::uint32_t>(dead[k] != 0) << k);
+    }
+  }
+  return mask & alive;
+}
+
+// Scalar fused assembly over lanes [0, count); returns the raw
+// lb-vs-threshold mask (before FoldAliveMask).
+inline std::uint32_t FusedBlockScalar(const QuantizedQuery& query,
+                                      const RabitqCodeStore& store,
+                                      std::size_t begin,
+                                      const std::uint32_t* sums,
+                                      std::size_t count, float epsilon0,
+                                      float prune_threshold, float* dist_sq,
+                                      float* lower_bounds) {
+  const float* d_arr = store.dist_to_centroid_data() + begin;
+  const float* f_sq = store.f_sq_data() + begin;
+  const float* f_cross = store.f_cross_data() + begin;
+  const float* f_inv = store.f_inv_oo_data() + begin;
+  const float* f_err = store.f_err_data() + begin;
+  const std::uint32_t* pc = store.bit_count_data() + begin;
+  const float q_sq = query.q_dist * query.q_dist;
+  std::uint32_t mask = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    float dist = 0.0f, lb = 0.0f;
+    AssembleLane(static_cast<float>(sums[k]), static_cast<float>(pc[k]),
+                 d_arr[k], f_sq[k], f_cross[k], f_inv[k], f_err[k],
+                 query.q_dist, q_sq, query.ip_scale, query.pop_scale,
+                 query.bias, epsilon0, &dist, &lb);
+    dist_sq[k] = dist;
+    if (lower_bounds != nullptr) lower_bounds[k] = lb;
+    // Survive unless lb > threshold -- the same strict comparison (and the
+    // same NaN-survives semantics) as the SIMD _CMP_GT_OQ path.
+    mask |= static_cast<std::uint32_t>(!(lb > prune_threshold)) << k;
+  }
+  return mask;
+}
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+// Full-block (32-lane) fused assembly. Per 8-lane group: two int->float
+// converts, six loads, then fmadd/mul/add/fnmadd in exactly AssembleLane's
+// order. Returns the raw lb-vs-threshold survivors mask.
+inline std::uint32_t FusedBlockAvx2(const QuantizedQuery& query,
+                                    const RabitqCodeStore& store,
+                                    std::size_t begin,
+                                    const std::uint32_t* sums, float epsilon0,
+                                    float prune_threshold, float* dist_sq,
+                                    float* lower_bounds) {
+  const float* d_arr = store.dist_to_centroid_data() + begin;
+  const float* f_sq = store.f_sq_data() + begin;
+  const float* f_cross = store.f_cross_data() + begin;
+  const float* f_inv = store.f_inv_oo_data() + begin;
+  const float* f_err = store.f_err_data() + begin;
+  const std::uint32_t* pc = store.bit_count_data() + begin;
+  const float q_dist = query.q_dist;
+  const float q_sq = q_dist * q_dist;
+  const __m256 v_ip_scale = _mm256_set1_ps(query.ip_scale);
+  const __m256 v_pop_scale = _mm256_set1_ps(query.pop_scale);
+  const __m256 v_bias = _mm256_set1_ps(query.bias);
+  const __m256 v_q_dist = _mm256_set1_ps(q_dist);
+  const __m256 v_q_sq = _mm256_set1_ps(q_sq);
+  const __m256 v_eps = _mm256_set1_ps(epsilon0);
+  const __m256 v_thr = _mm256_set1_ps(prune_threshold);
+  const __m256 v_zero = _mm256_setzero_ps();
+  const bool has_bound = epsilon0 > 0.0f;
+  const bool q_zero = q_dist == 0.0f;
+  std::uint32_t mask = 0;
+  for (int g = 0; g < 4; ++g) {
+    const std::size_t off = static_cast<std::size_t>(g) * 8;
+    const __m256 s_f = _mm256_cvtepi32_ps(_mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(sums + off)));
+    const __m256 pc_f = _mm256_cvtepi32_ps(_mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(pc + off)));
+    const __m256 x_qbar = _mm256_fmadd_ps(
+        v_ip_scale, s_f, _mm256_fmadd_ps(v_pop_scale, pc_f, v_bias));
+    const __m256 ip = _mm256_mul_ps(x_qbar, _mm256_loadu_ps(f_inv + off));
+    const __m256 cross =
+        _mm256_mul_ps(_mm256_loadu_ps(f_cross + off), v_q_dist);
+    const __m256 vf_sq = _mm256_loadu_ps(f_sq + off);
+    const __m256 base = _mm256_add_ps(vf_sq, v_q_sq);
+    __m256 dist = _mm256_fnmadd_ps(cross, ip, base);
+    __m256 lb = dist;
+    if (has_bound) {
+      lb = _mm256_fnmadd_ps(
+          cross, _mm256_mul_ps(_mm256_loadu_ps(f_err + off), v_eps), dist);
+    }
+    if (q_zero) {
+      dist = vf_sq;
+      lb = vf_sq;
+    }
+    const __m256 edge_d =
+        _mm256_cmp_ps(_mm256_loadu_ps(d_arr + off), v_zero, _CMP_EQ_OQ);
+    dist = _mm256_blendv_ps(dist, v_q_sq, edge_d);
+    lb = _mm256_blendv_ps(lb, v_q_sq, edge_d);
+    _mm256_storeu_ps(dist_sq + off, dist);
+    if (lower_bounds != nullptr) _mm256_storeu_ps(lower_bounds + off, lb);
+    const int pruned =
+        _mm256_movemask_ps(_mm256_cmp_ps(lb, v_thr, _CMP_GT_OQ));
+    mask |= (static_cast<std::uint32_t>(~pruned) & 0xFFu) << off;
+  }
+  return mask;
+}
+
+#endif  // defined(__AVX2__) && defined(__FMA__)
+
+// Dispatch: AVX2 for full blocks, the bit-identical scalar reference for
+// the (at most one) partial tail block -- the factor arrays hold exactly
+// size() entries, so the tail must not be read 8-wide.
+inline std::uint32_t FusedBlockDispatch(const QuantizedQuery& query,
+                                        const RabitqCodeStore& store,
+                                        std::size_t block,
+                                        const std::uint32_t* sums,
+                                        float epsilon0, float prune_threshold,
+                                        float* dist_sq, float* lower_bounds) {
+  const std::size_t begin = block * kFastScanBlockSize;
+  const std::size_t count = std::min(kFastScanBlockSize, store.size() - begin);
+#if defined(__AVX2__) && defined(__FMA__)
+  if (count == kFastScanBlockSize) {
+    return FusedBlockAvx2(query, store, begin, sums, epsilon0, prune_threshold,
+                          dist_sq, lower_bounds);
+  }
+#endif
+  return FusedBlockScalar(query, store, begin, sums, count, epsilon0,
+                          prune_threshold, dist_sq, lower_bounds);
 }
 
 }  // namespace
@@ -74,6 +256,74 @@ DistanceEstimate EstimateDistanceBiased(const QuantizedQuery& query,
   return Assemble(query, code, s, /*epsilon0=*/0.0f, /*unbias=*/false);
 }
 
+void EstimateBlockFused(const QuantizedQuery& query,
+                        const RabitqCodeStore& store, std::size_t block,
+                        const std::uint32_t* sums, float epsilon0,
+                        float* dist_sq, float* lower_bounds) {
+  FusedBlockDispatch(query, store, block, sums, epsilon0, FLT_MAX, dist_sq,
+                     lower_bounds);
+}
+
+void EstimateBlockFusedScalar(const QuantizedQuery& query,
+                              const RabitqCodeStore& store, std::size_t block,
+                              const std::uint32_t* sums, float epsilon0,
+                              float* dist_sq, float* lower_bounds) {
+  const std::size_t begin = block * kFastScanBlockSize;
+  const std::size_t count = std::min(kFastScanBlockSize, store.size() - begin);
+  FusedBlockScalar(query, store, begin, sums, count, epsilon0, FLT_MAX,
+                   dist_sq, lower_bounds);
+}
+
+std::uint32_t EstimateBlockFusedPruned(const QuantizedQuery& query,
+                                       const RabitqCodeStore& store,
+                                       std::size_t block,
+                                       const std::uint32_t* sums,
+                                       float epsilon0, float prune_threshold,
+                                       const std::uint8_t* dead,
+                                       float* dist_sq, float* lower_bounds) {
+  const std::size_t begin = block * kFastScanBlockSize;
+  const std::size_t count = std::min(kFastScanBlockSize, store.size() - begin);
+  const std::uint32_t mask =
+      FusedBlockDispatch(query, store, block, sums, epsilon0, prune_threshold,
+                         dist_sq, lower_bounds);
+  return FoldAliveMask(mask, dead, count);
+}
+
+std::uint32_t EstimateBlockFusedPrunedScalar(
+    const QuantizedQuery& query, const RabitqCodeStore& store,
+    std::size_t block, const std::uint32_t* sums, float epsilon0,
+    float prune_threshold, const std::uint8_t* dead, float* dist_sq,
+    float* lower_bounds) {
+  const std::size_t begin = block * kFastScanBlockSize;
+  const std::size_t count = std::min(kFastScanBlockSize, store.size() - begin);
+  const std::uint32_t mask =
+      FusedBlockScalar(query, store, begin, sums, count, epsilon0,
+                       prune_threshold, dist_sq, lower_bounds);
+  return FoldAliveMask(mask, dead, count);
+}
+
+void PrefetchBlockData(const RabitqCodeStore& store, std::size_t block) {
+#if defined(__GNUC__) || defined(__clang__)
+  const FastScanCodes& packed = store.packed();
+  if (block >= packed.num_blocks) return;
+  const std::uint8_t* p = packed.BlockPtr(block);
+  const std::size_t bytes = packed.num_segments * 16;
+  for (std::size_t off = 0; off < bytes; off += 64) {
+    __builtin_prefetch(p + off, /*rw=*/0, /*locality=*/3);
+  }
+  const std::size_t begin = block * kFastScanBlockSize;
+  __builtin_prefetch(store.f_sq_data() + begin, 0, 3);
+  __builtin_prefetch(store.f_cross_data() + begin, 0, 3);
+  __builtin_prefetch(store.f_inv_oo_data() + begin, 0, 3);
+  __builtin_prefetch(store.f_err_data() + begin, 0, 3);
+  __builtin_prefetch(store.bit_count_data() + begin, 0, 3);
+  __builtin_prefetch(store.dist_to_centroid_data() + begin, 0, 3);
+#else
+  (void)store;
+  (void)block;
+#endif
+}
+
 void EstimateBlock(const QuantizedQuery& query, const RabitqCodeStore& store,
                    std::size_t block, float epsilon0, float* dist_sq,
                    float* lower_bounds) {
@@ -82,12 +332,21 @@ void EstimateBlock(const QuantizedQuery& query, const RabitqCodeStore& store,
   FastScanAccumulateBlock(packed.BlockPtr(block), packed.num_segments,
                           query.luts.data(), s);
   const std::size_t begin = block * kFastScanBlockSize;
-  const std::size_t end = std::min(begin + kFastScanBlockSize, store.size());
-  for (std::size_t i = begin; i < end; ++i) {
-    const DistanceEstimate est =
-        Assemble(query, store.View(i), s[i - begin], epsilon0, /*unbias=*/true);
-    dist_sq[i - begin] = est.dist_sq;
-    if (lower_bounds != nullptr) lower_bounds[i - begin] = est.lower_bound_sq;
+  const std::size_t count = std::min(kFastScanBlockSize, store.size() - begin);
+  if (count == kFastScanBlockSize) {
+    EstimateBlockFused(query, store, block, s, epsilon0, dist_sq,
+                       lower_bounds);
+    return;
+  }
+  // Partial tail: this entry point promises to write exactly `count`
+  // entries, so assemble into block-sized temporaries and copy.
+  float tmp_dist[kFastScanBlockSize];
+  float tmp_lb[kFastScanBlockSize];
+  EstimateBlockFused(query, store, block, s, epsilon0, tmp_dist,
+                     lower_bounds == nullptr ? nullptr : tmp_lb);
+  std::memcpy(dist_sq, tmp_dist, count * sizeof(float));
+  if (lower_bounds != nullptr) {
+    std::memcpy(lower_bounds, tmp_lb, count * sizeof(float));
   }
 }
 
@@ -106,6 +365,7 @@ void EstimateAll(const QuantizedQuery& query, const RabitqCodeStore& store,
   const std::size_t num_blocks = store.packed().num_blocks;
   for (std::size_t block = 0; block < num_blocks; ++block) {
     const std::size_t begin = block * kFastScanBlockSize;
+    PrefetchBlockData(store, block + 1);
     EstimateBlock(query, store, block, epsilon0, dist_sq + begin,
                   lower_bounds == nullptr ? nullptr : lower_bounds + begin);
   }

@@ -5,7 +5,16 @@
 //                                                        (Eq. 14/16)
 // Two execution paths:
 //   * single code: B_q bitwise and+popcount passes (Eq. 22),
-//   * packed batch of 32 codes: the shared fast-scan kernel (Section 3.3.2).
+//   * packed batch of 32 codes: the shared fast-scan kernel (Section 3.3.2)
+//     followed by the fused float assembly below.
+//
+// The assembly consumes the factors precomputed at append time by
+// RabitqCodeStore (f_sq, f_cross, f_inv_oo, f_err), so per lane it is four
+// loads, two int->float converts and six mul/add/fma -- no sqrt, no divide,
+// no branch. Every path (single-code, fused scalar, fused AVX2) performs the
+// SAME operations in the SAME order per lane (explicit std::fma mirroring
+// the SIMD fmadd/fnmadd), which is what makes the bitwise path, the scalar
+// reference and the 8-wide kernel agree bit-for-bit (tested).
 
 #ifndef RABITQ_CORE_ESTIMATOR_H_
 #define RABITQ_CORE_ESTIMATOR_H_
@@ -49,6 +58,56 @@ DistanceEstimate EstimateDistanceBiased(const QuantizedQuery& query,
 void EstimateBlock(const QuantizedQuery& query, const RabitqCodeStore& store,
                    std::size_t block, float epsilon0, float* dist_sq,
                    float* lower_bounds);
+
+/// Fused assembly over one block given the 32 fast-scan sums `sums` (from
+/// FastScanAccumulateBlock): estimated squared distances and, when
+/// `lower_bounds` is non-null, eps0 lower bounds. Output buffers must hold
+/// kFastScanBlockSize floats -- a full block is stored 8 lanes at a time,
+/// and lanes past size() on the tail block are unspecified (the SIMD path
+/// may write garbage there, the scalar path leaves them untouched).
+/// AVX2+FMA when available, bit-identical to the scalar reference.
+void EstimateBlockFused(const QuantizedQuery& query,
+                        const RabitqCodeStore& store, std::size_t block,
+                        const std::uint32_t* sums, float epsilon0,
+                        float* dist_sq, float* lower_bounds);
+
+/// Bit-exact scalar reference for EstimateBlockFused (mirrors the kernel's
+/// per-lane operation order with explicit std::fma).
+void EstimateBlockFusedScalar(const QuantizedQuery& query,
+                              const RabitqCodeStore& store, std::size_t block,
+                              const std::uint32_t* sums, float epsilon0,
+                              float* dist_sq, float* lower_bounds);
+
+/// In-kernel pruning variant for the kErrorBound policy: assembles the block
+/// like EstimateBlockFused (same buffer contract, both buffers written) and
+/// returns a survivors bitmask -- bit k set iff lane k is a real code
+/// (k < count for a tail block), is not tombstoned (`dead`, 32 flags for
+/// this block, may be null when the list has no tombstones) and its lower
+/// bound does not exceed `prune_threshold` (the caller's current top-k
+/// threshold; pass +infinity -- NOT FLT_MAX -- to disable pruning, e.g.
+/// while the heap is still filling: a lower bound that overflowed to +inf
+/// must survive then, and only `> inf` guarantees that). The caller walks
+/// set bits only, fusing candidate selection into the scan.
+std::uint32_t EstimateBlockFusedPruned(const QuantizedQuery& query,
+                                       const RabitqCodeStore& store,
+                                       std::size_t block,
+                                       const std::uint32_t* sums,
+                                       float epsilon0, float prune_threshold,
+                                       const std::uint8_t* dead,
+                                       float* dist_sq, float* lower_bounds);
+
+/// Bit-exact scalar reference for EstimateBlockFusedPruned.
+std::uint32_t EstimateBlockFusedPrunedScalar(
+    const QuantizedQuery& query, const RabitqCodeStore& store,
+    std::size_t block, const std::uint32_t* sums, float epsilon0,
+    float prune_threshold, const std::uint8_t* dead, float* dist_sq,
+    float* lower_bounds);
+
+/// Software-prefetches block `block`'s packed codes and factor arrays into
+/// cache; no-op past the last block. The block scan loops (EstimateAll, the
+/// IVF fused selection loop) call this one block ahead so the next block's
+/// data streams in while the current block is assembled.
+void PrefetchBlockData(const RabitqCodeStore& store, std::size_t block);
 
 /// Estimates all codes in `store` through the fast-scan path; `dist_sq`
 /// (and `lower_bounds` if non-null) must hold store.size() floats.

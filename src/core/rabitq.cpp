@@ -13,6 +13,17 @@ void RabitqCodeStore::Append(const std::uint64_t* bits, float dist_to_centroid,
   dist_to_centroid_.push_back(dist_to_centroid);
   o_o_.push_back(o_o);
   bit_count_.push_back(bit_count);
+  // Derived factors: all of the estimator's per-code trigonometry (square,
+  // reciprocal, Eq. 16 sqrt) paid once here instead of once per (query,
+  // code) pair in the scan. The clamps mirror the estimator's historical
+  // guards so a degenerate o_o stays finite.
+  f_sq_.push_back(dist_to_centroid * dist_to_centroid);
+  f_cross_.push_back(2.0f * dist_to_centroid);
+  const float o_c = std::max(o_o, 1e-9f);
+  f_inv_oo_.push_back(1.0f / o_c);
+  const float o_sq = std::max(o_c * o_c, 1e-12f);
+  f_err_.push_back(std::sqrt((1.0f - o_sq) / o_sq) /
+                   std::sqrt(static_cast<float>(total_bits_ - 1)));
 }
 
 void RabitqCodeStore::Finalize() {
@@ -67,6 +78,9 @@ void RabitqCodeStore::CompactInto(const std::uint8_t* dead,
   out->Reserve(live);
   for (std::size_t i = 0; i < n; ++i) {
     if (dead[i]) continue;
+    // Append recomputes the derived factors from the same (dist, o_o)
+    // floats -- a pure function, so the compacted store's factors are
+    // bit-identical to the originals (tested).
     out->Append(BitsAt(i), dist_to_centroid_[i], o_o_[i], bit_count_[i]);
   }
   if (out->size() > 0) out->Finalize();

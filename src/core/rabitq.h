@@ -5,6 +5,17 @@
 //   dist_to_centroid = ||o_r - c||        (Eq. 2)
 //   o_o              = <o-bar, o> = ||P^T o||_1 / sqrt(B)   (Eq. 30)
 //   bit_count        = popcount(x_b)      (Eq. 20)
+// plus derived factors precomputed once per code so the query-phase assembly
+// of Eq. 20 + the Thm 3.2 error bound is a pure fused-multiply-add kernel
+// (no sqrt, no divide, no AoS view in the hot loop -- Andre et al.'s
+// fast-scan discipline of hoisting everything query-invariant out of the
+// scan, applied to the float assembly as well as the LUT accumulation):
+//   f_sq     = dist_to_centroid^2
+//   f_cross  = 2 * dist_to_centroid
+//   f_inv_oo = 1 / max(o_o, 1e-9)
+//   f_err    = sqrt((1 - o_o^2) / max(o_o^2, 1e-12)) / sqrt(B - 1)
+//              (the query-invariant part of Eq. 16; the estimator multiplies
+//               by eps0 at query time)
 // Codes live in an SoA store that also keeps the packed fast-scan layout for
 // the batch estimator.
 
@@ -45,6 +56,12 @@ struct RabitqCodeView {
   float dist_to_centroid = 0.0f;        // ||o_r - c||
   float o_o = 0.0f;                     // <o-bar, o>
   std::uint32_t bit_count = 0;          // popcount(x_b)
+  // Precomputed estimator factors (see the header comment); derived from
+  // (dist_to_centroid, o_o, B) at append time, never stored on disk.
+  float f_sq = 0.0f;       // dist_to_centroid^2
+  float f_cross = 0.0f;    // 2 * dist_to_centroid
+  float f_inv_oo = 1.0f;   // 1 / max(o_o, 1e-9)
+  float f_err = 0.0f;      // Eq. 16 half-width sans eps0
 };
 
 /// Structure-of-arrays storage for RaBitQ codes; append during the index
@@ -65,6 +82,10 @@ class RabitqCodeStore {
     dist_to_centroid_.clear();
     o_o_.clear();
     bit_count_.clear();
+    f_sq_.clear();
+    f_cross_.clear();
+    f_inv_oo_.clear();
+    f_err_.clear();
     packed_ = FastScanCodes{};
   }
 
@@ -73,6 +94,10 @@ class RabitqCodeStore {
     dist_to_centroid_.reserve(n);
     o_o_.reserve(n);
     bit_count_.reserve(n);
+    f_sq_.reserve(n);
+    f_cross_.reserve(n);
+    f_inv_oo_.reserve(n);
+    f_err_.reserve(n);
   }
 
   std::size_t size() const { return dist_to_centroid_.size(); }
@@ -81,7 +106,9 @@ class RabitqCodeStore {
 
   RabitqCodeView View(std::size_t i) const {
     return RabitqCodeView{bits_.data() + i * words_per_code_,
-                          dist_to_centroid_[i], o_o_[i], bit_count_[i]};
+                          dist_to_centroid_[i], o_o_[i],      bit_count_[i],
+                          f_sq_[i],             f_cross_[i],  f_inv_oo_[i],
+                          f_err_[i]};
   }
 
   const std::uint64_t* BitsAt(std::size_t i) const {
@@ -91,7 +118,20 @@ class RabitqCodeStore {
   float o_o(std::size_t i) const { return o_o_[i]; }
   std::uint32_t bit_count(std::size_t i) const { return bit_count_[i]; }
 
-  /// Appends a code; `bits` must hold words_per_code() words.
+  // SoA factor arrays for the fused batch estimator; parallel to the code
+  // order, always size() entries (appended in lock-step by Append).
+  const float* dist_to_centroid_data() const { return dist_to_centroid_.data(); }
+  const std::uint32_t* bit_count_data() const { return bit_count_.data(); }
+  const float* f_sq_data() const { return f_sq_.data(); }
+  const float* f_cross_data() const { return f_cross_.data(); }
+  const float* f_inv_oo_data() const { return f_inv_oo_.data(); }
+  const float* f_err_data() const { return f_err_.data(); }
+
+  /// Appends a code; `bits` must hold words_per_code() words. The derived
+  /// estimator factors are computed here -- every code-creation path
+  /// (encode, single-vector append, compaction, snapshot load) funnels
+  /// through this method, so factors can never go stale and snapshots never
+  /// store them (Load recomputes them for free, v1 and v2 alike).
   void Append(const std::uint64_t* bits, float dist_to_centroid, float o_o,
               std::uint32_t bit_count);
 
@@ -122,6 +162,12 @@ class RabitqCodeStore {
   std::vector<float> dist_to_centroid_;
   std::vector<float> o_o_;
   std::vector<std::uint32_t> bit_count_;
+  // Derived factor SoA arrays (see header comment); aligned so the fused
+  // kernel's block-granular loads stay on cache-line boundaries.
+  AlignedVector<float> f_sq_;
+  AlignedVector<float> f_cross_;
+  AlignedVector<float> f_inv_oo_;
+  AlignedVector<float> f_err_;
   FastScanCodes packed_;
 };
 

@@ -1,7 +1,9 @@
 #include "index/ivf.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
 #include <mutex>
 #include <numeric>
 
@@ -98,12 +100,26 @@ Status IvfRabitqIndex::BuildFromClustering(const Matrix& data, Matrix centroids,
 void IvfRabitqIndex::ProbeOrderInto(
     const float* query,
     std::vector<std::pair<float, std::uint32_t>>* out) const {
+  ProbeOrderInto(query, centroids_.rows(), out);
+}
+
+void IvfRabitqIndex::ProbeOrderInto(
+    const float* query, std::size_t nprobe,
+    std::vector<std::pair<float, std::uint32_t>>* out) const {
   out->resize(centroids_.rows());
   for (std::size_t l = 0; l < centroids_.rows(); ++l) {
     (*out)[l] = {L2SqrDistance(query, centroids_.Row(l), dim()),
                  static_cast<std::uint32_t>(l)};
   }
-  std::sort(out->begin(), out->end());
+  if (nprobe >= out->size()) {
+    std::sort(out->begin(), out->end());
+    return;
+  }
+  // Select the nprobe nearest, then order only them. The pair comparison is
+  // a total order (list ids are unique), so this prefix is identical to the
+  // full sort's.
+  std::nth_element(out->begin(), out->begin() + nprobe, out->end());
+  std::sort(out->begin(), out->begin() + nprobe);
 }
 
 std::vector<std::pair<float, std::uint32_t>>
@@ -151,7 +167,7 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
   const float epsilon0 = params.epsilon0_override >= 0.0f
                              ? params.epsilon0_override
                              : encoder_.config().epsilon0;
-  ProbeOrderInto(query, &scratch->probe_order);
+  ProbeOrderInto(query, params.nprobe, &scratch->probe_order);
   const auto& order = scratch->probe_order;
   const std::size_t nprobe = std::min(params.nprobe, order.size());
 
@@ -173,6 +189,21 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
   std::vector<float>& est_buf = scratch->est_buf;
   std::vector<float>& lb_buf = scratch->lb_buf;
   QuantizedQuery& qq = scratch->query;
+  const bool need_bounds = params.policy == RerankPolicy::kErrorBound;
+
+  // One block-padded sizing per search instead of one resize per probed
+  // list: the fused kernel stores whole 32-lane blocks, so the buffers are
+  // padded up to the block multiple of the largest probed list.
+  std::size_t max_entries = 0;
+  for (std::size_t p = 0; p < nprobe; ++p) {
+    max_entries = std::max(max_entries, lists_[order[p].second].ids.size());
+  }
+  const std::size_t padded =
+      (max_entries + kFastScanBlockSize - 1) / kFastScanBlockSize *
+      kFastScanBlockSize;
+  est_buf.resize(padded);
+  lb_buf.resize(padded);
+
   for (std::size_t p = 0; p < nprobe; ++p) {
     const std::uint32_t list_id = order[p].second;
     const List& list = lists_[list_id];
@@ -186,10 +217,60 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
         encoder_, rotated_query, rotated_centroids_.Row(list_id),
         std::sqrt(std::max(0.0f, order[p].first)), &list_rng, &qq));
     const std::size_t n = list.ids.size();
-    est_buf.resize(n);
-    lb_buf.resize(n);
-    const bool need_bounds = params.policy == RerankPolicy::kErrorBound;
-    if (params.use_batch_estimator && qq.has_exact_luts) {
+    const bool batch = params.use_batch_estimator && qq.has_exact_luts &&
+                       list.codes.finalized();
+    local_stats.codes_estimated += n;
+
+    // Candidate selection consults the tombstones: a dead entry (deleted id
+    // or stale pre-Update code) is estimated by the batch kernel -- blocks
+    // are contiguous -- but never reaches the heap or the pool.
+    if (params.policy == RerankPolicy::kErrorBound && batch) {
+      // Fused scan + selection (paper Section 4 made branch-free): per
+      // block, accumulate the fast-scan sums, assemble estimates + lower
+      // bounds 8 lanes at a time, and prune in-kernel against the current
+      // k-th best exact distance (FLT_MAX while the heap is filling) with
+      // the tombstone flags folded into the same survivors mask. Only
+      // surviving lanes are walked; each is re-checked against the LIVE
+      // threshold (it tightens within a block as candidates are pushed), so
+      // the re-ranked set is element-for-element identical to the
+      // un-fused per-entry loop.
+      const FastScanCodes& packed = list.codes.packed();
+      const std::uint8_t* dead_base =
+          list.num_dead > 0 ? list.dead.data() : nullptr;
+      std::uint32_t sums[kFastScanBlockSize];
+      for (std::size_t block = 0; block < packed.num_blocks; ++block) {
+        const std::size_t begin = block * kFastScanBlockSize;
+        PrefetchBlockData(list.codes, block + 1);
+        FastScanAccumulateBlock(packed.BlockPtr(block), packed.num_segments,
+                                qq.luts.data(), sums);
+        // +infinity (not FLT_MAX) while the heap is filling: nothing
+        // compares greater than inf, so even a lower bound that overflowed
+        // to +inf survives the kernel -- exactly like the un-fused loop,
+        // whose `full() &&` short-circuit never prunes while filling.
+        const float threshold = exact_heap.full()
+                                    ? exact_heap.Threshold()
+                                    : std::numeric_limits<float>::infinity();
+        std::uint32_t survivors = EstimateBlockFusedPruned(
+            qq, list.codes, block, sums, epsilon0, threshold,
+            dead_base == nullptr ? nullptr : dead_base + begin,
+            est_buf.data() + begin, lb_buf.data() + begin);
+        while (survivors != 0) {
+          const unsigned lane = std::countr_zero(survivors);
+          survivors &= survivors - 1;
+          const std::size_t i = begin + lane;
+          if (exact_heap.full() && lb_buf[i] > exact_heap.Threshold()) {
+            continue;
+          }
+          const std::uint32_t id = list.ids[i];
+          const float exact = L2SqrDistance(data_.Row(id), query, dim());
+          exact_heap.Push(exact, id);
+          ++local_stats.candidates_reranked;
+        }
+      }
+      continue;
+    }
+
+    if (batch) {
       EstimateAll(qq, list.codes, epsilon0, est_buf.data(),
                   need_bounds ? lb_buf.data() : nullptr);
     } else {
@@ -197,14 +278,12 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
         const DistanceEstimate est =
             EstimateDistance(qq, list.codes.View(i), epsilon0);
         est_buf[i] = est.dist_sq;
-        lb_buf[i] = est.lower_bound_sq;
+        // Match the batch path's need_bounds gating: policies that never
+        // read lower bounds do not pay the stores.
+        if (need_bounds) lb_buf[i] = est.lower_bound_sq;
       }
     }
-    local_stats.codes_estimated += n;
 
-    // Candidate selection consults the tombstones: a dead entry (deleted id
-    // or stale pre-Update code) is estimated by the batch kernel above --
-    // blocks are contiguous -- but never reaches the heap or the pool.
     switch (params.policy) {
       case RerankPolicy::kErrorBound:
         // Paper Section 4: drop a vector iff its distance lower bound

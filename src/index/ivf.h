@@ -166,6 +166,16 @@ class IvfRabitqIndex {
   void ProbeOrderInto(const float* query,
                       std::vector<std::pair<float, std::uint32_t>>* out) const;
 
+  /// nprobe-aware variant: only the first min(nprobe, num_lists) entries of
+  /// `*out` are sorted ascending (nth_element + sort of the prefix, O(L +
+  /// nprobe log nprobe) instead of O(L log L)); entries past the prefix are
+  /// in unspecified order. Because (distance, list id) pairs are totally
+  /// ordered, the sorted prefix is exactly the full sort's prefix -- the
+  /// search path (SearchWithScratch, and through it ShardedIndex and the
+  /// engine) stays bit-identical while skipping the full sort.
+  void ProbeOrderInto(const float* query, std::size_t nprobe,
+                      std::vector<std::pair<float, std::uint32_t>>* out) const;
+
   /// K-NN search over the LIVE vectors (tombstones are skipped during
   /// candidate selection). `rng` supplies the 64-bit base seed of the
   /// randomized query quantization (one NextU64 draw per search); per probed

@@ -5,6 +5,13 @@
 // paper's observation that the codebook never needs to be materialized.
 // Legacy v1 files ("RBQIVF01", written before the index became mutable; no
 // tombstone sections) still load: every entry is treated as live.
+//
+// The derived estimator factors (f_sq/f_cross/f_inv_oo/f_err) are NOT part
+// of either format: they are a pure function of the stored per-code
+// (dist_to_centroid, o_o) floats and are recomputed by
+// RabitqCodeStore::Append as Load streams the codes in -- v1 and v2
+// snapshots both come back with factors bit-identical to the ones the
+// original index computed at encode time, with no format bump.
 
 #include <algorithm>
 #include <vector>

@@ -157,7 +157,10 @@ class ShardedIndex {
   /// kErrorBound runs unchanged (exact per-shard top-k); kFixedCandidates
   /// is mapped to an estimate gather (policy kNone, k = max(k, R)) so the
   /// merge can split the re-rank budget globally; kNone runs unchanged.
-  /// SearchEngine fans these out as (query x shard) cells.
+  /// SearchEngine fans these out as (query x shard) cells. Each cell
+  /// inherits the per-shard fast path of IvfRabitqIndex::SearchWithScratch
+  /// (nprobe-aware partial probe ordering, the fused estimate+prune
+  /// kernel), so the scatter cost scales with nprobe, not num_lists.
   Status SearchShard(std::size_t shard, const float* query,
                      const float* rotated_query, const IvfSearchParams& params,
                      std::uint64_t seed, IvfSearchScratch* scratch,

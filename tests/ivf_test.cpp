@@ -81,6 +81,27 @@ TEST_F(IvfTestFixture, ProbeOrderSortsByCentroidDistance) {
   }
 }
 
+TEST_F(IvfTestFixture, PartialProbeOrderMatchesFullSortPrefix) {
+  // The nprobe-aware selection (nth_element + prefix sort) must produce
+  // exactly the full sort's first nprobe entries -- this is what keeps the
+  // search path bit-identical after the partial-sort optimization.
+  for (std::size_t q = 0; q < 4; ++q) {
+    std::vector<std::pair<float, std::uint32_t>> full;
+    index_.ProbeOrderInto(queries_.Row(q), &full);
+    for (const std::size_t nprobe : {std::size_t{1}, std::size_t{5},
+                                     std::size_t{16}, index_.num_lists(),
+                                     index_.num_lists() + 10}) {
+      std::vector<std::pair<float, std::uint32_t>> partial;
+      index_.ProbeOrderInto(queries_.Row(q), nprobe, &partial);
+      ASSERT_EQ(partial.size(), full.size());
+      const std::size_t prefix = std::min(nprobe, full.size());
+      for (std::size_t i = 0; i < prefix; ++i) {
+        EXPECT_EQ(partial[i], full[i]) << "nprobe " << nprobe << " pos " << i;
+      }
+    }
+  }
+}
+
 TEST_F(IvfTestFixture, FullProbeErrorBoundRecallIsNearPerfect) {
   // Probing every list with error-bound re-ranking must find essentially
   // all true neighbors (misses only when the bound fails, prob ~ 1e-3).
