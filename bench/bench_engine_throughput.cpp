@@ -72,6 +72,28 @@ std::size_t EnvSize(const char* name, std::size_t fallback) {
   return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
 }
 
+// Runs rows [begin, begin + count) of `queries` through the engine as one
+// request batch (seed QuerySeed(kSeedBase, row), optional shared filter)
+// and moves the neighbor lists into (*all)[row].
+void RunRequestBatch(SearchEngine* engine, const Matrix& queries,
+                     std::size_t begin, std::size_t count,
+                     const IvfSearchParams& params, const IdFilter& filter,
+                     std::vector<std::vector<Neighbor>>* all) {
+  std::vector<SearchRequest> requests(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    requests[i].query = queries.Row(begin + i);
+    requests[i].options = params;
+    requests[i].options.seed = SearchEngine::QuerySeed(kSeedBase, begin + i);
+    requests[i].options.filter = filter;
+  }
+  std::vector<SearchResponse> responses;
+  CheckOk(engine->SearchBatch(requests.data(), count, &responses),
+          "SearchBatch");
+  for (std::size_t i = 0; i < count; ++i) {
+    (*all)[begin + i] = std::move(responses[i].neighbors);
+  }
+}
+
 }  // namespace
 
 int Run(int argc, char** argv) {
@@ -109,10 +131,11 @@ int Run(int argc, char** argv) {
     WallTimer timer;
     for (std::size_t r = 0; r < repeat; ++r) {
       for (std::size_t i = 0; i < num_queries; ++i) {
-        CheckOk(index.Search(queries.Row(i), params,
-                             SearchEngine::QuerySeed(kSeedBase, i),
-                             &results[i]),
-                "Search");
+        SearchRequest request{queries.Row(i), params};
+        request.options.seed = SearchEngine::QuerySeed(kSeedBase, i);
+        SearchResponse response = index.Search(request);
+        CheckOk(response.status, "Search");
+        results[i] = std::move(response.neighbors);
       }
     }
     const double seconds = timer.ElapsedSeconds();
@@ -146,14 +169,8 @@ int Run(int argc, char** argv) {
       for (std::size_t r = 0; r < repeat; ++r) {
         for (std::size_t begin = 0; begin < num_queries; begin += batch) {
           const std::size_t count = std::min(batch, num_queries - begin);
-          std::vector<std::vector<Neighbor>> results;
-          CheckOk(engine.SearchBatch(queries.Row(begin), count, params,
-                                     SearchEngine::QuerySeed(kSeedBase, begin),
-                                     &results),
-                  "SearchBatch");
-          for (std::size_t i = 0; i < count; ++i) {
-            all[begin + i] = std::move(results[i]);
-          }
+          RunRequestBatch(&engine, queries, begin, count, params, IdFilter{},
+                          &all);
         }
       }
       const double seconds = timer.ElapsedSeconds();
@@ -162,10 +179,56 @@ int Run(int argc, char** argv) {
       const EngineStatsSnapshot stats = engine.Stats();
       std::printf(",\n  {\"mode\":\"engine\",\"threads\":%zu,\"batch\":%zu,"
                   "\"qps\":%.1f,\"recall\":%.4f,\"speedup\":%.2f,"
-                  "\"p50_us\":%.1f,\"p99_us\":%.1f}",
+                  "\"p50_us\":%.1f,\"p99_us\":%.1f,\"codes_filtered\":%llu}",
                   threads, batch, qps, RecallOf(gt, all, params.k),
                   qps / std::max(sequential_qps, 1e-9),
-                  stats.latency_p50_us, stats.latency_p99_us);
+                  stats.latency_p50_us, stats.latency_p99_us,
+                  static_cast<unsigned long long>(stats.codes_filtered));
+    }
+  }
+
+  // ---- Filtered serving: the same query stream with a per-query IdFilter
+  // at several selectivities (fraction of ids allowed). The filter is pushed
+  // into the fused kernel's survivors mask, so QPS tracks the allowed
+  // fraction instead of paying full-scan cost plus a post-filter.
+  {
+    EngineConfig config;
+    config.num_threads = max_threads;
+    IvfRabitqIndex engine_index;
+    CheckOk(engine_index.Load(tmp_path), "Load");
+    SearchEngine engine(std::move(engine_index), config);
+    Rng filter_rng(77);
+    for (const double selectivity : {1.0, 0.5, 0.1}) {
+      std::vector<std::uint64_t> bitmap((n + 63) / 64, 0);
+      std::size_t allowed = 0;
+      for (std::size_t id = 0; id < n; ++id) {
+        if (filter_rng.UniformInt(1000) <
+            static_cast<std::size_t>(selectivity * 1000)) {
+          bitmap[id >> 6] |= std::uint64_t{1} << (id & 63);
+          ++allowed;
+        }
+      }
+      const IdFilter filter = IdFilter::AllowBitmap(bitmap.data(), n);
+      engine.ResetStats();
+      std::vector<std::vector<Neighbor>> all(num_queries);
+      WallTimer timer;
+      for (std::size_t r = 0; r < repeat; ++r) {
+        for (std::size_t begin = 0; begin < num_queries; begin += 32) {
+          const std::size_t count =
+              std::min<std::size_t>(32, num_queries - begin);
+          RunRequestBatch(&engine, queries, begin, count, params, filter,
+                          &all);
+        }
+      }
+      const double seconds = timer.ElapsedSeconds();
+      const EngineStatsSnapshot stats = engine.Stats();
+      std::printf(",\n  {\"mode\":\"filtered\",\"threads\":%zu,"
+                  "\"selectivity\":%.2f,\"allowed\":%zu,\"qps\":%.1f,"
+                  "\"codes_filtered\":%llu}",
+                  max_threads, selectivity, allowed,
+                  static_cast<double>(num_queries * repeat) /
+                      std::max(seconds, 1e-9),
+                  static_cast<unsigned long long>(stats.codes_filtered));
     }
   }
   std::remove(tmp_path);
@@ -199,14 +262,8 @@ int Run(int argc, char** argv) {
     for (std::size_t r = 0; r < repeat; ++r) {
       for (std::size_t begin = 0; begin < num_queries; begin += 32) {
         const std::size_t count = std::min<std::size_t>(32, num_queries - begin);
-        std::vector<std::vector<Neighbor>> results;
-        CheckOk(engine.SearchBatch(queries.Row(begin), count, sparams,
-                                   SearchEngine::QuerySeed(kSeedBase, begin),
-                                   &results),
-                "sharded SearchBatch");
-        for (std::size_t i = 0; i < count; ++i) {
-          all[begin + i] = std::move(results[i]);
-        }
+        RunRequestBatch(&engine, queries, begin, count, sparams, IdFilter{},
+                        &all);
       }
     }
     const double query_s = query_timer.ElapsedSeconds();

@@ -69,11 +69,11 @@ int main() {
         double recall = 0.0;
         WallTimer timer;
         for (std::size_t q = 0; q < queries.rows(); ++q) {
-          std::vector<Neighbor> result;
-          bench::CheckOk(
-              rabitq_index.Search(queries.Row(q), params, &rng, &result),
-              "search");
-          recall += RecallAtK(gt, q, result, k);
+          SearchRequest request{queries.Row(q), params};
+          request.options.seed = rng.NextU64();
+          const SearchResponse response = rabitq_index.Search(request);
+          bench::CheckOk(response.status, "search");
+          recall += RecallAtK(gt, q, response.neighbors, k);
         }
         const double seconds = timer.ElapsedSeconds();
         table.AddRow({rerank ? "IVF-RaBitQ (with rerank)"

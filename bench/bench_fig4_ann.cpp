@@ -105,9 +105,11 @@ int main() {
       points.push_back(MeasureSweepPoint(
           "IVF-RaBitQ", "nprobe=" + std::to_string(nprobe), queries, gt,
           [&](std::size_t q, std::vector<Neighbor>* out) {
-            bench::CheckOk(rabitq_index.Search(queries.Row(q), params, &rng,
-                                               out),
-                           "search");
+            SearchRequest request{queries.Row(q), params};
+            request.options.seed = rng.NextU64();
+            SearchResponse response = rabitq_index.Search(request);
+            bench::CheckOk(response.status, "search");
+            *out = std::move(response.neighbors);
           }));
     }
     for (const std::size_t rerank : {500u, 1000u, 2500u}) {

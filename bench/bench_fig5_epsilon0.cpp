@@ -48,13 +48,12 @@ int main() {
         params.k = k;
         params.nprobe = index.num_lists();  // full probe
         params.epsilon0_override = eps0;
-        std::vector<Neighbor> result;
-        IvfSearchStats stats;
-        bench::CheckOk(
-            index.Search(queries.Row(q), params, &rng, &result, &stats),
-            "search");
-        recall += RecallAtK(gt, q, result, k);
-        reranked += stats.candidates_reranked;
+        params.seed = rng.NextU64();
+        const SearchResponse response =
+            index.Search(SearchRequest{queries.Row(q), params});
+        bench::CheckOk(response.status, "search");
+        recall += RecallAtK(gt, q, response.neighbors, k);
+        reranked += response.stats.candidates_reranked;
       }
       table.AddRow({spec.name + " (D=" + std::to_string(spec.dim) + ")",
                     TablePrinter::FormatDouble(eps0, 1),

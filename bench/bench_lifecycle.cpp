@@ -167,9 +167,14 @@ int Run(int argc, char** argv) {
     std::size_t served = 0;
     WallTimer timer;
     for (std::size_t round = 0; round < 4; ++round) {
-      std::vector<std::vector<Neighbor>> results;
-      CheckOk(engine.SearchBatch(queries.data(), num_queries, params,
-                                 /*seed_base=*/round, &results),
+      std::vector<SearchRequest> requests(num_queries);
+      for (std::size_t i = 0; i < num_queries; ++i) {
+        requests[i].query = queries.data() + i * dim;
+        requests[i].options = params;
+        requests[i].options.seed = SearchEngine::QuerySeed(round, i);
+      }
+      std::vector<SearchResponse> responses;
+      CheckOk(engine.SearchBatch(requests.data(), num_queries, &responses),
               "SearchBatch");
       served += num_queries;
     }

@@ -68,16 +68,16 @@ int main() {
     std::size_t reranked = 0;
     WallTimer timer;
     for (std::size_t q = 0; q < queries.rows(); ++q) {
-      std::vector<Neighbor> result;
-      IvfSearchStats stats;
-      status = index.Search(queries.Row(q), params, &rng, &result, &stats);
-      if (!status.ok()) {
-        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      params.seed = rng.NextU64();
+      const rabitq::SearchResponse response =
+          index.Search(rabitq::SearchRequest{queries.Row(q), params});
+      if (!response.ok()) {
+        std::fprintf(stderr, "%s\n", response.status.ToString().c_str());
         return 1;
       }
-      recall += RecallAtK(gt, q, result, 100);
-      ratio += AverageDistanceRatio(gt, q, result, 100);
-      reranked += stats.candidates_reranked;
+      recall += RecallAtK(gt, q, response.neighbors, 100);
+      ratio += AverageDistanceRatio(gt, q, response.neighbors, 100);
+      reranked += response.stats.candidates_reranked;
     }
     const double seconds = timer.ElapsedSeconds();
     table.AddRow({std::to_string(nprobe),

@@ -23,12 +23,14 @@
 #include "util/prng.h"
 
 using rabitq::EngineConfig;
-using rabitq::EngineResult;
 using rabitq::EngineStatsSnapshot;
+using rabitq::IdFilter;
 using rabitq::IvfSearchParams;
 using rabitq::Matrix;
 using rabitq::Rng;
 using rabitq::SearchEngine;
+using rabitq::SearchRequest;
+using rabitq::SearchResponse;
 using rabitq::ShardedConfig;
 using rabitq::ShardedIndex;
 using rabitq::Status;
@@ -116,16 +118,16 @@ int main(int argc, char** argv) {
   std::vector<std::thread> producers;
   for (std::size_t p = 0; p < num_producers; ++p) {
     producers.emplace_back([&, p] {
-      std::vector<std::future<EngineResult>> futures;
+      std::vector<std::future<SearchResponse>> futures;
       futures.reserve(queries_per_producer);
       for (std::size_t i = 0; i < queries_per_producer; ++i) {
-        futures.push_back(
-            engine.SubmitAsync(queries.Row(p * queries_per_producer + i)));
+        futures.push_back(engine.SubmitAsync(
+            SearchRequest{queries.Row(p * queries_per_producer + i), params}));
       }
       std::size_t ok = 0;
       float nearest = -1.0f;
       for (auto& f : futures) {
-        EngineResult result = f.get();
+        SearchResponse result = f.get();
         if (result.status.ok()) {
           ++ok;
           if (!result.neighbors.empty()) nearest = result.neighbors[0].first;
@@ -183,11 +185,47 @@ int main(int argc, char** argv) {
                  compact_status.ToString().c_str());
   }
 
+  // --- Filtered search: the same serving path with a per-query IdFilter.
+  // The filter is pushed down into the fused scan (it joins the tombstone
+  // bits in the kernel's survivors mask), so excluded ids never reach exact
+  // re-ranking and there is no post-filtering pass. Here: a predicate
+  // admitting only even ids, then an allow-bitmap pinned to three ids --
+  // the "search within this user's documents" shape.
+  if (queries.rows() > 0) {
+    SearchRequest request{queries.Row(0), params};
+    request.options.seed = 42;  // explicit seed: reproducible across runs
+    request.options.filter = IdFilter::FromPredicate(
+        [](void*, std::uint32_t id) { return id % 2 == 0; }, nullptr);
+    const SearchResponse even = engine.Search(request);
+    bool all_even = even.ok();
+    for (const auto& nb : even.neighbors) all_even &= nb.second % 2 == 0;
+    std::printf("\nfiltered search (even ids only): %zu hits, all even: %s, "
+                "codes filtered in-scan: %zu\n",
+                even.neighbors.size(), all_even ? "yes" : "NO",
+                even.stats.codes_filtered);
+
+    std::vector<std::uint64_t> bitmap((n + 63) / 64, 0);
+    for (const std::uint32_t id : {2001u, 9999u, 15000u}) {  // churn survivors
+      bitmap[id >> 6] |= std::uint64_t{1} << (id & 63u);
+    }
+    request.options.filter = IdFilter::AllowBitmap(bitmap.data(), n);
+    // Probe every list: with only three candidate ids in the whole index,
+    // an IVF subset probe would usually miss their lists entirely.
+    request.options.nprobe = ~std::size_t{0};
+    const SearchResponse pinned = engine.Search(request);
+    std::printf("filtered search (3-id allowlist): top hits =");
+    for (const auto& nb : pinned.neighbors) {
+      std::printf(" %u(d^2=%.2f)", nb.second, nb.first);
+    }
+    std::printf("\n");
+  }
+
   const EngineStatsSnapshot stats = engine.Stats();
   std::printf(
       "\nserved %llu queries in %llu batches (mean batch %.1f)\n"
       "qps %.0f | latency p50 %.0fus p99 %.0fus max %.0fus\n"
-      "codes estimated %llu | candidates re-ranked %llu | lists probed %llu\n"
+      "codes estimated %llu | candidates re-ranked %llu | lists probed %llu"
+      " | codes filtered %llu\n"
       "inserts %llu, deletes %llu, updates %llu, lists compacted %llu\n"
       "epoch %llu | ids %zu, live %llu, tombstones %llu\n",
       static_cast<unsigned long long>(stats.queries),
@@ -197,6 +235,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.codes_estimated),
       static_cast<unsigned long long>(stats.candidates_reranked),
       static_cast<unsigned long long>(stats.lists_probed),
+      static_cast<unsigned long long>(stats.codes_filtered),
       static_cast<unsigned long long>(stats.inserts),
       static_cast<unsigned long long>(stats.deletes),
       static_cast<unsigned long long>(stats.updates),

@@ -94,12 +94,15 @@ inline DistanceEstimate Assemble(const QuantizedQuery& query,
 }
 
 // Folds the structural masks into a survivors bitmask: tail lanes of a
-// partial block and tombstoned entries never survive.
+// partial block, tombstoned entries and lanes the caller's `lane_mask`
+// (the per-query IdFilter pushdown) cleared never survive.
 inline std::uint32_t FoldAliveMask(std::uint32_t mask, const std::uint8_t* dead,
-                                   std::size_t count) {
+                                   std::size_t count,
+                                   std::uint32_t lane_mask) {
   std::uint32_t alive = count >= kFastScanBlockSize
                             ? 0xFFFFFFFFu
                             : ((1u << count) - 1u);
+  alive &= lane_mask;
   if (dead != nullptr) {
     for (std::size_t k = 0; k < count; ++k) {
       alive &= ~(static_cast<std::uint32_t>(dead[k] != 0) << k);
@@ -280,26 +283,27 @@ std::uint32_t EstimateBlockFusedPruned(const QuantizedQuery& query,
                                        const std::uint32_t* sums,
                                        float epsilon0, float prune_threshold,
                                        const std::uint8_t* dead,
-                                       float* dist_sq, float* lower_bounds) {
+                                       float* dist_sq, float* lower_bounds,
+                                       std::uint32_t lane_mask) {
   const std::size_t begin = block * kFastScanBlockSize;
   const std::size_t count = std::min(kFastScanBlockSize, store.size() - begin);
   const std::uint32_t mask =
       FusedBlockDispatch(query, store, block, sums, epsilon0, prune_threshold,
                          dist_sq, lower_bounds);
-  return FoldAliveMask(mask, dead, count);
+  return FoldAliveMask(mask, dead, count, lane_mask);
 }
 
 std::uint32_t EstimateBlockFusedPrunedScalar(
     const QuantizedQuery& query, const RabitqCodeStore& store,
     std::size_t block, const std::uint32_t* sums, float epsilon0,
     float prune_threshold, const std::uint8_t* dead, float* dist_sq,
-    float* lower_bounds) {
+    float* lower_bounds, std::uint32_t lane_mask) {
   const std::size_t begin = block * kFastScanBlockSize;
   const std::size_t count = std::min(kFastScanBlockSize, store.size() - begin);
   const std::uint32_t mask =
       FusedBlockScalar(query, store, begin, sums, count, epsilon0,
                        prune_threshold, dist_sq, lower_bounds);
-  return FoldAliveMask(mask, dead, count);
+  return FoldAliveMask(mask, dead, count, lane_mask);
 }
 
 void PrefetchBlockData(const RabitqCodeStore& store, std::size_t block) {

@@ -82,26 +82,29 @@ void EstimateBlockFusedScalar(const QuantizedQuery& query,
 /// like EstimateBlockFused (same buffer contract, both buffers written) and
 /// returns a survivors bitmask -- bit k set iff lane k is a real code
 /// (k < count for a tail block), is not tombstoned (`dead`, 32 flags for
-/// this block, may be null when the list has no tombstones) and its lower
-/// bound does not exceed `prune_threshold` (the caller's current top-k
-/// threshold; pass +infinity -- NOT FLT_MAX -- to disable pruning, e.g.
-/// while the heap is still filling: a lower bound that overflowed to +inf
-/// must survive then, and only `> inf` guarantees that). The caller walks
-/// set bits only, fusing candidate selection into the scan.
+/// this block, may be null when the list has no tombstones), is allowed by
+/// `lane_mask` (bit k clear drops lane k -- the per-query IdFilter's
+/// pushdown, all-ones when unfiltered) and its lower bound does not exceed
+/// `prune_threshold` (the caller's current top-k threshold; pass +infinity
+/// -- NOT FLT_MAX -- to disable pruning, e.g. while the heap is still
+/// filling: a lower bound that overflowed to +inf must survive then, and
+/// only `> inf` guarantees that). The caller walks set bits only, fusing
+/// candidate selection into the scan.
 std::uint32_t EstimateBlockFusedPruned(const QuantizedQuery& query,
                                        const RabitqCodeStore& store,
                                        std::size_t block,
                                        const std::uint32_t* sums,
                                        float epsilon0, float prune_threshold,
                                        const std::uint8_t* dead,
-                                       float* dist_sq, float* lower_bounds);
+                                       float* dist_sq, float* lower_bounds,
+                                       std::uint32_t lane_mask = 0xFFFFFFFFu);
 
 /// Bit-exact scalar reference for EstimateBlockFusedPruned.
 std::uint32_t EstimateBlockFusedPrunedScalar(
     const QuantizedQuery& query, const RabitqCodeStore& store,
     std::size_t block, const std::uint32_t* sums, float epsilon0,
     float prune_threshold, const std::uint8_t* dead, float* dist_sq,
-    float* lower_bounds);
+    float* lower_bounds, std::uint32_t lane_mask = 0xFFFFFFFFu);
 
 /// Software-prefetches block `block`'s packed codes and factor arrays into
 /// cache; no-op past the last block. The block scan loops (EstimateAll, the

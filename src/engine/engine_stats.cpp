@@ -57,6 +57,7 @@ void EngineStatsCollector::RecordBatch(std::size_t batch_size,
   codes_estimated_ += batch_stats.codes_estimated;
   candidates_reranked_ += batch_stats.candidates_reranked;
   lists_probed_ += batch_stats.lists_probed;
+  codes_filtered_ += batch_stats.codes_filtered;
   for (std::size_t i = 0; i < batch_size; ++i) {
     latency_.Record(latencies_us[i]);
   }
@@ -106,6 +107,7 @@ EngineStatsSnapshot EngineStatsCollector::Snapshot() const {
   snap.codes_estimated = codes_estimated_;
   snap.candidates_reranked = candidates_reranked_;
   snap.lists_probed = lists_probed_;
+  snap.codes_filtered = codes_filtered_;
   return snap;
 }
 
@@ -115,6 +117,7 @@ void EngineStatsCollector::Reset() {
   queries_ = batches_ = inserts_ = search_errors_ = 0;
   deletes_ = updates_ = compactions_ = 0;
   codes_estimated_ = candidates_reranked_ = lists_probed_ = 0;
+  codes_filtered_ = 0;
   latency_.Reset();
 }
 

@@ -39,6 +39,7 @@ struct EngineStatsSnapshot {
   std::uint64_t codes_estimated = 0;
   std::uint64_t candidates_reranked = 0;
   std::uint64_t lists_probed = 0;
+  std::uint64_t codes_filtered = 0;  // excluded by per-query IdFilters
 };
 
 /// Histogram over geometrically spaced latency buckets: bucket i covers
@@ -94,6 +95,7 @@ class EngineStatsCollector {
   std::uint64_t codes_estimated_ = 0;
   std::uint64_t candidates_reranked_ = 0;
   std::uint64_t lists_probed_ = 0;
+  std::uint64_t codes_filtered_ = 0;
   LatencyHistogram latency_;
 };
 

@@ -17,32 +17,35 @@
 #include <vector>
 
 #include "index/ivf.h"
+#include "index/search_types.h"
 #include "util/status.h"
 
 namespace rabitq {
 
-/// Outcome of one served query.
-struct EngineResult {
-  Status status;
-  std::vector<Neighbor> neighbors;
-  IvfSearchStats stats;
-};
+#ifndef RABITQ_NO_DEPRECATED
+/// Legacy name for the outcome of one served query; the unified response
+/// type replaced it (same members: status / neighbors / stats).
+using EngineResult RABITQ_DEPRECATED("use SearchResponse") = SearchResponse;
+#endif  // RABITQ_NO_DEPRECATED
 
 /// One queued query, owning a copy of the vector (the caller's buffer may
-/// die immediately after SubmitAsync returns).
-struct SearchRequest {
+/// die immediately after SubmitAsync returns; the options' IdFilter stays a
+/// view -- its bitmap/context must live until the future resolves). `seed`
+/// is already resolved: options.seed when the caller set one, else the
+/// engine's ticket-derived seed drawn at submission.
+struct QueuedQuery {
   std::vector<float> query;
-  IvfSearchParams params;
+  SearchOptions options;
   std::uint64_t seed = 0;
   std::chrono::steady_clock::time_point submit_time;
-  std::promise<EngineResult> promise;
+  std::promise<SearchResponse> promise;
 };
 
 class RequestQueue {
  public:
   /// Enqueues a request. Returns false (leaving `req` untouched) after
   /// Close(), so late producers can fail their promise instead of losing it.
-  bool Push(SearchRequest&& req) {
+  bool Push(QueuedQuery&& req) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_) return false;
@@ -58,7 +61,7 @@ class RequestQueue {
   /// only when the queue is closed AND drained -- the scheduler's exit
   /// condition, which guarantees every accepted request is served.
   bool PopBatch(std::size_t max_batch, std::chrono::microseconds linger,
-                std::vector<SearchRequest>* out) {
+                std::vector<QueuedQuery>* out) {
     out->clear();
     std::unique_lock<std::mutex> lock(mutex_);
     ready_.wait(lock, [this] { return closed_ || !queue_.empty(); });
@@ -94,7 +97,7 @@ class RequestQueue {
  private:
   mutable std::mutex mutex_;
   std::condition_variable ready_;
-  std::deque<SearchRequest> queue_;
+  std::deque<QueuedQuery> queue_;
   bool closed_ = false;
 };
 

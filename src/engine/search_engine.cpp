@@ -16,6 +16,7 @@ IvfSearchStats SumStats(const IvfSearchStats* stats, std::size_t n) {
     agg.codes_estimated += stats[i].codes_estimated;
     agg.candidates_reranked += stats[i].candidates_reranked;
     agg.lists_probed += stats[i].lists_probed;
+    agg.codes_filtered += stats[i].codes_filtered;
   }
   return agg;
 }
@@ -189,67 +190,105 @@ void SearchEngine::ExecuteBatch(
   stats_.RecordBatch(n, latencies.data(), SumStats(stats, n), errors);
 }
 
-Status SearchEngine::SearchBatch(const float* queries, std::size_t num_queries,
-                                 const IvfSearchParams& params,
-                                 std::uint64_t seed_base,
-                                 std::vector<std::vector<Neighbor>>* results,
-                                 IvfSearchStats* agg) {
-  if (queries == nullptr || results == nullptr) {
-    return Status::InvalidArgument("null queries/results");
+Status SearchEngine::SearchBatch(const SearchRequest* requests,
+                                 std::size_t num_requests,
+                                 std::vector<SearchResponse>* responses) {
+  if (responses == nullptr) {
+    return Status::InvalidArgument("null responses");
   }
-  results->assign(num_queries, {});
-  if (num_queries == 0) return Status::Ok();
-  std::vector<const float*> query_ptrs(num_queries);
-  std::vector<const IvfSearchParams*> param_ptrs(num_queries, &params);
-  std::vector<std::uint64_t> seeds(num_queries);
-  std::vector<Status> statuses(num_queries);
-  std::vector<IvfSearchStats> stats(num_queries);
-  for (std::size_t i = 0; i < num_queries; ++i) {
-    query_ptrs[i] = queries + i * dim();
-    seeds[i] = QuerySeed(seed_base, i);
+  responses->assign(num_requests, {});
+  if (num_requests == 0) return Status::Ok();  // empty batch is a no-op
+  if (requests == nullptr) {
+    return Status::InvalidArgument("null requests");
   }
-  ExecuteBatch(query_ptrs.data(), num_queries, param_ptrs.data(), seeds.data(),
-               /*submit_times=*/nullptr, statuses.data(), results->data(),
-               stats.data());
-  if (agg != nullptr) *agg = SumStats(stats.data(), num_queries);
-  for (const Status& s : statuses) {
-    if (!s.ok()) return s;
+  // Per-response error contract: a null-query request fails through its own
+  // response.status while the valid requests still execute (compacted into
+  // a dense sub-batch, then scattered back).
+  std::vector<std::size_t> live;
+  live.reserve(num_requests);
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    if (requests[i].query == nullptr) {
+      (*responses)[i].status = Status::InvalidArgument("null query in request");
+    } else {
+      live.push_back(i);
+    }
+  }
+  const std::size_t n = live.size();
+  if (n > 0) {
+    std::vector<const float*> query_ptrs(n);
+    std::vector<const IvfSearchParams*> param_ptrs(n);
+    std::vector<std::uint64_t> seeds(n);
+    std::vector<Status> statuses(n);
+    std::vector<std::vector<Neighbor>> results(n);
+    std::vector<IvfSearchStats> stats(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const SearchRequest& request = requests[live[j]];
+      query_ptrs[j] = request.query;
+      param_ptrs[j] = &request.options;
+      // Auto-seed by the request's BATCH POSITION (not its compacted slot)
+      // so a request's derived seed is independent of its neighbors'
+      // validity.
+      seeds[j] =
+          request.options.seed.value_or(QuerySeed(config_.seed, live[j]));
+    }
+    ExecuteBatch(query_ptrs.data(), n, param_ptrs.data(), seeds.data(),
+                 /*submit_times=*/nullptr, statuses.data(), results.data(),
+                 stats.data());
+    for (std::size_t j = 0; j < n; ++j) {
+      SearchResponse& response = (*responses)[live[j]];
+      response.status = std::move(statuses[j]);
+      response.neighbors = std::move(results[j]);
+      response.stats = stats[j];
+    }
+  }
+  for (const SearchResponse& response : *responses) {
+    if (!response.status.ok()) return response.status;
   }
   return Status::Ok();
 }
 
-Status SearchEngine::SearchBatch(const float* queries, std::size_t num_queries,
-                                 const IvfSearchParams& params,
-                                 std::vector<std::vector<Neighbor>>* results,
-                                 IvfSearchStats* agg) {
-  return SearchBatch(queries, num_queries, params, config_.seed, results, agg);
+SearchResponse SearchEngine::Search(const SearchRequest& request) {
+  std::vector<SearchResponse> responses;
+  const Status status = SearchBatch(&request, 1, &responses);
+  if (responses.empty()) {
+    SearchResponse response;
+    response.status =
+        status.ok() ? Status::Internal("batch of one produced no response")
+                    : status;
+    return response;
+  }
+  SearchResponse response = std::move(responses.front());
+  // A batch-level failure must not surface as an ok() response.
+  if (response.status.ok() && !status.ok()) response.status = status;
+  return response;
 }
 
-std::future<EngineResult> SearchEngine::SubmitAsync(
-    const float* query, const IvfSearchParams& params, std::uint64_t seed) {
-  SearchRequest req;
-  req.query.assign(query, query + dim());
-  req.params = params;
-  req.seed = seed;
-  req.submit_time = std::chrono::steady_clock::now();
-  std::future<EngineResult> future = req.promise.get_future();
-  if (!queue_.Push(std::move(req))) {
-    req.promise.set_value(EngineResult{
+std::future<SearchResponse> SearchEngine::SubmitAsync(
+    const SearchRequest& request) {
+  QueuedQuery queued;
+  std::future<SearchResponse> future = queued.promise.get_future();
+  if (request.query == nullptr) {
+    queued.promise.set_value(
+        SearchResponse{Status::InvalidArgument("null query in request"),
+                       {},
+                       {}});
+    return future;
+  }
+  queued.query.assign(request.query, request.query + dim());
+  queued.options = request.options;
+  // Not value_or: its argument evaluates eagerly, and an explicitly-seeded
+  // submission must NOT consume a ticket (the auto-seed stream of
+  // interleaved unseeded submissions would shift otherwise).
+  queued.seed = request.options.seed.has_value()
+                    ? *request.options.seed
+                    : QuerySeed(config_.seed, next_ticket_.fetch_add(
+                                                  1, std::memory_order_relaxed));
+  queued.submit_time = std::chrono::steady_clock::now();
+  if (!queue_.Push(std::move(queued))) {
+    queued.promise.set_value(SearchResponse{
         Status::FailedPrecondition("engine is shutting down"), {}, {}});
   }
   return future;
-}
-
-std::future<EngineResult> SearchEngine::SubmitAsync(
-    const float* query, const IvfSearchParams& params) {
-  return SubmitAsync(
-      query, params,
-      QuerySeed(config_.seed,
-                next_ticket_.fetch_add(1, std::memory_order_relaxed)));
-}
-
-std::future<EngineResult> SearchEngine::SubmitAsync(const float* query) {
-  return SubmitAsync(query, config_.default_params);
 }
 
 Status SearchEngine::Insert(const float* vec, std::uint32_t* id_out) {
@@ -409,7 +448,7 @@ EngineStatsSnapshot SearchEngine::Stats() const {
 }
 
 void SearchEngine::SchedulerLoop() {
-  std::vector<SearchRequest> batch;
+  std::vector<QueuedQuery> batch;
   std::vector<const float*> query_ptrs;
   std::vector<const IvfSearchParams*> param_ptrs;
   std::vector<std::uint64_t> seeds;
@@ -430,7 +469,7 @@ void SearchEngine::SchedulerLoop() {
     stats.assign(n, IvfSearchStats{});
     for (std::size_t i = 0; i < n; ++i) {
       query_ptrs[i] = batch[i].query.data();
-      param_ptrs[i] = &batch[i].params;
+      param_ptrs[i] = &batch[i].options;
       seeds[i] = batch[i].seed;
       submit_times[i] = batch[i].submit_time;
     }
@@ -438,7 +477,7 @@ void SearchEngine::SchedulerLoop() {
                  submit_times.data(), statuses.data(), results.data(),
                  stats.data());
     for (std::size_t i = 0; i < n; ++i) {
-      batch[i].promise.set_value(EngineResult{
+      batch[i].promise.set_value(SearchResponse{
           std::move(statuses[i]), std::move(results[i]), stats[i]});
     }
   }

@@ -112,37 +112,59 @@ class SearchEngine {
   std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   /// Deterministic per-query seed stream: SplitMix64 of (base, ticket).
-  /// Query i of a SearchBatch(seed_base) uses QuerySeed(seed_base, i); the
-  /// parity tests replay the same seeds through the sequential reference.
+  /// Query i of a request batch without explicit seeds uses
+  /// QuerySeed(config.seed, i); the parity tests replay the same seeds
+  /// through the sequential reference.
   static std::uint64_t QuerySeed(std::uint64_t base, std::uint64_t ticket);
 
-  /// Synchronous batched search: queries is num_queries x dim row-major.
-  /// results[i] receives the neighbors of query i (GLOBAL ids), searched
-  /// with seed QuerySeed(seed_base, i). Returns the first per-query error
-  /// if any query fails (remaining queries still execute). `agg` (optional)
-  /// sums the per-query IvfSearchStats.
+  /// Synchronous batched search -- the request-based core every other entry
+  /// point (single-query Search, SubmitAsync, the deprecated raw-pointer
+  /// shims) funnels into. responses->at(i) receives query i's outcome
+  /// (GLOBAL ids); a failed query reports through its own response.status
+  /// while the rest of the batch still executes, and the first per-query
+  /// error is also returned. Each request's options.seed is used verbatim
+  /// when set, else QuerySeed(config.seed, i). Filters ride in the options
+  /// and are pushed into the per-shard scans (see ShardedIndex).
+  Status SearchBatch(const SearchRequest* requests, std::size_t num_requests,
+                     std::vector<SearchResponse>* responses);
+
+  /// Synchronous single query: a batch of one.
+  SearchResponse Search(const SearchRequest& request);
+
+  /// Enqueues one query for the micro-batching scheduler and returns a
+  /// future fulfilled when its batch executes. The vector is copied; the
+  /// options (including the filter VIEW -- keep its bitmap/context alive
+  /// until the future resolves) ride along. options.seed unset draws the
+  /// next ticket from the engine's auto-seed stream; set, it is used
+  /// verbatim, making the result reproducible independently of submission
+  /// interleaving.
+  std::future<SearchResponse> SubmitAsync(const SearchRequest& request);
+
+#ifndef RABITQ_NO_DEPRECATED
+  /// Legacy overload ladder, now thin shims over the request-based core
+  /// (definitions in search_compat.h; hidden by RABITQ_NO_DEPRECATED).
+  RABITQ_DEPRECATED("use SearchBatch(const SearchRequest*, ...)")
   Status SearchBatch(const float* queries, std::size_t num_queries,
                      const IvfSearchParams& params, std::uint64_t seed_base,
                      std::vector<std::vector<Neighbor>>* results,
                      IvfSearchStats* agg = nullptr);
 
-  /// As above with the engine's config seed.
+  RABITQ_DEPRECATED("use SearchBatch(const SearchRequest*, ...)")
   Status SearchBatch(const float* queries, std::size_t num_queries,
                      const IvfSearchParams& params,
                      std::vector<std::vector<Neighbor>>* results,
                      IvfSearchStats* agg = nullptr);
 
-  /// Enqueues one query (copied) for the micro-batching scheduler and
-  /// returns a future that is fulfilled when its batch executes. The
-  /// engine-seeded overload draws the next ticket from the auto-seed stream;
-  /// pass an explicit seed to make the result reproducible independently of
-  /// submission interleaving.
-  std::future<EngineResult> SubmitAsync(const float* query,
-                                        const IvfSearchParams& params);
-  std::future<EngineResult> SubmitAsync(const float* query,
-                                        const IvfSearchParams& params,
-                                        std::uint64_t seed);
-  std::future<EngineResult> SubmitAsync(const float* query);
+  RABITQ_DEPRECATED("use SubmitAsync(const SearchRequest&)")
+  std::future<SearchResponse> SubmitAsync(const float* query,
+                                          const IvfSearchParams& params);
+  RABITQ_DEPRECATED("use SubmitAsync(const SearchRequest&) with options.seed")
+  std::future<SearchResponse> SubmitAsync(const float* query,
+                                          const IvfSearchParams& params,
+                                          std::uint64_t seed);
+  RABITQ_DEPRECATED("use SubmitAsync(const SearchRequest&)")
+  std::future<SearchResponse> SubmitAsync(const float* query);
+#endif  // RABITQ_NO_DEPRECATED
 
   /// Appends one vector (copied): reserves the next global id, then
   /// excludes search batches from ONLY the owning shard for the duration of
@@ -239,5 +261,9 @@ class SearchEngine {
 };
 
 }  // namespace rabitq
+
+// Deprecated-overload shim definitions (see search_compat.h for the scheme).
+#define RABITQ_SEARCH_COMPAT_HAVE_ENGINE 1
+#include "index/search_compat.h"
 
 #endif  // RABITQ_ENGINE_SEARCH_ENGINE_H_

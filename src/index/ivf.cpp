@@ -12,21 +12,56 @@
 
 namespace rabitq {
 
+namespace {
+
+// 32-lane allow mask of one fast-scan block for the pushed-down IdFilter:
+// bit k set iff lane k is live and filter.Allows(ids[k]). Tombstoned lanes
+// are skipped WITHOUT consulting the filter -- the IdFilter contract
+// promises predicates are only called on live candidate ids (a caller may
+// key its predicate off live-only metadata), and the kernel's dead fold
+// drops those lanes regardless of their allow bit. Lanes past `count` stay
+// clear (tail padding, masked out again inside the kernel). `*filtered` is
+// advanced by the number of live lanes the filter excluded.
+std::uint32_t FilterBlockMask(const IdFilter& filter,
+                              const std::uint32_t* ids, std::size_t count,
+                              const std::uint8_t* dead,
+                              std::size_t* filtered) {
+  std::uint32_t allow = 0;
+  std::size_t dropped = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    if (dead != nullptr && dead[k] != 0) continue;
+    if (filter.Allows(ids[k])) {
+      allow |= 1u << k;
+    } else {
+      ++dropped;
+    }
+  }
+  *filtered += dropped;
+  return allow;
+}
+
+}  // namespace
+
 Status IvfRabitqIndex::Build(const Matrix& data, const IvfConfig& ivf_config,
                              const RabitqConfig& rabitq_config) {
   if (data.rows() == 0) return Status::InvalidArgument("empty dataset");
+  RABITQ_RETURN_IF_ERROR(ValidateMetric(ivf_config.metric));
   KMeansConfig kmeans = ivf_config.kmeans;
   kmeans.num_clusters = std::min(ivf_config.num_lists, data.rows());
   KMeansResult clustering;
   RABITQ_RETURN_IF_ERROR(RunKMeans(data, kmeans, &clustering));
   return BuildFromClustering(data, std::move(clustering.centroids),
-                             clustering.assignments.data(), rabitq_config);
+                             clustering.assignments.data(), rabitq_config,
+                             ivf_config.metric);
 }
 
 Status IvfRabitqIndex::BuildFromClustering(const Matrix& data, Matrix centroids,
                                            const std::uint32_t* assignments,
-                                           const RabitqConfig& rabitq_config) {
+                                           const RabitqConfig& rabitq_config,
+                                           Metric metric) {
   if (data.rows() == 0) return Status::InvalidArgument("empty dataset");
+  RABITQ_RETURN_IF_ERROR(ValidateMetric(metric));
+  metric_ = metric;
   if (centroids.rows() == 0 || centroids.cols() != data.cols()) {
     return Status::InvalidArgument("bad centroid matrix");
   }
@@ -137,20 +172,14 @@ std::vector<std::uint32_t> IvfRabitqIndex::ProbeOrder(
   return order;
 }
 
-Status IvfRabitqIndex::Search(const float* query, const IvfSearchParams& params,
-                              Rng* rng, std::vector<Neighbor>* out,
-                              IvfSearchStats* stats) const {
-  if (rng == nullptr) return Status::InvalidArgument("null rng");
+SearchResponse IvfRabitqIndex::Search(const SearchRequest& request) const {
+  SearchResponse response;
   IvfSearchScratch scratch;
-  return SearchWithScratch(query, nullptr, params, rng->NextU64(), &scratch,
-                           out, stats);
-}
-
-Status IvfRabitqIndex::Search(const float* query, const IvfSearchParams& params,
-                              std::uint64_t seed, std::vector<Neighbor>* out,
-                              IvfSearchStats* stats) const {
-  IvfSearchScratch scratch;
-  return SearchWithScratch(query, nullptr, params, seed, &scratch, out, stats);
+  response.status = SearchWithScratch(
+      request.query, nullptr, request.options,
+      request.options.seed.value_or(0), &scratch, &response.neighbors,
+      &response.stats);
+  return response;
 }
 
 Status IvfRabitqIndex::SearchWithScratch(const float* query,
@@ -163,6 +192,7 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
   if (out == nullptr || scratch == nullptr) {
     return Status::InvalidArgument("null output/scratch");
   }
+  if (query == nullptr) return Status::InvalidArgument("null query");
   if (params.k == 0) return Status::InvalidArgument("k must be positive");
   const float epsilon0 = params.epsilon0_override >= 0.0f
                              ? params.epsilon0_override
@@ -190,6 +220,12 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
   std::vector<float>& lb_buf = scratch->lb_buf;
   QuantizedQuery& qq = scratch->query;
   const bool need_bounds = params.policy == RerankPolicy::kErrorBound;
+  // Per-query predicate, pushed INTO candidate selection: the fused path
+  // folds it into the kernel's survivors mask, the fallback loops check it
+  // exactly where they check tombstones. Either way a filtered-out code
+  // never reaches exact re-ranking and no post-hoc pass exists.
+  const IdFilter& filter = params.filter;
+  const bool filtering = filter.active();
 
   // One block-padded sizing per search instead of one resize per probed
   // list: the fused kernel stores whole 32-lane blocks, so the buffers are
@@ -240,7 +276,18 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
       std::uint32_t sums[kFastScanBlockSize];
       for (std::size_t block = 0; block < packed.num_blocks; ++block) {
         const std::size_t begin = block * kFastScanBlockSize;
+        const std::size_t count = std::min(kFastScanBlockSize, n - begin);
         PrefetchBlockData(list.codes, block + 1);
+        // The filter's allow mask rides into the kernel as lane_mask; a
+        // fully-disallowed block skips even the fast-scan accumulation.
+        std::uint32_t allow_mask = 0xFFFFFFFFu;
+        if (filtering) {
+          allow_mask = FilterBlockMask(
+              filter, list.ids.data() + begin, count,
+              dead_base == nullptr ? nullptr : dead_base + begin,
+              &local_stats.codes_filtered);
+          if (allow_mask == 0) continue;
+        }
         FastScanAccumulateBlock(packed.BlockPtr(block), packed.num_segments,
                                 qq.luts.data(), sums);
         // +infinity (not FLT_MAX) while the heap is filling: nothing
@@ -253,7 +300,7 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
         std::uint32_t survivors = EstimateBlockFusedPruned(
             qq, list.codes, block, sums, epsilon0, threshold,
             dead_base == nullptr ? nullptr : dead_base + begin,
-            est_buf.data() + begin, lb_buf.data() + begin);
+            est_buf.data() + begin, lb_buf.data() + begin, allow_mask);
         while (survivors != 0) {
           const unsigned lane = std::countr_zero(survivors);
           survivors &= survivors - 1;
@@ -289,8 +336,15 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
         // Paper Section 4: drop a vector iff its distance lower bound
         // exceeds the current k-th best exact distance; otherwise compute
         // the exact distance right away so the threshold tightens as we go.
+        // The filter check sits with the tombstone check (before the bound
+        // test) so codes_filtered counts every live excluded code, exactly
+        // like the fused path's per-block mask.
         for (std::size_t i = 0; i < n; ++i) {
           if (list.dead[i]) continue;
+          if (filtering && !filter.Allows(list.ids[i])) {
+            ++local_stats.codes_filtered;
+            continue;
+          }
           if (exact_heap.full() && lb_buf[i] > exact_heap.Threshold()) continue;
           const std::uint32_t id = list.ids[i];
           const float exact = L2SqrDistance(data_.Row(id), query, dim());
@@ -302,6 +356,10 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
       case RerankPolicy::kNone:
         for (std::size_t i = 0; i < n; ++i) {
           if (list.dead[i]) continue;
+          if (filtering && !filter.Allows(list.ids[i])) {
+            ++local_stats.codes_filtered;
+            continue;
+          }
           estimate_pool.emplace_back(est_buf[i], list.ids[i]);
         }
         break;

@@ -34,6 +34,7 @@
 #include "core/query.h"
 #include "core/rabitq.h"
 #include "index/brute_force.h"
+#include "index/search_types.h"
 #include "index/vector_store.h"
 #include "util/prng.h"
 
@@ -42,31 +43,10 @@ namespace rabitq {
 struct IvfConfig {
   std::size_t num_lists = 256;
   KMeansConfig kmeans;  // num_clusters is overwritten with num_lists
-};
-
-enum class RerankPolicy {
-  kErrorBound,       // paper Section 4, no tunable parameter
-  kFixedCandidates,  // conventional top-R re-ranking
-  kNone,             // rank by estimates only
-};
-
-struct IvfSearchParams {
-  std::size_t k = 100;
-  std::size_t nprobe = 16;
-  RerankPolicy policy = RerankPolicy::kErrorBound;
-  /// Only for kFixedCandidates: number of candidates re-ranked exactly.
-  std::size_t rerank_candidates = 1000;
-  /// Overrides the encoder's eps0 when >= 0 (Fig. 5 sweep).
-  float epsilon0_override = -1.0f;
-  /// Use the packed fast-scan batch estimator (true) or the bitwise
-  /// single-code estimator (false).
-  bool use_batch_estimator = true;
-};
-
-struct IvfSearchStats {
-  std::size_t codes_estimated = 0;
-  std::size_t candidates_reranked = 0;
-  std::size_t lists_probed = 0;
+  /// Distance space of the index; only Metric::kL2 is implemented today.
+  /// Validated at build and load (ValidateMetric) so the request types stay
+  /// stable when inner-product/cosine land.
+  Metric metric = Metric::kL2;
 };
 
 /// Reusable workspace for SearchWithScratch. Buffers reach steady-state
@@ -117,7 +97,8 @@ class IvfRabitqIndex {
   /// scatter-gather merge bit-identical to a single-shard index.
   Status BuildFromClustering(const Matrix& data, Matrix centroids,
                              const std::uint32_t* assignments,
-                             const RabitqConfig& rabitq_config);
+                             const RabitqConfig& rabitq_config,
+                             Metric metric = Metric::kL2);
 
   /// Total ids ever assigned (including tombstoned ones); ids are dense in
   /// [0, size()).
@@ -129,6 +110,8 @@ class IvfRabitqIndex {
   std::size_t num_tombstones() const { return num_tombstones_; }
   std::size_t dim() const { return data_.dim(); }
   std::size_t num_lists() const { return centroids_.rows(); }
+  /// Distance space the index was built for (always kL2 today).
+  Metric metric() const { return metric_; }
   const RabitqEncoder& encoder() const { return encoder_; }
   const Matrix& centroids() const { return centroids_; }
   const std::vector<std::uint32_t>& list_ids(std::size_t l) const {
@@ -176,35 +159,43 @@ class IvfRabitqIndex {
   void ProbeOrderInto(const float* query, std::size_t nprobe,
                       std::vector<std::pair<float, std::uint32_t>>* out) const;
 
-  /// K-NN search over the LIVE vectors (tombstones are skipped during
-  /// candidate selection). `rng` supplies the 64-bit base seed of the
-  /// randomized query quantization (one NextU64 draw per search); per probed
-  /// list the search uses Rng(MixSeed(base, list_id)), so the rounding of
-  /// each list is a pure function of (base seed, list id) -- see MixSeed.
+  /// Unified request API: k-NN over the LIVE vectors (tombstones skipped
+  /// during candidate selection), restricted to request.options.filter when
+  /// one is set -- the filter is folded into the scan's survivors mask, so
+  /// excluded codes never reach re-ranking. The result is a pure function
+  /// of (index, request): per probed list the query rounding is seeded by
+  /// Rng(MixSeed(base, list_id)) where base is options.seed (0 when unset).
   ///
   /// Thread-safety: the query path is const and touches no mutable index
-  /// state, so any number of threads may search one index concurrently --
-  /// provided each caller passes its OWN Rng (and scratch). Searches must
-  /// not overlap the mutators (see the class contract above); SearchEngine
-  /// provides that coordination for serving workloads.
+  /// state, so any number of threads may search one index concurrently.
+  /// Searches must not overlap the mutators (see the class contract above);
+  /// SearchEngine provides that coordination for serving workloads.
+  SearchResponse Search(const SearchRequest& request) const;
+
+#ifndef RABITQ_NO_DEPRECATED
+  /// Legacy overloads, now thin shims over the request API (definitions in
+  /// search_compat.h). `rng` supplies the base seed via one NextU64 draw;
+  /// the seeded overload is the old spelling of options.seed.
+  RABITQ_DEPRECATED("use Search(const SearchRequest&)")
   Status Search(const float* query, const IvfSearchParams& params, Rng* rng,
                 std::vector<Neighbor>* out, IvfSearchStats* stats = nullptr) const;
 
-  /// Seeded search: the result is a pure function of (index, query, params,
-  /// seed) -- safe to call from any number of threads with no shared state.
-  /// The serving engine derives one seed per query from its base seed; this
-  /// overload is the sequential reference that the engine's result-parity
-  /// tests compare against.
+  RABITQ_DEPRECATED("use Search(const SearchRequest&) with options.seed")
   Status Search(const float* query, const IvfSearchParams& params,
                 std::uint64_t seed, std::vector<Neighbor>* out,
                 IvfSearchStats* stats = nullptr) const;
+#endif  // RABITQ_NO_DEPRECATED
 
   /// Search core with caller-owned workspace (the hot path of the serving
   /// engine). `rotated_query` optionally passes a precomputed P^T q
   /// (encoder().total_bits() floats, e.g. one row of the engine's batched
   /// rotation -- bit-identical to RotateQueryOnce by the Rotator contract);
   /// nullptr computes it into the scratch. `seed` is the per-query base of
-  /// the per-list rounding seeds. `scratch` must be non-null and exclusive
+  /// the per-list rounding seeds -- the explicit parameter wins over
+  /// params.seed, which this level ignores (the layers above resolve it).
+  /// params.filter, when active, is pushed into candidate selection; its
+  /// ids are this index's LOCAL ids unless the filter carries an id map
+  /// (see IdFilter::WithIdMap). `scratch` must be non-null and exclusive
   /// to this call for its duration.
   Status SearchWithScratch(const float* query, const float* rotated_query,
                            const IvfSearchParams& params, std::uint64_t seed,
@@ -281,6 +272,7 @@ class IvfRabitqIndex {
   Status AppendToNearestList(std::uint32_t id, const float* vec);
 
   ChunkedVectorStore data_;   // raw vectors (for re-ranking)
+  Metric metric_ = Metric::kL2;
   Matrix centroids_;          // num_lists x dim
   Matrix rotated_centroids_;  // num_lists x total_bits: P^T c per list
   RabitqEncoder encoder_;
@@ -297,5 +289,9 @@ class IvfRabitqIndex {
 };
 
 }  // namespace rabitq
+
+// Deprecated-overload shim definitions (see search_compat.h for the scheme).
+#define RABITQ_SEARCH_COMPAT_HAVE_IVF 1
+#include "index/search_compat.h"
 
 #endif  // RABITQ_INDEX_IVF_H_

@@ -99,6 +99,13 @@ Status IvfRabitqIndex::Load(const std::string& path) {
                                            std::size(kMagics), &format));
   const bool has_tombstones = kVersions[format] >= kVersionV2;
 
+  // Every readable format (v1/v2) predates non-L2 metrics, so a snapshot's
+  // metric is kL2 by construction; the validation funnel still runs so the
+  // day a format stores a metric byte, Load rejects unimplemented ones in
+  // the same place Build does.
+  metric_ = Metric::kL2;
+  RABITQ_RETURN_IF_ERROR(ValidateMetric(metric_));
+
   std::uint64_t dim = 0, total_bits = 0, seed = 0;
   std::uint32_t query_bits = 0, rotator_kind = 0;
   float epsilon0 = 0.0f;

@@ -1,0 +1,232 @@
+// The unified query surface shared by every search layer (IvfRabitqIndex,
+// ShardedIndex, SearchEngine): one SearchRequest in, one SearchResponse out.
+// The paper's protocol is "one thread, one query, one metric, no
+// predicates"; serving workloads are not. This header is where the extra
+// dimensions live so that new capabilities (filters today, alternative
+// metrics next) extend ONE request type instead of growing another
+// positional parameter on three Search spellings.
+//
+//   SearchRequest  = non-owning query view + SearchOptions
+//   SearchOptions  = k / nprobe / rerank policy / estimator knobs
+//                    + optional per-query seed + per-query IdFilter
+//   SearchResponse = Status + neighbors + IvfSearchStats
+//
+// IdFilter is a per-query predicate pushed INTO the scan: the allow/deny
+// decision is folded into the fused kernel's 32-bit survivors mask alongside
+// tombstones (see EstimateBlockFusedPruned's lane_mask), so filtered-out
+// codes never reach exact re-ranking and there is no post-hoc filtering
+// pass. Filtered search is therefore bit-identical to brute force over the
+// allowed subset, for the same reason unfiltered search is bit-identical to
+// brute force over the live set.
+
+#ifndef RABITQ_INDEX_SEARCH_TYPES_H_
+#define RABITQ_INDEX_SEARCH_TYPES_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "index/brute_force.h"
+#include "util/status.h"
+
+// Deprecation machinery for the legacy (pre-SearchRequest) overloads:
+//   * RABITQ_NO_DEPRECATED hides the compatibility shims entirely -- the
+//     escape hatch for consumers proving they are off the old API (see
+//     search_compat.h).
+//   * RABITQ_SUPPRESS_DEPRECATED keeps the shims but drops the
+//     [[deprecated]] attribute -- for TUs that deliberately exercise them
+//     (the old-vs-new parity tests).
+#if defined(RABITQ_SUPPRESS_DEPRECATED)
+#define RABITQ_DEPRECATED(msg)
+#else
+#define RABITQ_DEPRECATED(msg) [[deprecated(msg)]]
+#endif
+
+namespace rabitq {
+
+/// Distance space of an index. Only kL2 is implemented today; the enum is
+/// the seam for inner-product / cosine so adding them changes IvfConfig
+/// validation and the estimator, not the request type. Validated at build
+/// and at snapshot load (see ValidateMetric).
+enum class Metric : std::uint8_t {
+  kL2 = 0,
+  kInnerProduct = 1,  // declared, not yet implemented
+  kCosine = 2,        // declared, not yet implemented
+};
+
+inline const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kL2: return "l2";
+    case Metric::kInnerProduct: return "inner_product";
+    case Metric::kCosine: return "cosine";
+  }
+  return "unknown";
+}
+
+/// Single funnel for the metric seam: every index build/load path calls
+/// this, so the day kInnerProduct lands it is unlocked in one place.
+inline Status ValidateMetric(Metric metric) {
+  if (metric == Metric::kL2) return Status::Ok();
+  return Status::Unimplemented(std::string("metric not implemented: ") +
+                               MetricName(metric));
+}
+
+enum class RerankPolicy {
+  kErrorBound,       // paper Section 4, no tunable parameter
+  kFixedCandidates,  // conventional top-R re-ranking
+  kNone,             // rank by estimates only
+};
+
+/// Per-query id predicate, pushed down into candidate selection. A filter is
+/// a non-owning VIEW: the bitmap / predicate context must outlive every
+/// search using it (for SubmitAsync, until the returned future resolves).
+/// Copying the view is trivial (no allocation), which is what lets the
+/// per-(query x shard) fan-out carry it by value.
+///
+/// Bitmap semantics: bit `id` of `bits` (LSB-first within each u64 word)
+/// covers ids in [0, num_ids). Ids at or past num_ids are DENIED by an
+/// allow-bitmap (absent = not allowed) and ALLOWED by a deny-bitmap
+/// (absent = not denied) -- so a deny-bitmap snapshot taken before an
+/// insert naturally admits the newer ids.
+class IdFilter {
+ public:
+  /// Returns true iff `id` may appear in results. `context` is the pointer
+  /// given to FromPredicate, passed back verbatim.
+  using Predicate = bool (*)(void* context, std::uint32_t id);
+
+  constexpr IdFilter() = default;
+
+  /// Only ids whose bit is set may appear in results.
+  static IdFilter AllowBitmap(const std::uint64_t* bits, std::size_t num_ids) {
+    IdFilter f;
+    f.kind_ = Kind::kAllow;
+    f.bits_ = bits;
+    f.num_ids_ = num_ids;
+    return f;
+  }
+
+  /// Ids whose bit is set are excluded from results.
+  static IdFilter DenyBitmap(const std::uint64_t* bits, std::size_t num_ids) {
+    IdFilter f;
+    f.kind_ = Kind::kDeny;
+    f.bits_ = bits;
+    f.num_ids_ = num_ids;
+    return f;
+  }
+
+  /// Arbitrary predicate. Called once per live candidate code in every
+  /// probed list, so it should be cheap; it may be called concurrently from
+  /// several worker threads and must be thread-safe.
+  static IdFilter FromPredicate(Predicate predicate, void* context) {
+    IdFilter f;
+    f.kind_ = predicate != nullptr ? Kind::kPredicate : Kind::kNone;
+    f.predicate_ = predicate;
+    f.context_ = context;
+    return f;
+  }
+
+  /// False for a default-constructed filter: no filtering, zero overhead on
+  /// the scan (the search path special-cases inactive filters).
+  bool active() const { return kind_ != Kind::kNone; }
+
+  bool Allows(std::uint32_t id) const {
+    if (id_map_ != nullptr) id = id_map_[id];
+    switch (kind_) {
+      case Kind::kNone:
+        return true;
+      case Kind::kAllow:
+        return TestBit(id);
+      case Kind::kDeny:
+        return !TestBit(id);
+      case Kind::kPredicate:
+        return predicate_(context_, id);
+    }
+    return true;
+  }
+
+  /// Shard-slicing hook (library-internal): the returned filter evaluates
+  /// Allows(local_to_global[id]), so a shard search over LOCAL ids consults
+  /// the caller's GLOBAL-id filter. `local_to_global` must cover every local
+  /// id the shard search can produce and outlive the search.
+  IdFilter WithIdMap(const std::uint32_t* local_to_global) const {
+    IdFilter f = *this;
+    f.id_map_ = local_to_global;
+    return f;
+  }
+
+ private:
+  enum class Kind : std::uint8_t { kNone, kAllow, kDeny, kPredicate };
+
+  bool TestBit(std::uint32_t id) const {
+    if (id >= num_ids_) return false;
+    return (bits_[id >> 6] >> (id & 63u)) & 1u;
+  }
+
+  Kind kind_ = Kind::kNone;
+  const std::uint64_t* bits_ = nullptr;
+  std::size_t num_ids_ = 0;
+  Predicate predicate_ = nullptr;
+  void* context_ = nullptr;
+  const std::uint32_t* id_map_ = nullptr;
+};
+
+/// Everything tunable about one query. The flat pre-request parameter
+/// struct (IvfSearchParams) is now an alias of this type, so the engine's
+/// scratch plumbing and the request API share one options vocabulary.
+struct SearchOptions {
+  std::size_t k = 100;
+  std::size_t nprobe = 16;
+  RerankPolicy policy = RerankPolicy::kErrorBound;
+  /// Only for kFixedCandidates: number of candidates re-ranked exactly.
+  std::size_t rerank_candidates = 1000;
+  /// Overrides the encoder's eps0 when >= 0 (Fig. 5 sweep).
+  float epsilon0_override = -1.0f;
+  /// Use the packed fast-scan batch estimator (true) or the bitwise
+  /// single-code estimator (false).
+  bool use_batch_estimator = true;
+  /// Base seed of the randomized query quantization. Unset: the layer
+  /// serving the request picks one (the engine derives it from its config
+  /// seed and the query's ticket; a bare index uses seed 0). Set: used
+  /// verbatim, making the result a pure function of (index, query, options)
+  /// regardless of which layer or how many threads serve it.
+  std::optional<std::uint64_t> seed;
+  /// Per-query id filter, pushed down into candidate selection (global ids
+  /// when searching a ShardedIndex / SearchEngine).
+  IdFilter filter;
+};
+
+/// Legacy spelling of SearchOptions, kept so existing call sites (and the
+/// scratch-level Search plumbing) keep compiling unchanged.
+using IvfSearchParams = SearchOptions;
+
+struct IvfSearchStats {
+  std::size_t codes_estimated = 0;
+  std::size_t candidates_reranked = 0;
+  std::size_t lists_probed = 0;
+  /// Live candidate codes excluded by the request's IdFilter before
+  /// re-ranking (tombstoned entries are not double-counted here).
+  std::size_t codes_filtered = 0;
+};
+
+/// One query: a non-owning view of `dim()` floats plus its options. The
+/// pointer must stay valid for the duration of the call (SubmitAsync copies
+/// the vector, but NOT the filter's bitmap/context -- see IdFilter).
+struct SearchRequest {
+  const float* query = nullptr;
+  SearchOptions options;
+};
+
+/// Outcome of one served query: per-query status (a failed query reports
+/// here, not by poisoning its whole batch), neighbors sorted ascending by
+/// (distance, id), and the per-query work counters.
+struct SearchResponse {
+  Status status;
+  std::vector<Neighbor> neighbors;
+  IvfSearchStats stats;
+
+  bool ok() const { return status.ok(); }
+};
+
+}  // namespace rabitq
+
+#endif  // RABITQ_INDEX_SEARCH_TYPES_H_

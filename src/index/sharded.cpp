@@ -79,6 +79,7 @@ Status ShardedIndex::Build(const Matrix& data, const ShardedConfig& config) {
   if (data.rows() < S) {
     return Status::InvalidArgument("fewer vectors than shards");
   }
+  RABITQ_RETURN_IF_ERROR(ValidateMetric(config.ivf.metric));
   // Reset to the unbuilt state up front and only commit the new shards on
   // success: a failed (re)build must leave an empty index, never stale id
   // maps pointing into a differently-sized or half-built shard vector.
@@ -126,7 +127,7 @@ Status ShardedIndex::Build(const Matrix& data, const ShardedConfig& config) {
           Matrix copy = centroids;
           return shards[s]->BuildFromClustering(
               shard_data[s], std::move(copy), shard_assign[s].data(),
-              config.rabitq);
+              config.rabitq, config.ivf.metric);
         },
         &st);
   } else {
@@ -204,11 +205,14 @@ std::uint32_t ShardedIndex::local_of(std::uint32_t id) const {
   return id_local_[id];
 }
 
-Status ShardedIndex::Search(const float* query, const IvfSearchParams& params,
-                            std::uint64_t seed, std::vector<Neighbor>* out,
-                            IvfSearchStats* stats) const {
+SearchResponse ShardedIndex::Search(const SearchRequest& request) const {
+  SearchResponse response;
   ShardedSearchScratch scratch;
-  return SearchWithScratch(query, nullptr, params, seed, &scratch, out, stats);
+  response.status = SearchWithScratch(
+      request.query, nullptr, request.options,
+      request.options.seed.value_or(0), &scratch, &response.neighbors,
+      &response.stats);
+  return response;
 }
 
 Status ShardedIndex::SearchWithScratch(const float* query,
@@ -221,6 +225,7 @@ Status ShardedIndex::SearchWithScratch(const float* query,
   if (out == nullptr || scratch == nullptr) {
     return Status::InvalidArgument("null output/scratch");
   }
+  if (query == nullptr) return Status::InvalidArgument("null query");
   if (params.k == 0) return Status::InvalidArgument("k must be positive");
   if (shards_.empty()) return Status::FailedPrecondition("index not built");
   if (rotated_query == nullptr) {
@@ -254,6 +259,15 @@ Status ShardedIndex::SearchShard(std::size_t shard, const float* query,
     // proportional to per-shard candidate quality.
     shard_params.policy = RerankPolicy::kNone;
     shard_params.k = std::max(params.k, params.rerank_candidates);
+  }
+  if (params.filter.active()) {
+    // Per-shard filter slicing: the caller's filter speaks GLOBAL ids, the
+    // shard scan produces LOCAL ids; rebinding through this shard's
+    // local->global map keeps the pushdown inside the scan. The map only
+    // grows under the shard's exclusive lock, which the caller's shared
+    // lock excludes for the duration of this search.
+    shard_params.filter =
+        params.filter.WithIdMap(local_to_global_[shard].data());
   }
   return shards_[shard]->SearchWithScratch(query, rotated_query, shard_params,
                                            seed, scratch, out, stats);
@@ -294,6 +308,7 @@ Status ShardedIndex::MergeShardResults(const float* query,
       agg.codes_estimated += shard_stats[s].codes_estimated;
       agg.candidates_reranked += shard_stats[s].candidates_reranked;
       agg.lists_probed += shard_stats[s].lists_probed;
+      agg.codes_filtered += shard_stats[s].codes_filtered;
     }
   }
 

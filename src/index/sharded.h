@@ -140,11 +140,22 @@ class ShardedIndex {
   /// Shard-local id of a global id (stale for deleted ids, like list_of).
   std::uint32_t local_of(std::uint32_t id) const;
 
-  /// Scatter-gather k-NN over all shards; global ids in `*out`. The result
-  /// is a pure function of (index, query, params, seed).
+  /// Unified request API: scatter-gather k-NN over all shards; GLOBAL ids
+  /// in the response. request.options.filter (global ids) is sliced per
+  /// shard -- each shard scan consults it through its local->global id map
+  /// (IdFilter::WithIdMap), so filtering happens inside the per-shard scan,
+  /// never as a merge-time pass. The result is a pure function of (index,
+  /// request); options.seed unset means seed 0.
+  SearchResponse Search(const SearchRequest& request) const;
+
+#ifndef RABITQ_NO_DEPRECATED
+  /// Legacy overload, now a thin shim over the request API (definition in
+  /// search_compat.h).
+  RABITQ_DEPRECATED("use Search(const SearchRequest&) with options.seed")
   Status Search(const float* query, const IvfSearchParams& params,
                 std::uint64_t seed, std::vector<Neighbor>* out,
                 IvfSearchStats* stats = nullptr) const;
+#endif  // RABITQ_NO_DEPRECATED
 
   /// Search core with caller-owned workspace (see IvfRabitqIndex contract).
   Status SearchWithScratch(const float* query, const float* rotated_query,
@@ -157,6 +168,8 @@ class ShardedIndex {
   /// kErrorBound runs unchanged (exact per-shard top-k); kFixedCandidates
   /// is mapped to an estimate gather (policy kNone, k = max(k, R)) so the
   /// merge can split the re-rank budget globally; kNone runs unchanged.
+  /// An active params.filter (global ids) is rebound to this shard's
+  /// local->global map before the scan, so the pushdown happens per shard.
   /// SearchEngine fans these out as (query x shard) cells. Each cell
   /// inherits the per-shard fast path of IvfRabitqIndex::SearchWithScratch
   /// (nprobe-aware partial probe ordering, the fused estimate+prune
@@ -231,5 +244,9 @@ class ShardedIndex {
 };
 
 }  // namespace rabitq
+
+// Deprecated-overload shim definitions (see search_compat.h for the scheme).
+#define RABITQ_SEARCH_COMPAT_HAVE_SHARDED 1
+#include "index/search_compat.h"
 
 #endif  // RABITQ_INDEX_SHARDED_H_

@@ -1,0 +1,360 @@
+// The unified SearchRequest/SearchResponse API and its compatibility shims:
+//   * old raw-pointer overloads (index / sharded / engine) are bit-identical
+//     to the request API at equal seeds -- they ARE the request API now
+//     (thin shims in search_compat.h), and these tests pin that;
+//   * seed semantics: explicit options.seed is used verbatim at every
+//     layer; unset seeds fall back to the documented defaults;
+//   * the Metric enum is validated at build (and survives save/load);
+//   * request-level error paths report through SearchResponse.status.
+//
+// This TU deliberately calls the deprecated API (RABITQ_SUPPRESS_DEPRECATED
+// is set for test targets) -- it is the compat coverage.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/search_engine.h"
+#include "index/ivf.h"
+#include "index/sharded.h"
+#include "util/prng.h"
+
+namespace rabitq {
+namespace {
+
+Matrix ClusteredData(std::size_t n, std::size_t dim, std::size_t clusters,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix centers(clusters, dim);
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    centers.data()[i] = static_cast<float>(rng.Gaussian()) * 8.0f;
+  }
+  Matrix data(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = rng.UniformInt(clusters);
+    for (std::size_t j = 0; j < dim; ++j) {
+      data.At(i, j) = centers.At(c, j) + static_cast<float>(rng.Gaussian());
+    }
+  }
+  return data;
+}
+
+class SearchApiTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 2000;
+  static constexpr std::size_t kDim = 32;
+
+  void SetUp() override {
+    data_ = ClusteredData(kN, kDim, 12, 61);
+    IvfConfig ivf;
+    ivf.num_lists = 16;
+    ASSERT_TRUE(index_.Build(data_, ivf, RabitqConfig{}).ok());
+    queries_ = ClusteredData(10, kDim, 12, 62);
+  }
+
+  SearchOptions Options(std::size_t nprobe = 8) const {
+    SearchOptions options;
+    options.k = 10;
+    options.nprobe = nprobe;
+    return options;
+  }
+
+  Matrix data_;
+  Matrix queries_;
+  IvfRabitqIndex index_;
+};
+
+TEST_F(SearchApiTest, SeededOverloadMatchesRequestApiBitIdentically) {
+  for (const bool batch_estimator : {true, false}) {
+    for (std::size_t q = 0; q < queries_.rows(); ++q) {
+      const std::uint64_t seed = 1234 + q;
+      SearchOptions options = Options();
+      options.use_batch_estimator = batch_estimator;
+
+      std::vector<Neighbor> old_result;
+      IvfSearchStats old_stats;
+      ASSERT_TRUE(index_
+                      .Search(queries_.Row(q), options, seed, &old_result,
+                              &old_stats)
+                      .ok());
+
+      SearchRequest request{queries_.Row(q), options};
+      request.options.seed = seed;
+      const SearchResponse response = index_.Search(request);
+      ASSERT_TRUE(response.ok());
+      EXPECT_EQ(response.neighbors, old_result);
+      EXPECT_EQ(response.stats.codes_estimated, old_stats.codes_estimated);
+      EXPECT_EQ(response.stats.candidates_reranked,
+                old_stats.candidates_reranked);
+      EXPECT_EQ(response.stats.lists_probed, old_stats.lists_probed);
+      EXPECT_EQ(response.stats.codes_filtered, old_stats.codes_filtered);
+    }
+  }
+}
+
+TEST_F(SearchApiTest, RngOverloadMatchesCallerDrawnSeed) {
+  for (std::size_t q = 0; q < queries_.rows(); ++q) {
+    Rng rng(99 + q);
+    const std::uint64_t drawn = Rng(99 + q).NextU64();
+
+    std::vector<Neighbor> old_result;
+    ASSERT_TRUE(
+        index_.Search(queries_.Row(q), Options(), &rng, &old_result).ok());
+
+    SearchRequest request{queries_.Row(q), Options()};
+    request.options.seed = drawn;
+    EXPECT_EQ(index_.Search(request).neighbors, old_result);
+  }
+}
+
+TEST_F(SearchApiTest, UnsetSeedDefaultsToZero) {
+  SearchRequest unseeded{queries_.Row(0), Options()};
+  SearchRequest zero_seeded = unseeded;
+  zero_seeded.options.seed = 0;
+  EXPECT_EQ(index_.Search(unseeded).neighbors,
+            index_.Search(zero_seeded).neighbors);
+}
+
+TEST_F(SearchApiTest, RequestErrorsReportThroughResponseStatus) {
+  SearchRequest request{queries_.Row(0), Options()};
+  request.options.k = 0;
+  const SearchResponse response = index_.Search(request);
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(response.neighbors.empty());
+}
+
+TEST_F(SearchApiTest, MetricValidatedAtBuild) {
+  for (const Metric metric : {Metric::kInnerProduct, Metric::kCosine}) {
+    IvfConfig ivf;
+    ivf.num_lists = 16;
+    ivf.metric = metric;
+    IvfRabitqIndex rejected;
+    const Status status = rejected.Build(data_, ivf, RabitqConfig{});
+    EXPECT_EQ(status.code(), StatusCode::kUnimplemented) << MetricName(metric);
+  }
+  EXPECT_EQ(index_.metric(), Metric::kL2);
+
+  ShardedConfig sharded;
+  sharded.num_shards = 2;
+  sharded.ivf.num_lists = 8;
+  sharded.ivf.metric = Metric::kInnerProduct;
+  ShardedIndex rejected;
+  EXPECT_EQ(rejected.Build(data_, sharded).code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(SearchApiTest, MetricSurvivesSnapshotRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/search_api_metric.rbq";
+  ASSERT_TRUE(index_.Save(path).ok());
+  IvfRabitqIndex loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded.metric(), Metric::kL2);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+
+class ShardedApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = ClusteredData(1500, 32, 10, 71);
+    queries_ = ClusteredData(6, 32, 10, 72);
+    ShardedConfig config;
+    config.num_shards = 3;
+    config.clustering = ShardClustering::kShared;
+    config.ivf.num_lists = 12;
+    ASSERT_TRUE(index_.Build(data_, config).ok());
+  }
+
+  Matrix data_;
+  Matrix queries_;
+  ShardedIndex index_;
+};
+
+TEST_F(ShardedApiTest, SeededOverloadMatchesRequestApi) {
+  SearchOptions options;
+  options.k = 10;
+  options.nprobe = 8;
+  for (std::size_t q = 0; q < queries_.rows(); ++q) {
+    const std::uint64_t seed = 808 + q;
+    std::vector<Neighbor> old_result;
+    IvfSearchStats old_stats;
+    ASSERT_TRUE(index_
+                    .Search(queries_.Row(q), options, seed, &old_result,
+                            &old_stats)
+                    .ok());
+    SearchRequest request{queries_.Row(q), options};
+    request.options.seed = seed;
+    const SearchResponse response = index_.Search(request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.neighbors, old_result);
+    EXPECT_EQ(response.stats.lists_probed, old_stats.lists_probed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+class EngineApiTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNumQueries = 12;
+
+  void SetUp() override {
+    data_ = ClusteredData(1800, 32, 10, 81);
+    queries_ = ClusteredData(kNumQueries, 32, 10, 82);
+    IvfConfig ivf;
+    ivf.num_lists = 16;
+    IvfRabitqIndex index;
+    ASSERT_TRUE(index.Build(data_, ivf, RabitqConfig{}).ok());
+    engine_ = std::make_unique<SearchEngine>(std::move(index), EngineConfig{});
+    options_.k = 10;
+    options_.nprobe = 8;
+  }
+
+  Matrix data_;
+  Matrix queries_;
+  SearchOptions options_;
+  std::unique_ptr<SearchEngine> engine_;
+};
+
+TEST_F(EngineApiTest, RawPointerBatchShimMatchesRequestCore) {
+  const std::uint64_t seed_base = 20240607;
+  std::vector<std::vector<Neighbor>> old_results;
+  IvfSearchStats old_agg;
+  ASSERT_TRUE(engine_
+                  ->SearchBatch(queries_.Row(0), kNumQueries, options_,
+                                seed_base, &old_results, &old_agg)
+                  .ok());
+
+  std::vector<SearchRequest> requests(kNumQueries);
+  for (std::size_t i = 0; i < kNumQueries; ++i) {
+    requests[i].query = queries_.Row(i);
+    requests[i].options = options_;
+    requests[i].options.seed = SearchEngine::QuerySeed(seed_base, i);
+  }
+  std::vector<SearchResponse> responses;
+  ASSERT_TRUE(
+      engine_->SearchBatch(requests.data(), kNumQueries, &responses).ok());
+
+  IvfSearchStats new_agg;
+  for (std::size_t i = 0; i < kNumQueries; ++i) {
+    ASSERT_TRUE(responses[i].ok());
+    EXPECT_EQ(responses[i].neighbors, old_results[i]) << "query " << i;
+    new_agg.codes_estimated += responses[i].stats.codes_estimated;
+    new_agg.candidates_reranked += responses[i].stats.candidates_reranked;
+    new_agg.lists_probed += responses[i].stats.lists_probed;
+    new_agg.codes_filtered += responses[i].stats.codes_filtered;
+  }
+  EXPECT_EQ(new_agg.codes_estimated, old_agg.codes_estimated);
+  EXPECT_EQ(new_agg.candidates_reranked, old_agg.candidates_reranked);
+  EXPECT_EQ(new_agg.lists_probed, old_agg.lists_probed);
+  EXPECT_EQ(new_agg.codes_filtered, old_agg.codes_filtered);
+}
+
+TEST_F(EngineApiTest, SingleSearchMatchesSeededBatchEntry) {
+  SearchRequest request{queries_.Row(0), options_};
+  request.options.seed = 4711;
+  const SearchResponse single = engine_->Search(request);
+  ASSERT_TRUE(single.ok());
+  std::vector<SearchResponse> responses;
+  ASSERT_TRUE(engine_->SearchBatch(&request, 1, &responses).ok());
+  EXPECT_EQ(single.neighbors, responses[0].neighbors);
+}
+
+TEST_F(EngineApiTest, AsyncShimsMatchRequestSubmission) {
+  const std::uint64_t seed = 999;
+  SearchRequest request{queries_.Row(1), options_};
+  request.options.seed = seed;
+  SearchResponse via_request = engine_->SubmitAsync(request).get();
+  SearchResponse via_shim =
+      engine_->SubmitAsync(queries_.Row(1), options_, seed).get();
+  ASSERT_TRUE(via_request.ok() && via_shim.ok());
+  EXPECT_EQ(via_request.neighbors, via_shim.neighbors);
+
+  // EngineResult remains an alias of SearchResponse for legacy callers.
+  EngineResult legacy = engine_->SubmitAsync(queries_.Row(1), options_, seed)
+                            .get();
+  EXPECT_EQ(legacy.neighbors, via_request.neighbors);
+}
+
+TEST_F(EngineApiTest, NullQueryFailsClosed) {
+  SearchRequest request{nullptr, options_};
+  std::vector<SearchResponse> responses;
+  EXPECT_EQ(engine_->SearchBatch(&request, 1, &responses).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_EQ(responses.size(), 1u);
+  // The per-response contract: the failed request reports through its OWN
+  // status, not just the batch-level return.
+  EXPECT_EQ(responses[0].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(engine_->Search(request).ok());
+  SearchResponse async = engine_->SubmitAsync(request).get();
+  EXPECT_EQ(async.status.code(), StatusCode::kInvalidArgument);
+
+  // And at the index/sharded layers of the same unified API.
+  IvfConfig ivf;
+  ivf.num_lists = 8;
+  IvfRabitqIndex index;
+  ASSERT_TRUE(index.Build(data_, ivf, RabitqConfig{}).ok());
+  EXPECT_EQ(index.Search(SearchRequest{}).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineApiTest, MixedNullAndValidBatchExecutesTheValidRequests) {
+  SearchRequest valid{queries_.Row(0), options_};
+  valid.options.seed = 31415;
+  const SearchResponse expected = engine_->Search(valid);
+  ASSERT_TRUE(expected.ok());
+
+  std::vector<SearchRequest> requests = {SearchRequest{nullptr, options_},
+                                         valid,
+                                         SearchRequest{nullptr, options_}};
+  std::vector<SearchResponse> responses;
+  EXPECT_EQ(engine_->SearchBatch(requests.data(), requests.size(), &responses)
+                .code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_FALSE(responses[0].ok());
+  EXPECT_FALSE(responses[2].ok());
+  ASSERT_TRUE(responses[1].ok());
+  EXPECT_EQ(responses[1].neighbors, expected.neighbors);
+}
+
+TEST_F(EngineApiTest, EmptyBatchIsOkThroughCoreAndShim) {
+  std::vector<SearchResponse> responses;
+  EXPECT_TRUE(engine_->SearchBatch(nullptr, 0, &responses).ok());
+  EXPECT_TRUE(responses.empty());
+  // The deprecated raw-pointer shim forwards an empty vector's data()
+  // (possibly nullptr); zero queries must stay a successful no-op.
+  std::vector<std::vector<Neighbor>> results;
+  EXPECT_TRUE(
+      engine_->SearchBatch(queries_.Row(0), 0, options_, &results).ok());
+  EXPECT_TRUE(results.empty());
+}
+
+TEST_F(EngineApiTest, ExplicitSeedSubmissionDoesNotConsumeAutoSeedTicket) {
+  // Tickets drive the auto-seed stream; an explicitly-seeded submission in
+  // between must not shift it. Two unseeded submissions around an explicit
+  // one must therefore match tickets 0 and 1 of a fresh identical engine.
+  IvfConfig ivf;
+  ivf.num_lists = 16;
+  IvfRabitqIndex index;
+  ASSERT_TRUE(index.Build(data_, ivf, RabitqConfig{}).ok());
+  SearchEngine fresh(std::move(index), EngineConfig{});
+
+  SearchRequest unseeded{queries_.Row(2), options_};
+  SearchRequest seeded{queries_.Row(3), options_};
+  seeded.options.seed = 777;
+
+  SearchResponse first = engine_->SubmitAsync(unseeded).get();
+  engine_->SubmitAsync(seeded).get();
+  SearchResponse third = engine_->SubmitAsync(unseeded).get();
+
+  SearchResponse want_first = fresh.SubmitAsync(unseeded).get();
+  SearchResponse want_third = fresh.SubmitAsync(unseeded).get();
+  ASSERT_TRUE(first.ok() && third.ok());
+  EXPECT_EQ(first.neighbors, want_first.neighbors);
+  EXPECT_EQ(third.neighbors, want_third.neighbors);
+}
+
+}  // namespace
+}  // namespace rabitq
