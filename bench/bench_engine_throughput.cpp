@@ -4,9 +4,15 @@
 // streams differ only in the randomized query rounding, which the recall
 // column shows is noise), plus a sharded scatter-gather sweep reporting
 // build time, query QPS and concurrent-writer mutation throughput per
-// shard count. Emits one JSON object for dashboard scraping.
+// shard count. Emits one JSON object for dashboard scraping (the --json
+// flag is accepted for symmetry with bench_kernels; output is always JSON).
+// A final "stages" series traces every query (sample period 1) through
+// SubmitAsync and reports the per-stage latency histograms (queue wait,
+// preprocess, probe order, scan, rerank, merge) plus the estimator-health
+// gauges out of the engine's metrics registry.
 //
-//   ./bench_engine_throughput [--shards S]   (sharded sweep runs {1, S};
+//   ./bench_engine_throughput [--shards S] [--json]
+//                                            (sharded sweep runs {1, S};
 //                                             default S = 4)
 //
 // Environment knobs:
@@ -20,6 +26,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -29,6 +37,8 @@
 #include "eval/metrics.h"
 #include "index/ivf.h"
 #include "index/sharded.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/prng.h"
 #include "util/timer.h"
 
@@ -230,6 +240,54 @@ int Run(int argc, char** argv) {
                       std::max(seconds, 1e-9),
                   static_cast<unsigned long long>(stats.codes_filtered));
     }
+  }
+
+  // ---- Per-stage breakdown: a dedicated engine traces EVERY query
+  // (trace_sample_period = 1) and is driven through SubmitAsync so the
+  // queue-wait span is real queueing, not zero. Stage histograms and the
+  // estimator-health gauges come straight out of the metrics registry --
+  // the same series a production scrape would see via obs::Export.
+  {
+    EngineConfig config;
+    config.num_threads = max_threads;
+    config.trace_sample_period = 1;
+    IvfRabitqIndex engine_index;
+    CheckOk(engine_index.Load(tmp_path), "Load");
+    SearchEngine engine(std::move(engine_index), config);
+    engine.ResetStats();
+    for (std::size_t r = 0; r < repeat; ++r) {
+      std::vector<std::future<SearchResponse>> futures;
+      futures.reserve(num_queries);
+      for (std::size_t i = 0; i < num_queries; ++i) {
+        SearchRequest request{queries.Row(i), params};
+        request.options.seed = SearchEngine::QuerySeed(kSeedBase, i);
+        futures.push_back(engine.SubmitAsync(request));
+      }
+      for (auto& f : futures) CheckOk(f.get().status, "SubmitAsync");
+    }
+    const obs::MetricsSnapshot metrics = engine.SnapshotMetrics();
+    std::printf(",\n  {\"mode\":\"stages\",\"threads\":%zu,"
+                "\"trace_sample_period\":1,\"stages\":{",
+                max_threads);
+    for (int s = 0; s < obs::kNumStages; ++s) {
+      const char* stage = obs::StageName(static_cast<obs::Stage>(s));
+      const obs::MetricValue* mv =
+          metrics.Find(std::string("rabitq_stage_") + stage + "_us");
+      const obs::HistogramSnapshot hist =
+          mv != nullptr ? mv->hist : obs::HistogramSnapshot{};
+      std::printf("%s\"%s\":{\"count\":%llu,\"mean_us\":%.2f,"
+                  "\"p50_us\":%.2f,\"p99_us\":%.2f}",
+                  s == 0 ? "" : ",", stage,
+                  static_cast<unsigned long long>(hist.count), hist.Mean(),
+                  hist.Quantile(0.50), hist.Quantile(0.99));
+    }
+    const EngineStatsSnapshot stats = engine.Stats();
+    std::printf("},\"estimator_health\":{\"eps0_violation_rate\":%.5f,"
+                "\"signed_rel_err_mean\":%.5f,\"bound_tightness_mean\":%.4f,"
+                "\"samples\":%llu}}",
+                stats.eps0_violation_rate, stats.rerank_signed_err_mean,
+                stats.rerank_bound_tightness_mean,
+                static_cast<unsigned long long>(stats.rerank_health_samples));
   }
   std::remove(tmp_path);
 

@@ -6,20 +6,30 @@
 // configured threshold. Shows the future-based API, the micro-batching
 // scheduler at work (mean batch size > 1 under concurrent load), the
 // scatter-gather shard fan-out, and the per-engine stats endpoint including
-// the lifecycle gauges.
+// the lifecycle gauges. With --metrics-out, a background thread periodically
+// rewrites the file with the engine's Prometheus text exposition -- point a
+// node_exporter textfile collector (or curl in a loop) at it to scrape the
+// demo, and the full metrics snapshot is printed as JSON at exit.
 //
 //   ./serve_demo [num_producers] [queries_per_producer] [--shards S]
+//               [--metrics-out PATH]
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/search_engine.h"
 #include "index/ivf.h"
 #include "index/sharded.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "util/prng.h"
 
 using rabitq::EngineConfig;
@@ -58,16 +68,24 @@ Matrix GaussianClusters(std::size_t n, std::size_t dim, std::size_t clusters,
 
 int main(int argc, char** argv) {
   std::size_t num_shards = 1;
+  const char* metrics_out = nullptr;
   std::vector<std::size_t> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0) {
       if (i + 1 >= argc || std::atol(argv[i + 1]) < 1) {
         std::fprintf(stderr,
                      "usage: serve_demo [num_producers] "
-                     "[queries_per_producer] [--shards S>=1]\n");
+                     "[queries_per_producer] [--shards S>=1] "
+                     "[--metrics-out PATH]\n");
         return 1;
       }
       num_shards = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--metrics-out needs a file path\n");
+        return 1;
+      }
+      metrics_out = argv[++i];
     } else {
       positional.push_back(static_cast<std::size_t>(std::atol(argv[i])));
     }
@@ -106,9 +124,56 @@ int main(int argc, char** argv) {
   params.k = 10;
   params.nprobe = std::max<std::size_t>(1, 16 / num_shards);  // per shard
   config.default_params = params;
+
+  // Trace sink: every 64th query (the default sample period) delivers its
+  // per-stage span breakdown here. Keep the first few and print them at the
+  // end -- a stand-in for shipping traces to a real collector.
+  struct TraceRecord {
+    std::uint64_t seed;
+    double us[rabitq::obs::kNumStages];
+  };
+  std::mutex trace_mutex;
+  std::vector<TraceRecord> trace_records;
+  config.trace_sink = [&](std::uint64_t seed,
+                          const rabitq::obs::QueryTrace& trace) {
+    std::lock_guard<std::mutex> lock(trace_mutex);
+    if (trace_records.size() >= 5) return;
+    TraceRecord rec;
+    rec.seed = seed;
+    for (int s = 0; s < rabitq::obs::kNumStages; ++s) {
+      rec.us[s] = trace.Micros(static_cast<rabitq::obs::Stage>(s));
+    }
+    trace_records.push_back(rec);
+  };
+
   SearchEngine engine(std::move(index), config);
   std::printf("engine up: %zu worker thread(s), %zu shard(s), max_batch=%zu\n",
               engine.num_threads(), engine.num_shards(), config.max_batch);
+
+  // Metrics exporter: periodically rewrite --metrics-out with the Prometheus
+  // text format (write to a temp file then rename, so scrapers never see a
+  // torn exposition).
+  std::atomic<bool> stop_exporter{false};
+  std::thread exporter;
+  if (metrics_out != nullptr) {
+    exporter = std::thread([&] {
+      const std::string tmp = std::string(metrics_out) + ".tmp";
+      while (!stop_exporter.load(std::memory_order_relaxed)) {
+        const std::string text =
+            rabitq::obs::ExportPrometheus(engine.SnapshotMetrics());
+        if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
+          std::fwrite(text.data(), 1, text.size(), f);
+          std::fclose(f);
+          std::rename(tmp.c_str(), metrics_out);
+        }
+        for (int i = 0; i < 10 && !stop_exporter.load(); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+      }
+    });
+    std::printf("metrics exporter: writing Prometheus text to %s every 1s\n",
+                metrics_out);
+  }
 
   // Producers: each thread submits its queries and immediately waits on the
   // returned futures -- the scheduler gathers concurrent submissions into
@@ -243,5 +308,39 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.epoch), engine.size(),
       static_cast<unsigned long long>(stats.live_vectors),
       static_cast<unsigned long long>(stats.tombstones));
+  std::printf(
+      "estimator health: eps0 violation rate %.4f | signed rel-err mean "
+      "%+.4f | bound tightness %.3f (%llu samples)\n",
+      stats.eps0_violation_rate, stats.rerank_signed_err_mean,
+      stats.rerank_bound_tightness_mean,
+      static_cast<unsigned long long>(stats.rerank_health_samples));
+
+  {
+    std::lock_guard<std::mutex> lock(trace_mutex);
+    std::printf("\nsampled query traces (first %zu):\n", trace_records.size());
+    for (const TraceRecord& rec : trace_records) {
+      std::printf("  seed %llu:", static_cast<unsigned long long>(rec.seed));
+      for (int s = 0; s < rabitq::obs::kNumStages; ++s) {
+        std::printf(" %s=%.1fus",
+                    rabitq::obs::StageName(static_cast<rabitq::obs::Stage>(s)),
+                    rec.us[s]);
+      }
+      std::printf("\n");
+    }
+  }
+
+  if (exporter.joinable()) {
+    stop_exporter.store(true);
+    exporter.join();
+    // One final write so the file reflects the full run.
+    const std::string text =
+        rabitq::obs::ExportPrometheus(engine.SnapshotMetrics());
+    if (std::FILE* f = std::fopen(metrics_out, "w")) {
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+    }
+  }
+  std::printf("\nmetrics snapshot (JSON):\n%s\n",
+              rabitq::obs::ExportJson(engine.SnapshotMetrics()).c_str());
   return 0;
 }

@@ -1,43 +1,17 @@
 #include "engine/engine_stats.h"
 
 #include <algorithm>
-#include <cmath>
 
 namespace rabitq {
 
-namespace {
-
-// Bucket index for a latency: floor(4 * log2(us)) clamped to the table.
-// Sub-microsecond latencies land in bucket 0.
-int BucketIndex(double micros) {
-  if (micros < 1.0) return 0;
-  const int idx = static_cast<int>(4.0 * std::log2(micros));
-  return std::min(idx, LatencyHistogram::kNumBuckets - 1);
-}
-
-// Upper edge of bucket i: 2^((i+1)/4) microseconds.
-double BucketUpperEdge(int i) { return std::exp2((i + 1) / 4.0); }
-
-}  // namespace
-
 void LatencyHistogram::Record(double micros) {
-  ++buckets_[BucketIndex(micros)];
+  ++buckets_[obs::BucketIndex(micros)];
   ++count_;
   max_micros_ = std::max(max_micros_, micros);
 }
 
 double LatencyHistogram::Quantile(double q) const {
-  if (count_ == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  const double target = std::max(1.0, q * static_cast<double>(count_));
-  std::uint64_t cumulative = 0;
-  for (int i = 0; i < kNumBuckets; ++i) {
-    cumulative += buckets_[i];
-    if (static_cast<double>(cumulative) >= target) {
-      return std::min(BucketUpperEdge(i), max_micros_);
-    }
-  }
-  return max_micros_;
+  return obs::BucketQuantile(buckets_, count_, max_micros_, q);
 }
 
 void LatencyHistogram::Reset() {
@@ -46,79 +20,114 @@ void LatencyHistogram::Reset() {
   max_micros_ = 0.0;
 }
 
+EngineStatsCollector::EngineStatsCollector(obs::MetricsRegistry* registry)
+    : registry_(registry),
+      created_(std::chrono::steady_clock::now()),
+      queries_(registry->GetCounter("rabitq_queries_total",
+                                    "Queries served (all batches)")),
+      batches_(registry->GetCounter("rabitq_batches_total",
+                                    "Batches executed")),
+      inserts_(registry->GetCounter("rabitq_inserts_total", "Inserts")),
+      deletes_(registry->GetCounter("rabitq_deletes_total", "Deletes")),
+      updates_(registry->GetCounter("rabitq_updates_total", "Updates")),
+      compactions_(registry->GetCounter("rabitq_lists_compacted_total",
+                                        "Lists compacted")),
+      search_errors_(registry->GetCounter("rabitq_search_errors_total",
+                                          "Queries that failed")),
+      codes_estimated_(registry->GetCounter("rabitq_codes_estimated_total",
+                                            "Codes distance-estimated")),
+      candidates_reranked_(
+          registry->GetCounter("rabitq_candidates_reranked_total",
+                               "Candidates exactly re-ranked")),
+      lists_probed_(registry->GetCounter("rabitq_lists_probed_total",
+                                         "IVF lists probed")),
+      codes_filtered_(
+          registry->GetCounter("rabitq_codes_filtered_total",
+                               "Live codes excluded by IdFilters")),
+      bound_violations_(registry->GetCounter(
+          "rabitq_rerank_bound_violations_total",
+          "Re-ranked candidates whose exact distance beat the eps0 bound")),
+      health_samples_(registry->GetCounter(
+          "rabitq_rerank_health_samples_total",
+          "Re-ranked candidates contributing to the health means")),
+      signed_err_sum_(registry->GetFloatCounter(
+          "rabitq_rerank_signed_err_sum",
+          "Sum of (estimate - exact) / exact at re-rank")),
+      tightness_sum_(registry->GetFloatCounter(
+          "rabitq_rerank_tightness_sum",
+          "Sum of lower_bound / exact at re-rank")),
+      latency_(registry->GetHistogram("rabitq_query_latency_us",
+                                      "Per-query latency in microseconds")) {}
+
 void EngineStatsCollector::RecordBatch(std::size_t batch_size,
                                        const double* latencies_us,
                                        const IvfSearchStats& batch_stats,
                                        std::size_t errors) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  queries_ += batch_size;
-  ++batches_;
-  search_errors_ += errors;
-  codes_estimated_ += batch_stats.codes_estimated;
-  candidates_reranked_ += batch_stats.candidates_reranked;
-  lists_probed_ += batch_stats.lists_probed;
-  codes_filtered_ += batch_stats.codes_filtered;
+  queries_->Add(batch_size);
+  batches_->Increment();
+  search_errors_->Add(errors);
+  codes_estimated_->Add(batch_stats.codes_estimated);
+  candidates_reranked_->Add(batch_stats.candidates_reranked);
+  lists_probed_->Add(batch_stats.lists_probed);
+  codes_filtered_->Add(batch_stats.codes_filtered);
+  bound_violations_->Add(batch_stats.rerank_bound_violations);
+  health_samples_->Add(batch_stats.rerank_health_samples);
+  if (batch_stats.rerank_signed_err_sum != 0.0) {
+    signed_err_sum_->Add(batch_stats.rerank_signed_err_sum);
+  }
+  if (batch_stats.rerank_tightness_sum != 0.0) {
+    tightness_sum_->Add(batch_stats.rerank_tightness_sum);
+  }
   for (std::size_t i = 0; i < batch_size; ++i) {
-    latency_.Record(latencies_us[i]);
+    latency_->Record(latencies_us[i]);
   }
 }
 
-void EngineStatsCollector::RecordInsert() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++inserts_;
-}
-
-void EngineStatsCollector::RecordDelete() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++deletes_;
-}
-
-void EngineStatsCollector::RecordUpdate() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++updates_;
-}
-
-void EngineStatsCollector::RecordCompaction() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++compactions_;
-}
-
 EngineStatsSnapshot EngineStatsCollector::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   EngineStatsSnapshot snap;
-  snap.queries = queries_;
-  snap.batches = batches_;
-  snap.inserts = inserts_;
-  snap.deletes = deletes_;
-  snap.updates = updates_;
-  snap.compactions = compactions_;
-  snap.search_errors = search_errors_;
+  snap.queries = queries_->Value();
+  snap.batches = batches_->Value();
+  snap.inserts = inserts_->Value();
+  snap.deletes = deletes_->Value();
+  snap.updates = updates_->Value();
+  snap.compactions = compactions_->Value();
+  snap.search_errors = search_errors_->Value();
   snap.uptime_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    created_)
           .count();
-  snap.qps = snap.uptime_seconds > 0.0
-                 ? static_cast<double>(queries_) / snap.uptime_seconds
+  // QPS over the window since the last Reset(), NOT process uptime: a
+  // post-warmup Reset() starts a fresh window, so the reported rate is not
+  // diluted by build/idle time before it.
+  snap.window_seconds = registry_->WindowSeconds();
+  snap.qps = snap.window_seconds > 0.0
+                 ? static_cast<double>(snap.queries) / snap.window_seconds
                  : 0.0;
   snap.mean_batch_size =
-      batches_ > 0 ? static_cast<double>(queries_) / batches_ : 0.0;
-  snap.latency_p50_us = latency_.Quantile(0.50);
-  snap.latency_p99_us = latency_.Quantile(0.99);
-  snap.latency_max_us = latency_.max_micros();
-  snap.codes_estimated = codes_estimated_;
-  snap.candidates_reranked = candidates_reranked_;
-  snap.lists_probed = lists_probed_;
-  snap.codes_filtered = codes_filtered_;
+      snap.batches > 0
+          ? static_cast<double>(snap.queries) / static_cast<double>(snap.batches)
+          : 0.0;
+  const obs::HistogramSnapshot latency = latency_->Snapshot();
+  snap.latency_p50_us = latency.Quantile(0.50);
+  snap.latency_p99_us = latency.Quantile(0.99);
+  snap.latency_max_us = latency.max;
+  snap.codes_estimated = codes_estimated_->Value();
+  snap.candidates_reranked = candidates_reranked_->Value();
+  snap.lists_probed = lists_probed_->Value();
+  snap.codes_filtered = codes_filtered_->Value();
+  snap.rerank_bound_violations = bound_violations_->Value();
+  snap.rerank_health_samples = health_samples_->Value();
+  snap.eps0_violation_rate =
+      snap.candidates_reranked > 0
+          ? static_cast<double>(snap.rerank_bound_violations) /
+                static_cast<double>(snap.candidates_reranked)
+          : 0.0;
+  if (snap.rerank_health_samples > 0) {
+    const double inv = 1.0 / static_cast<double>(snap.rerank_health_samples);
+    snap.rerank_signed_err_mean = signed_err_sum_->Value() * inv;
+    snap.rerank_bound_tightness_mean = tightness_sum_->Value() * inv;
+  }
   return snap;
-}
-
-void EngineStatsCollector::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  start_ = std::chrono::steady_clock::now();
-  queries_ = batches_ = inserts_ = search_errors_ = 0;
-  deletes_ = updates_ = compactions_ = 0;
-  codes_estimated_ = candidates_reranked_ = lists_probed_ = 0;
-  codes_filtered_ = 0;
-  latency_.Reset();
 }
 
 }  // namespace rabitq

@@ -1,17 +1,19 @@
-// Serving-side statistics for SearchEngine: query/batch/insert counters,
-// work counters aggregated from IvfSearchStats, and a log-bucketed latency
-// histogram that yields approximate quantiles (p50/p99) without retaining
-// samples. Recording is mutex-guarded but batched -- one RecordBatch call per
-// executed batch -- so the cost is O(1) per batch, not per query.
+// Serving-side statistics for SearchEngine. EngineStatsCollector is a thin
+// facade over an obs::MetricsRegistry: every Record* call is a handful of
+// relaxed striped-atomic adds (no mutex -- the engine-wide stats lock this
+// class used to hold is gone), and Snapshot() aggregates the registry into
+// the same EngineStatsSnapshot consumers always read. The registry itself is
+// owned by the engine and also feeds the per-stage trace histograms and the
+// Prometheus/JSON exports (see obs/export.h).
 
 #ifndef RABITQ_ENGINE_ENGINE_STATS_H_
 #define RABITQ_ENGINE_ENGINE_STATS_H_
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 
 #include "index/ivf.h"
+#include "obs/metrics.h"
 
 namespace rabitq {
 
@@ -29,8 +31,8 @@ struct EngineStatsSnapshot {
   std::uint64_t num_shards = 1;
   std::uint64_t live_vectors = 0;
   std::uint64_t tombstones = 0;
-  double uptime_seconds = 0.0;
-  double qps = 0.0;                // queries / uptime
+  double uptime_seconds = 0.0;     // since collector construction
+  double qps = 0.0;                // queries / window_seconds
   double mean_batch_size = 0.0;
   double latency_p50_us = 0.0;     // per-query latency quantiles; for async
   double latency_p99_us = 0.0;     // queries this includes queueing time
@@ -40,18 +42,35 @@ struct EngineStatsSnapshot {
   std::uint64_t candidates_reranked = 0;
   std::uint64_t lists_probed = 0;
   std::uint64_t codes_filtered = 0;  // excluded by per-query IdFilters
+
+  /// Seconds since construction or the last Reset() -- the rate window the
+  /// qps above is computed over, so a post-warmup Reset() yields a QPS
+  /// undiluted by build/idle time.
+  double window_seconds = 0.0;
+  // Estimator-health telemetry aggregated from the kErrorBound re-rank
+  // sites (see IvfSearchStats): the live view of the paper's Eq. 16 bound.
+  std::uint64_t rerank_bound_violations = 0;
+  std::uint64_t rerank_health_samples = 0;
+  /// rerank_bound_violations / candidates_reranked; tracks P(Z > eps0).
+  double eps0_violation_rate = 0.0;
+  /// Mean of (estimate - exact) / exact; ~0 iff the estimator is unbiased.
+  double rerank_signed_err_mean = 0.0;
+  /// Mean of lower_bound / exact in (0, 1]; how tight the bound runs.
+  double rerank_bound_tightness_mean = 0.0;
 };
 
 /// Histogram over geometrically spaced latency buckets: bucket i covers
 /// [2^(i/4), 2^((i+1)/4)) microseconds, i.e. ~19% relative resolution, with
-/// 128 buckets reaching ~75 minutes. Quantiles report the upper bucket edge
-/// (a <= 19% overestimate -- fine for p50/p99 served out of a stats endpoint).
+/// 128 buckets reaching ~75 minutes (the obs::Histogram bucket geometry).
+/// Quantiles interpolate linearly WITHIN the reporting bucket and clamp to
+/// the recorded maximum. NOT thread-safe -- this is the single-threaded
+/// value type; the engine's concurrent histograms are obs::Histogram.
 class LatencyHistogram {
  public:
-  static constexpr int kNumBuckets = 128;
+  static constexpr int kNumBuckets = obs::kNumBuckets;
 
   void Record(double micros);
-  /// Approximate quantile in microseconds; q in [0, 1]. 0 when empty.
+  /// Interpolated quantile in microseconds; q in [0, 1]. 0 when empty.
   double Quantile(double q) const;
   double max_micros() const { return max_micros_; }
   std::uint64_t count() const { return count_; }
@@ -63,40 +82,49 @@ class LatencyHistogram {
   double max_micros_ = 0.0;
 };
 
-/// Thread-safe collector owned by a SearchEngine.
+/// Thread-safe collector owned by a SearchEngine: a facade that resolves
+/// its metrics out of the engine's registry once at construction, then
+/// records lock-free. Record* calls may race freely; Snapshot() is a
+/// relaxed aggregate (counters may be mutually off by in-flight adds).
 class EngineStatsCollector {
  public:
-  EngineStatsCollector() : start_(std::chrono::steady_clock::now()) {}
+  /// `registry` must outlive the collector (the engine owns both).
+  explicit EngineStatsCollector(obs::MetricsRegistry* registry);
 
   /// One executed batch: its size, the per-query latencies (microseconds),
   /// the IvfSearchStats summed over the batch, and how many queries failed.
   void RecordBatch(std::size_t batch_size, const double* latencies_us,
                    const IvfSearchStats& batch_stats, std::size_t errors);
-  void RecordInsert();
-  void RecordDelete();
-  void RecordUpdate();
+  void RecordInsert() { inserts_->Increment(); }
+  void RecordDelete() { deletes_->Increment(); }
+  void RecordUpdate() { updates_->Increment(); }
   /// One list compacted (a background pass may record several).
-  void RecordCompaction();
+  void RecordCompaction() { compactions_->Increment(); }
 
   EngineStatsSnapshot Snapshot() const;
-  /// Zeroes every counter and restarts the uptime/QPS clock.
-  void Reset();
+  /// Zeroes every registry metric and restarts the QPS window (the uptime
+  /// clock keeps running from construction).
+  void Reset() { registry_->Reset(); }
 
  private:
-  mutable std::mutex mutex_;
-  std::chrono::steady_clock::time_point start_;
-  std::uint64_t queries_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t inserts_ = 0;
-  std::uint64_t deletes_ = 0;
-  std::uint64_t updates_ = 0;
-  std::uint64_t compactions_ = 0;
-  std::uint64_t search_errors_ = 0;
-  std::uint64_t codes_estimated_ = 0;
-  std::uint64_t candidates_reranked_ = 0;
-  std::uint64_t lists_probed_ = 0;
-  std::uint64_t codes_filtered_ = 0;
-  LatencyHistogram latency_;
+  obs::MetricsRegistry* registry_;
+  std::chrono::steady_clock::time_point created_;
+  obs::Counter* queries_;
+  obs::Counter* batches_;
+  obs::Counter* inserts_;
+  obs::Counter* deletes_;
+  obs::Counter* updates_;
+  obs::Counter* compactions_;
+  obs::Counter* search_errors_;
+  obs::Counter* codes_estimated_;
+  obs::Counter* candidates_reranked_;
+  obs::Counter* lists_probed_;
+  obs::Counter* codes_filtered_;
+  obs::Counter* bound_violations_;
+  obs::Counter* health_samples_;
+  obs::FloatCounter* signed_err_sum_;
+  obs::FloatCounter* tightness_sum_;
+  obs::Histogram* latency_;
 };
 
 }  // namespace rabitq

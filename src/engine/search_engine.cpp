@@ -17,6 +17,10 @@ IvfSearchStats SumStats(const IvfSearchStats* stats, std::size_t n) {
     agg.candidates_reranked += stats[i].candidates_reranked;
     agg.lists_probed += stats[i].lists_probed;
     agg.codes_filtered += stats[i].codes_filtered;
+    agg.rerank_bound_violations += stats[i].rerank_bound_violations;
+    agg.rerank_health_samples += stats[i].rerank_health_samples;
+    agg.rerank_signed_err_sum += stats[i].rerank_signed_err_sum;
+    agg.rerank_tightness_sum += stats[i].rerank_tightness_sum;
   }
   return agg;
 }
@@ -28,7 +32,39 @@ SearchEngine::SearchEngine(ShardedIndex index, const EngineConfig& config)
       dim_(index_.dim()),
       config_(config),
       pool_(config.num_threads),
-      worker_scratch_(pool_.num_threads()) {
+      worker_scratch_(pool_.num_threads()),
+      stats_(&metrics_) {
+  for (int s = 0; s < obs::kNumStages; ++s) {
+    stage_hist_[s] = metrics_.GetHistogram(
+        std::string("rabitq_stage_") +
+            obs::StageName(static_cast<obs::Stage>(s)) + "_us",
+        std::string("Per-query ") +
+            obs::StageName(static_cast<obs::Stage>(s)) +
+            " time in microseconds (sampled traces)");
+  }
+  compaction_pass_seconds_ = metrics_.GetHistogram(
+      "rabitq_compaction_pass_seconds",
+      "Wall time of background/explicit compaction passes that did work");
+  compaction_codes_reclaimed_ = metrics_.GetCounter(
+      "rabitq_compaction_codes_reclaimed_total",
+      "Tombstoned code entries dropped by list compactions");
+  traced_queries_ = metrics_.GetCounter("rabitq_traced_queries_total",
+                                        "Queries with a sampled trace");
+  gauge_live_vectors_ =
+      metrics_.GetGauge("rabitq_live_vectors", "Live (non-deleted) vectors");
+  gauge_tombstones_ = metrics_.GetGauge(
+      "rabitq_tombstones", "Tombstoned list entries awaiting compaction");
+  gauge_epoch_ = metrics_.GetGauge("rabitq_epoch", "Index mutation epoch");
+  gauge_shards_ = metrics_.GetGauge("rabitq_num_shards", "Index shards");
+  gauge_violation_rate_ = metrics_.GetGauge(
+      "rabitq_eps0_violation_rate",
+      "Observed share of re-ranked candidates violating the eps0 bound");
+  gauge_signed_err_mean_ = metrics_.GetGauge(
+      "rabitq_rerank_signed_err_mean",
+      "Mean signed relative error of the estimate at re-rank");
+  gauge_tightness_mean_ = metrics_.GetGauge(
+      "rabitq_rerank_tightness_mean",
+      "Mean lower_bound / exact distance ratio at re-rank");
   for (std::size_t s = 0; s < index_.num_shards(); ++s) {
     sync_.push_back(std::make_unique<ShardSync>());
   }
@@ -82,6 +118,26 @@ void SearchEngine::ExecuteBatch(
     return;
   }
 
+  // Deterministic trace sampling, decided before any work: a pure function
+  // of each query's resolved seed, so the traced subset does not depend on
+  // threads, shards or batch composition. batch_traces_[i] stays null for
+  // untraced queries -- every downstream hook is then one branch, no clock.
+  batch_traces_.assign(n, nullptr);
+  bool any_traced = false;
+  if (config_.trace_sample_period > 0) {
+    if (n > trace_capacity_) {
+      trace_storage_ = std::make_unique<obs::QueryTrace[]>(n);
+      trace_capacity_ = n;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (obs::SampleTrace(seeds[i], config_.trace_sample_period)) {
+        trace_storage_[i].Clear();
+        batch_traces_[i] = &trace_storage_[i];
+        any_traced = true;
+      }
+    }
+  }
+
   // The whole batch runs against one consistent snapshot: shared locks on
   // every shard, so mutations run between batches (or overlap batches that
   // have already finished with their shard -- never mid-read).
@@ -93,12 +149,29 @@ void SearchEngine::ExecuteBatch(
 
   // Gather and rotate every query with one matrix-matrix product -- the
   // per-query gemv this replaces is the dominant shared-preprocessing cost.
+  Clock::time_point preprocess_start;
+  if (any_traced) preprocess_start = Clock::now();
   const std::size_t d = index_.dim();
   gather_buf_.Reset(n, d);
   for (std::size_t i = 0; i < n; ++i) {
     std::copy_n(queries[i], d, gather_buf_.Row(i));
   }
   index_.encoder().rotator().InverseRotateBatch(gather_buf_, &rotated_buf_);
+  if (any_traced) {
+    // The batched rotation is shared work; each sampled trace gets its
+    // per-query share (batch duration / batch size).
+    const std::uint64_t preprocess_ns =
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - preprocess_start)
+                .count()) /
+        n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (batch_traces_[i] != nullptr) {
+        batch_traces_[i]->AddNanos(obs::Stage::kPreprocess, preprocess_ns);
+      }
+    }
+  }
 
   // Scatter: (query x shard) cells fanned out over the pool, one contiguous
   // chunk per worker slot so chunk c exclusively owns worker_scratch_[c].
@@ -119,10 +192,14 @@ void SearchEngine::ExecuteBatch(
       for (std::size_t cell = begin; cell < end; ++cell) {
         const std::size_t q = cell / S;
         const std::size_t s = cell % S;
+        // A sampled query's cells may run on several workers; its trace's
+        // relaxed atomic accumulators absorb the concurrent span adds.
+        scratch.trace = batch_traces_[q];
         cell_status_[cell] = index_.SearchShard(
             s, queries[q], rotated_buf_.Row(q), *params[q], seeds[q],
             &scratch, &cell_results_[cell], &cell_stats_[cell]);
       }
+      scratch.trace = nullptr;
     }));
   }
   // Drain EVERY chunk before surfacing a failure: packaged_task futures do
@@ -154,6 +231,7 @@ void SearchEngine::ExecuteBatch(
           st = cell_status_[q * S + s];
         }
         if (st.ok()) {
+          obs::ScopedSpan merge_span(batch_traces_[q], obs::Stage::kMerge);
           st = index_.MergeShardResults(queries[q], *params[q],
                                         &cell_results_[q * S],
                                         &cell_stats_[q * S],
@@ -188,6 +266,34 @@ void SearchEngine::ExecuteBatch(
     if (!statuses[i].ok()) ++errors;
   }
   stats_.RecordBatch(n, latencies.data(), SumStats(stats, n), errors);
+
+  // Fold the sampled traces into the per-stage histograms and hand them to
+  // the optional sink. Queue wait (submit -> batch start) only exists on
+  // the async path; the sync path records no kQueueWait samples.
+  if (any_traced) {
+    for (std::size_t i = 0; i < n; ++i) {
+      obs::QueryTrace* const trace = batch_traces_[i];
+      if (trace == nullptr) continue;
+      if (submit_times != nullptr) {
+        const std::int64_t wait_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                start - submit_times[i])
+                .count();
+        if (wait_ns > 0) {
+          trace->AddNanos(obs::Stage::kQueueWait,
+                          static_cast<std::uint64_t>(wait_ns));
+        }
+      }
+      for (int s = 0; s < obs::kNumStages; ++s) {
+        const std::uint64_t ns = trace->Nanos(static_cast<obs::Stage>(s));
+        if (ns > 0) {
+          stage_hist_[s]->Record(static_cast<double>(ns) * 1e-3);
+        }
+      }
+      traced_queries_->Increment();
+      if (config_.trace_sink) config_.trace_sink(seeds[i], *trace);
+    }
+  }
 }
 
 Status SearchEngine::SearchBatch(const SearchRequest* requests,
@@ -377,6 +483,8 @@ Status SearchEngine::CompactNow() {
 
 Status SearchEngine::RunCompactions(float min_ratio, std::size_t min_dead) {
   Status first_error;
+  const auto pass_start = std::chrono::steady_clock::now();
+  std::size_t lists_done = 0;
   for (std::size_t shard = 0; shard < index_.num_shards(); ++shard) {
     std::vector<std::uint32_t> victims;
     {
@@ -391,7 +499,10 @@ Status SearchEngine::RunCompactions(float min_ratio, std::size_t min_dead) {
       // shards are never touched at all.
       std::lock_guard<std::mutex> writer(sync_[shard]->writer_mutex);
       IvfRabitqIndex* target = index_.mutable_shard(shard);
-      if (target->list_tombstones(l) == 0) continue;  // mutated since selection
+      // Tombstone count at plan time == entries the commit reclaims (the
+      // commit fails closed if the list mutates in between).
+      const std::size_t dead = target->list_tombstones(l);
+      if (dead == 0) continue;  // mutated since selection
       IvfCompactionPlan plan;
       Status s;
       {
@@ -405,10 +516,20 @@ Status SearchEngine::RunCompactions(float min_ratio, std::size_t min_dead) {
       if (s.ok()) {
         epoch_.fetch_add(1, std::memory_order_release);
         stats_.RecordCompaction();
+        compaction_codes_reclaimed_->Add(dead);
+        ++lists_done;
       } else if (first_error.ok()) {
         first_error = s;
       }
     }
+  }
+  // Idle scans (nothing selected) record no pass: the histogram measures
+  // the cost of passes that did work, not the compactor's polling cadence.
+  if (lists_done > 0) {
+    compaction_pass_seconds_->Record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      pass_start)
+            .count());
   }
   return first_error;
 }
@@ -444,7 +565,21 @@ EngineStatsSnapshot SearchEngine::Stats() const {
     snap.live_vectors += index_.shard(s).live_size();
     snap.tombstones += index_.shard(s).num_tombstones();
   }
+  // Mirror the lifecycle and derived-health values into gauges so the
+  // registry exports (Prometheus/JSON) carry them without recomputation.
+  gauge_live_vectors_->Set(static_cast<double>(snap.live_vectors));
+  gauge_tombstones_->Set(static_cast<double>(snap.tombstones));
+  gauge_epoch_->Set(static_cast<double>(snap.epoch));
+  gauge_shards_->Set(static_cast<double>(snap.num_shards));
+  gauge_violation_rate_->Set(snap.eps0_violation_rate);
+  gauge_signed_err_mean_->Set(snap.rerank_signed_err_mean);
+  gauge_tightness_mean_->Set(snap.rerank_bound_tightness_mean);
   return snap;
+}
+
+obs::MetricsSnapshot SearchEngine::SnapshotMetrics() const {
+  (void)Stats();  // refresh the lifecycle + derived-health gauges
+  return metrics_.Snapshot();
 }
 
 void SearchEngine::SchedulerLoop() {

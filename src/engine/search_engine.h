@@ -40,6 +40,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -51,6 +52,8 @@
 #include "engine/request_queue.h"
 #include "index/ivf.h"
 #include "index/sharded.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace rabitq {
@@ -74,6 +77,20 @@ struct EngineConfig {
   /// Lists with fewer tombstones than this are never auto-compacted
   /// (rebuilding a 3-entry list over one tombstone is churn, not progress).
   std::size_t compaction_min_dead = 32;
+  /// Per-stage trace sampling: one query in `trace_sample_period` records
+  /// spans (queue wait, preprocess, probe order, scan, re-rank, merge) into
+  /// the per-stage latency histograms. The decision is a pure function of
+  /// the query's resolved seed (obs::SampleTrace), so the traced subset is
+  /// deterministic across runs and shard counts. 0 disables tracing;
+  /// 1 traces every query. Untraced queries pay one seed mix and a few
+  /// null checks -- no clock reads.
+  std::uint32_t trace_sample_period = 64;
+  /// Optional per-query trace dump: invoked synchronously after each batch
+  /// for every SAMPLED query with (resolved query seed, completed trace).
+  /// Runs on the batch-executing thread with no engine locks held, but
+  /// stalls serving while it runs -- keep it cheap, and make it thread-safe
+  /// if batches come from several threads.
+  std::function<void(std::uint64_t, const obs::QueryTrace&)> trace_sink;
 };
 
 /// Owns a built (possibly sharded) index and serves k-NN concurrently.
@@ -187,7 +204,20 @@ class SearchEngine {
   Status CompactNow();
 
   EngineStatsSnapshot Stats() const;
+  /// Zeroes EVERY registry metric (engine counters, per-stage histograms,
+  /// compaction metrics) and restarts the QPS window -- call after warmup
+  /// for rates over the serving window only.
   void ResetStats() { stats_.Reset(); }
+
+  /// Full observability snapshot: every registry metric (engine counters,
+  /// per-stage trace histograms rabitq_stage_*_us, estimator health,
+  /// compaction metrics) with the lifecycle/health gauges refreshed first.
+  /// Feed it to obs::ExportJson / obs::ExportPrometheus.
+  obs::MetricsSnapshot SnapshotMetrics() const;
+
+  /// The engine's metric registry: extension point for embedding callers
+  /// that want to register their own metrics into the same export.
+  obs::MetricsRegistry* metrics() { return &metrics_; }
 
  private:
   /// Per-shard coordination: readers (batches) share index_mutex; mutators
@@ -244,6 +274,27 @@ class SearchEngine {
   std::vector<Status> cell_status_;
   std::vector<std::vector<Neighbor>> cell_results_;
   std::vector<IvfSearchStats> cell_stats_;
+
+  // Observability. metrics_ is declared before stats_ (the collector
+  // resolves its metrics out of it at construction). Traced queries write
+  // into trace_storage_ slots (QueryTrace holds atomics, so the storage is
+  // a raw array grown to the largest batch, guarded by batch_mutex_);
+  // batch_traces_[q] is the sampled query q's trace or null.
+  obs::MetricsRegistry metrics_;
+  obs::Histogram* stage_hist_[obs::kNumStages];
+  obs::Histogram* compaction_pass_seconds_;
+  obs::Counter* compaction_codes_reclaimed_;
+  obs::Counter* traced_queries_;
+  obs::Gauge* gauge_live_vectors_;
+  obs::Gauge* gauge_tombstones_;
+  obs::Gauge* gauge_epoch_;
+  obs::Gauge* gauge_shards_;
+  obs::Gauge* gauge_violation_rate_;
+  obs::Gauge* gauge_signed_err_mean_;
+  obs::Gauge* gauge_tightness_mean_;
+  std::unique_ptr<obs::QueryTrace[]> trace_storage_;
+  std::size_t trace_capacity_ = 0;
+  std::vector<obs::QueryTrace*> batch_traces_;
 
   EngineStatsCollector stats_;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <mutex>
@@ -38,6 +39,33 @@ std::uint32_t FilterBlockMask(const IdFilter& filter,
   }
   *filtered += dropped;
   return allow;
+}
+
+using TraceClock = std::chrono::steady_clock;
+
+inline std::uint64_t NanosSince(TraceClock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(TraceClock::now() -
+                                                           start)
+          .count());
+}
+
+// Estimator-health accumulation at the kErrorBound re-rank sites: both the
+// estimate and the eps0 lower bound are already in the scratch buffers and
+// the exact distance was just computed, so the live bound-violation /
+// bias / tightness telemetry costs a handful of flops per RE-RANKED
+// candidate (a tiny fraction of codes scanned) on top of a full exact
+// distance -- never a measurable hot-path cost.
+inline void AccumulateRerankHealth(float est, float lb, float exact,
+                                   IvfSearchStats* stats) {
+  stats->rerank_bound_violations += exact < lb;
+  if (exact > 0.0f) {
+    ++stats->rerank_health_samples;
+    const double inv = 1.0 / static_cast<double>(exact);
+    stats->rerank_signed_err_sum +=
+        (static_cast<double>(est) - static_cast<double>(exact)) * inv;
+    stats->rerank_tightness_sum += static_cast<double>(lb) * inv;
+  }
 }
 
 }  // namespace
@@ -197,17 +225,31 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
   const float epsilon0 = params.epsilon0_override >= 0.0f
                              ? params.epsilon0_override
                              : encoder_.config().epsilon0;
+  // Per-stage tracing: null for untraced queries (one branch per stage, no
+  // clock reads). The scan span is measured as (whole list loop) minus the
+  // re-rank time accumulated inside it, so scan + rerank tile the loop.
+  obs::QueryTrace* const trace = scratch->trace;
+  TraceClock::time_point span_start;
+  if (trace != nullptr) span_start = TraceClock::now();
   ProbeOrderInto(query, params.nprobe, &scratch->probe_order);
+  if (trace != nullptr) {
+    trace->AddNanos(obs::Stage::kProbeOrder, NanosSince(span_start));
+  }
   const auto& order = scratch->probe_order;
   const std::size_t nprobe = std::min(params.nprobe, order.size());
 
   // Rotate the query ONCE; each probed list reuses it (Section 3.3's shared
   // preprocessing, made explicit by PrepareQueryFromRotated). Serving-engine
-  // callers pass the row of a batched rotation instead.
+  // callers pass the row of a batched rotation instead (and attribute the
+  // batched rotation to kPreprocess themselves).
   if (rotated_query == nullptr) {
+    if (trace != nullptr) span_start = TraceClock::now();
     scratch->rotated_query.resize(encoder_.total_bits());
     RotateQueryOnce(encoder_, query, scratch->rotated_query.data());
     rotated_query = scratch->rotated_query.data();
+    if (trace != nullptr) {
+      trace->AddNanos(obs::Stage::kPreprocess, NanosSince(span_start));
+    }
   }
 
   IvfSearchStats local_stats;
@@ -239,6 +281,12 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
       kFastScanBlockSize;
   est_buf.resize(padded);
   lb_buf.resize(padded);
+
+  // Scan span = (list loop + result extraction) minus the re-rank time
+  // accumulated inside; the two stages tile the post-preprocess pipeline.
+  TraceClock::time_point scan_start;
+  std::uint64_t rerank_ns = 0;
+  if (trace != nullptr) scan_start = TraceClock::now();
 
   for (std::size_t p = 0; p < nprobe; ++p) {
     const std::uint32_t list_id = order[p].second;
@@ -301,6 +349,8 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
             qq, list.codes, block, sums, epsilon0, threshold,
             dead_base == nullptr ? nullptr : dead_base + begin,
             est_buf.data() + begin, lb_buf.data() + begin, allow_mask);
+        const bool time_rerank = trace != nullptr && survivors != 0;
+        if (time_rerank) span_start = TraceClock::now();
         while (survivors != 0) {
           const unsigned lane = std::countr_zero(survivors);
           survivors &= survivors - 1;
@@ -312,7 +362,9 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
           const float exact = L2SqrDistance(data_.Row(id), query, dim());
           exact_heap.Push(exact, id);
           ++local_stats.candidates_reranked;
+          AccumulateRerankHealth(est_buf[i], lb_buf[i], exact, &local_stats);
         }
+        if (time_rerank) rerank_ns += NanosSince(span_start);
       }
       continue;
     }
@@ -339,6 +391,7 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
         // The filter check sits with the tombstone check (before the bound
         // test) so codes_filtered counts every live excluded code, exactly
         // like the fused path's per-block mask.
+        if (trace != nullptr) span_start = TraceClock::now();
         for (std::size_t i = 0; i < n; ++i) {
           if (list.dead[i]) continue;
           if (filtering && !filter.Allows(list.ids[i])) {
@@ -350,7 +403,9 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
           const float exact = L2SqrDistance(data_.Row(id), query, dim());
           exact_heap.Push(exact, id);
           ++local_stats.candidates_reranked;
+          AccumulateRerankHealth(est_buf[i], lb_buf[i], exact, &local_stats);
         }
+        if (trace != nullptr) rerank_ns += NanosSince(span_start);
         break;
       case RerankPolicy::kFixedCandidates:
       case RerankPolicy::kNone:
@@ -374,10 +429,12 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
                  estimate_pool.size());
     std::partial_sort(estimate_pool.begin(), estimate_pool.begin() + keep,
                       estimate_pool.end());
+    if (trace != nullptr) span_start = TraceClock::now();
     for (std::size_t i = 0; i < keep; ++i) {
       const std::uint32_t id = estimate_pool[i].second;
       exact_heap.Push(L2SqrDistance(data_.Row(id), query, dim()), id);
     }
+    if (trace != nullptr) rerank_ns += NanosSince(span_start);
     local_stats.candidates_reranked = keep;
     *out = exact_heap.ExtractSorted();
   } else {
@@ -386,6 +443,12 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
                       estimate_pool.end());
     // Copy (not move) so the pool's capacity stays with the scratch.
     out->assign(estimate_pool.begin(), estimate_pool.begin() + keep);
+  }
+  if (trace != nullptr) {
+    const std::uint64_t total_ns = NanosSince(scan_start);
+    trace->AddNanos(obs::Stage::kScan,
+                    total_ns > rerank_ns ? total_ns - rerank_ns : 0);
+    trace->AddNanos(obs::Stage::kRerank, rerank_ns);
   }
   if (stats != nullptr) *stats = local_stats;
   return Status::Ok();

@@ -36,6 +36,7 @@
 #include "index/brute_force.h"
 #include "index/search_types.h"
 #include "index/vector_store.h"
+#include "obs/trace.h"
 #include "util/prng.h"
 
 namespace rabitq {
@@ -60,6 +61,12 @@ struct IvfSearchScratch {
   std::vector<float> lb_buf;
   std::vector<Neighbor> estimate_pool;
   QuantizedQuery query;
+  /// When non-null, SearchWithScratch adds per-stage spans (probe ordering,
+  /// scan, re-rank; preprocess when it rotates the query itself) into this
+  /// trace. Null (the default) costs one branch per stage and no clock
+  /// reads. The engine points this at the sampled query's QueryTrace for
+  /// the duration of each (query x shard) cell.
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// A compacted replacement for one list, built by PlanListCompaction without

@@ -206,6 +206,25 @@ struct IvfSearchStats {
   /// Live candidate codes excluded by the request's IdFilter before
   /// re-ranking (tombstoned entries are not double-counted here).
   std::size_t codes_filtered = 0;
+
+  // Estimator-health telemetry, collected at kErrorBound re-rank where the
+  // estimate, the eps0 lower bound and the exact distance are all in hand
+  // -- a live measurement of the paper's Eq. 16 guarantee at zero extra
+  // distance computations. (kFixedCandidates/kNone re-rank without bounds
+  // and contribute nothing here.)
+  /// Re-ranked candidates whose exact distance fell below the eps0 lower
+  /// bound. rerank_bound_violations / candidates_reranked is the observed
+  /// violation rate, which should track the Gaussian tail P(Z > eps0)
+  /// (~2.9% at the paper's eps0 = 1.9; see error_bound_property_test).
+  std::size_t rerank_bound_violations = 0;
+  /// Re-ranked candidates with exact > 0 (denominator of the two sums).
+  std::size_t rerank_health_samples = 0;
+  /// Sum of (estimate - exact) / exact over health samples; its mean near 0
+  /// is the live check of the estimator's unbiasedness (Theorem 3.2).
+  double rerank_signed_err_sum = 0.0;
+  /// Sum of lower_bound / exact over health samples; its mean in (0, 1]
+  /// measures how tight the bound runs (1 = exact, -> 0 = vacuous).
+  double rerank_tightness_sum = 0.0;
 };
 
 /// One query: a non-owning view of `dim()` floats plus its options. The

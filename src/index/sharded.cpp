@@ -242,6 +242,10 @@ Status ShardedIndex::SearchWithScratch(const float* query,
                                        &scratch->shard_results[s],
                                        &scratch->shard_stats[s]));
   }
+  // The per-shard scans above recorded their own spans through
+  // shard_scratch.trace (when the caller set one); the gather is the merge
+  // stage. The engine's scatter path times its merge chunks the same way.
+  obs::ScopedSpan merge_span(scratch->shard_scratch.trace, obs::Stage::kMerge);
   return MergeShardResults(query, params, scratch->shard_results.data(),
                            scratch->shard_stats.data(), scratch, out, stats);
 }
@@ -309,6 +313,10 @@ Status ShardedIndex::MergeShardResults(const float* query,
       agg.candidates_reranked += shard_stats[s].candidates_reranked;
       agg.lists_probed += shard_stats[s].lists_probed;
       agg.codes_filtered += shard_stats[s].codes_filtered;
+      agg.rerank_bound_violations += shard_stats[s].rerank_bound_violations;
+      agg.rerank_health_samples += shard_stats[s].rerank_health_samples;
+      agg.rerank_signed_err_sum += shard_stats[s].rerank_signed_err_sum;
+      agg.rerank_tightness_sum += shard_stats[s].rerank_tightness_sum;
     }
   }
 

@@ -1,0 +1,133 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+namespace rabitq {
+namespace obs {
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out->append(buf);
+}
+
+void AppendU64(std::string* out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+void AppendJsonKey(std::string* out, const std::string& name, bool* first) {
+  if (!*first) out->append(",");
+  *first = false;
+  out->append("\"").append(name).append("\":");
+}
+
+}  // namespace
+
+std::string ExportJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"window_seconds\":";
+  AppendDouble(&out, snapshot.window_seconds);
+
+  out.append(",\"counters\":{");
+  bool first = true;
+  for (const MetricValue& mv : snapshot.metrics) {
+    if (mv.kind == MetricKind::kCounter) {
+      AppendJsonKey(&out, mv.name, &first);
+      AppendU64(&out, mv.u64);
+    } else if (mv.kind == MetricKind::kFloatCounter) {
+      AppendJsonKey(&out, mv.name, &first);
+      AppendDouble(&out, mv.value);
+    }
+  }
+
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const MetricValue& mv : snapshot.metrics) {
+    if (mv.kind != MetricKind::kGauge) continue;
+    AppendJsonKey(&out, mv.name, &first);
+    AppendDouble(&out, mv.value);
+  }
+
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const MetricValue& mv : snapshot.metrics) {
+    if (mv.kind != MetricKind::kHistogram) continue;
+    AppendJsonKey(&out, mv.name, &first);
+    out.append("{\"count\":");
+    AppendU64(&out, mv.hist.count);
+    out.append(",\"sum\":");
+    AppendDouble(&out, mv.hist.sum);
+    out.append(",\"max\":");
+    AppendDouble(&out, mv.hist.max);
+    out.append(",\"mean\":");
+    AppendDouble(&out, mv.hist.Mean());
+    out.append(",\"p50\":");
+    AppendDouble(&out, mv.hist.Quantile(0.50));
+    out.append(",\"p90\":");
+    AppendDouble(&out, mv.hist.Quantile(0.90));
+    out.append(",\"p99\":");
+    AppendDouble(&out, mv.hist.Quantile(0.99));
+    out.append("}");
+  }
+  out.append("}}");
+  return out;
+}
+
+std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricValue& mv : snapshot.metrics) {
+    if (!mv.help.empty()) {
+      out.append("# HELP ").append(mv.name).append(" ").append(mv.help).append(
+          "\n");
+    }
+    switch (mv.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kFloatCounter:
+        out.append("# TYPE ").append(mv.name).append(" counter\n");
+        out.append(mv.name).append(" ");
+        AppendDouble(&out, mv.value);
+        out.append("\n");
+        break;
+      case MetricKind::kGauge:
+        out.append("# TYPE ").append(mv.name).append(" gauge\n");
+        out.append(mv.name).append(" ");
+        AppendDouble(&out, mv.value);
+        out.append("\n");
+        break;
+      case MetricKind::kHistogram: {
+        out.append("# TYPE ").append(mv.name).append(" histogram\n");
+        // Cumulative counts over the OCCUPIED bucket edges: scrapes stay
+        // compact (128 mostly-empty buckets would dominate the payload) and
+        // remain valid Prometheus histograms -- a bucket that first fills
+        // later simply appears then, carrying the full cumulative count.
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i < kNumBuckets; ++i) {
+          if (mv.hist.buckets[i] == 0) continue;
+          cumulative += mv.hist.buckets[i];
+          out.append(mv.name).append("_bucket{le=\"");
+          AppendDouble(&out, BucketUpper(i));
+          out.append("\"} ");
+          AppendU64(&out, cumulative);
+          out.append("\n");
+        }
+        out.append(mv.name).append("_bucket{le=\"+Inf\"} ");
+        AppendU64(&out, mv.hist.count);
+        out.append("\n");
+        out.append(mv.name).append("_sum ");
+        AppendDouble(&out, mv.hist.sum);
+        out.append("\n");
+        out.append(mv.name).append("_count ");
+        AppendU64(&out, mv.hist.count);
+        out.append("\n");
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace rabitq

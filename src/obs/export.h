@@ -1,0 +1,32 @@
+// Serialization of a MetricsSnapshot for scraping and tooling:
+//   * ExportJson        one compact JSON object (counters / gauges /
+//                       histogram summaries), the bench/CI format;
+//   * ExportPrometheus  Prometheus text exposition format 0.0.4 (counters,
+//                       gauges, and cumulative-bucket histograms), the
+//                       serve_demo --metrics-out format.
+// Both are pure functions of the snapshot -- take the snapshot once and
+// render it as many ways as needed.
+
+#ifndef RABITQ_OBS_EXPORT_H_
+#define RABITQ_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace rabitq {
+namespace obs {
+
+/// {"window_seconds":..., "counters":{...}, "gauges":{...},
+///  "histograms":{name:{count,sum,max,mean,p50,p90,p99},...}}
+std::string ExportJson(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition: # HELP / # TYPE headers, counter/gauge
+/// samples, and histogram series (name_bucket{le="..."} cumulative counts
+/// over the occupied bucket edges plus le="+Inf", name_sum, name_count).
+std::string ExportPrometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace rabitq
+
+#endif  // RABITQ_OBS_EXPORT_H_

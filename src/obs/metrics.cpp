@@ -1,0 +1,240 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rabitq {
+namespace obs {
+
+int BucketIndex(double value) {
+  if (value < 1.0) return 0;
+  const int idx = static_cast<int>(4.0 * std::log2(value));
+  return std::min(idx, kNumBuckets - 1);
+}
+
+double BucketLower(int i) { return i == 0 ? 0.0 : std::exp2(i / 4.0); }
+
+double BucketUpper(int i) { return std::exp2((i + 1) / 4.0); }
+
+double BucketQuantile(const std::uint64_t* buckets, std::uint64_t count,
+                      double max_value, double q) {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = std::max(1.0, q * static_cast<double>(count));
+  std::uint64_t below = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(below + in_bucket) >= target) {
+      // The rank falls inside this bucket: interpolate by the fraction of
+      // the bucket's population at or below the rank.
+      const double lower = BucketLower(i);
+      const double upper = BucketUpper(i);
+      const double fraction =
+          (target - static_cast<double>(below)) / static_cast<double>(in_bucket);
+      return std::min(lower + fraction * (upper - lower), max_value);
+    }
+    below += in_bucket;
+  }
+  return max_value;
+}
+
+std::size_t ThreadStripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+  return stripe;
+}
+
+std::uint64_t Counter::Value() const {
+  std::uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    total += slot.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Slot& slot : slots_) slot.v.store(0, std::memory_order_relaxed);
+}
+
+double FloatCounter::Value() const {
+  double total = 0.0;
+  for (const Slot& slot : slots_) {
+    total += slot.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void FloatCounter::Reset() {
+  for (Slot& slot : slots_) slot.v.store(0.0, std::memory_order_relaxed);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+void Histogram::Record(double value) {
+  Slot& slot = slots_[ThreadStripe()];
+  slot.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  double cur = slot.sum.load(std::memory_order_relaxed);
+  while (!slot.sum.compare_exchange_weak(cur, cur + value,
+                                         std::memory_order_relaxed)) {
+  }
+  double m = slot.max.load(std::memory_order_relaxed);
+  while (m < value && !slot.max.compare_exchange_weak(
+                          m, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (const Slot& slot : slots_) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      snap.buckets[i] += slot.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.count += slot.count.load(std::memory_order_relaxed);
+    snap.sum += slot.sum.load(std::memory_order_relaxed);
+    snap.max = std::max(snap.max, slot.max.load(std::memory_order_relaxed));
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Slot& slot : slots_) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      slot.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.sum.store(0.0, std::memory_order_relaxed);
+    slot.max.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry::MetricsRegistry()
+    : window_start_(
+          std::chrono::steady_clock::now().time_since_epoch().count()) {}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
+                                                      const std::string& help,
+                                                      MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    return it->second->kind == kind ? it->second : nullptr;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kFloatCounter:
+      entry->float_counter = std::make_unique<FloatCounter>();
+      break;
+    case MetricKind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  Entry* raw = entry.get();
+  entries_.push_back(std::move(entry));
+  by_name_.emplace(raw->name, raw);
+  return raw;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  Entry* e = FindOrCreate(name, help, MetricKind::kCounter);
+  return e != nullptr ? e->counter.get() : nullptr;
+}
+
+FloatCounter* MetricsRegistry::GetFloatCounter(const std::string& name,
+                                               const std::string& help) {
+  Entry* e = FindOrCreate(name, help, MetricKind::kFloatCounter);
+  return e != nullptr ? e->float_counter.get() : nullptr;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  Entry* e = FindOrCreate(name, help, MetricKind::kGauge);
+  return e != nullptr ? e->gauge.get() : nullptr;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  Entry* e = FindOrCreate(name, help, MetricKind::kHistogram);
+  return e != nullptr ? e->histogram.get() : nullptr;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.window_seconds = WindowSeconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.metrics.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricValue mv;
+    mv.name = entry->name;
+    mv.help = entry->help;
+    mv.kind = entry->kind;
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        mv.u64 = entry->counter->Value();
+        mv.value = static_cast<double>(mv.u64);
+        break;
+      case MetricKind::kFloatCounter:
+        mv.value = entry->float_counter->Value();
+        break;
+      case MetricKind::kGauge:
+        mv.value = entry->gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        mv.hist = entry->histogram->Snapshot();
+        break;
+    }
+    snap.metrics.push_back(std::move(mv));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_) {
+    switch (entry->kind) {
+      case MetricKind::kCounter: entry->counter->Reset(); break;
+      case MetricKind::kFloatCounter: entry->float_counter->Reset(); break;
+      case MetricKind::kGauge: entry->gauge->Reset(); break;
+      case MetricKind::kHistogram: entry->histogram->Reset(); break;
+    }
+  }
+  window_start_.store(
+      std::chrono::steady_clock::now().time_since_epoch().count(),
+      std::memory_order_relaxed);
+}
+
+double MetricsRegistry::WindowSeconds() const {
+  const auto start = std::chrono::steady_clock::time_point(
+      std::chrono::steady_clock::duration(
+          window_start_.load(std::memory_order_relaxed)));
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+const MetricValue* MetricsSnapshot::Find(const std::string& name) const {
+  for (const MetricValue& mv : metrics) {
+    if (mv.name == name) return &mv;
+  }
+  return nullptr;
+}
+
+}  // namespace obs
+}  // namespace rabitq
