@@ -6,10 +6,13 @@
 // build time, query QPS and concurrent-writer mutation throughput per
 // shard count. Emits one JSON object for dashboard scraping (the --json
 // flag is accepted for symmetry with bench_kernels; output is always JSON).
-// A final "stages" series traces every query (sample period 1) through
+// A "stages" series traces every query (sample period 1) through
 // SubmitAsync and reports the per-stage latency histograms (queue wait,
 // preprocess, probe order, scan, rerank, merge) plus the estimator-health
-// gauges out of the engine's metrics registry.
+// gauges out of the engine's metrics registry. A "metric":"ip" pair of
+// series re-runs the sequential and batched-engine protocols under
+// Metric::kInnerProduct so the non-L2 estimate path has its own dashboard
+// trajectory.
 //
 //   ./bench_engine_throughput [--shards S] [--json]
 //                                            (sharded sweep runs {1, S};
@@ -290,6 +293,63 @@ int Run(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.rerank_health_samples));
   }
   std::remove(tmp_path);
+
+  // ---- Inner-product serving: the same vectors and queries scored under
+  // Metric::kInnerProduct (halved cross factor, IP error half-width, exact
+  // -<a,q> re-rank). Sequential vs batched engine at max threads, recall
+  // against an IP oracle -- so the dashboard tracks the non-L2 estimate
+  // path's throughput next to the L2 series above.
+  {
+    IvfRabitqIndex ip_index;
+    IvfConfig ip_ivf;
+    ip_ivf.num_lists = 256;
+    ip_ivf.metric = Metric::kInnerProduct;
+    CheckOk(ip_index.Build(data, ip_ivf, RabitqConfig{}), "ip Build");
+    GroundTruth ip_gt;
+    CheckOk(ComputeGroundTruth(data, queries, params.k,
+                               Metric::kInnerProduct, &ip_gt),
+            "ip GroundTruth");
+
+    double ip_sequential_qps = 0.0;
+    {
+      std::vector<std::vector<Neighbor>> results(num_queries);
+      WallTimer timer;
+      for (std::size_t r = 0; r < repeat; ++r) {
+        for (std::size_t i = 0; i < num_queries; ++i) {
+          SearchRequest request{queries.Row(i), params};
+          request.options.seed = SearchEngine::QuerySeed(kSeedBase, i);
+          SearchResponse response = ip_index.Search(request);
+          CheckOk(response.status, "ip Search");
+          results[i] = std::move(response.neighbors);
+        }
+      }
+      ip_sequential_qps = static_cast<double>(num_queries * repeat) /
+                          std::max(timer.ElapsedSeconds(), 1e-9);
+      std::printf(",\n  {\"mode\":\"sequential\",\"metric\":\"ip\","
+                  "\"threads\":1,\"batch\":1,\"qps\":%.1f,\"recall\":%.4f}",
+                  ip_sequential_qps, RecallOf(ip_gt, results, params.k));
+    }
+
+    EngineConfig config;
+    config.num_threads = max_threads;
+    SearchEngine engine(std::move(ip_index), config);
+    std::vector<std::vector<Neighbor>> all(num_queries);
+    WallTimer timer;
+    for (std::size_t r = 0; r < repeat; ++r) {
+      for (std::size_t begin = 0; begin < num_queries; begin += 32) {
+        const std::size_t count = std::min<std::size_t>(32, num_queries - begin);
+        RunRequestBatch(&engine, queries, begin, count, params, IdFilter{},
+                        &all);
+      }
+    }
+    const double seconds = timer.ElapsedSeconds();
+    const double qps =
+        static_cast<double>(num_queries * repeat) / std::max(seconds, 1e-9);
+    std::printf(",\n  {\"mode\":\"engine\",\"metric\":\"ip\",\"threads\":%zu,"
+                "\"batch\":32,\"qps\":%.1f,\"recall\":%.4f,\"speedup\":%.2f}",
+                max_threads, qps, RecallOf(ip_gt, all, params.k),
+                qps / std::max(ip_sequential_qps, 1e-9));
+  }
 
   // ---- Sharded scatter-gather sweep: per shard count, the parallel build
   // time (independent per-shard clustering, lists split across shards so

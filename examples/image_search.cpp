@@ -1,11 +1,14 @@
 // Image-retrieval scenario: build an IVF+RaBitQ index over image-like
 // embeddings (clustered 150-d vectors, mirroring the paper's "Image"
 // dataset) and run top-100 searches with the paper's tuning-free
-// error-bound re-ranking.
+// error-bound re-ranking. Embedding retrieval usually ranks by angle, so
+// the distance metric is a flag: cosine (or ip) serves maximum-similarity
+// search through the same index and the same error-bound machinery.
 //
-//   $ ./build/examples/image_search
+//   $ ./build/examples/image_search [--metric l2|ip|cosine]
 
 #include <cstdio>
+#include <cstring>
 
 #include "eval/datasets.h"
 #include "eval/ground_truth.h"
@@ -13,8 +16,19 @@
 #include "index/ivf.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rabitq;
+
+  Metric metric = Metric::kL2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metric") == 0 && i + 1 < argc &&
+        ParseMetricName(argv[i + 1], &metric)) {
+      ++i;
+    } else {
+      std::fprintf(stderr, "usage: image_search [--metric l2|ip|cosine]\n");
+      return 1;
+    }
+  }
 
   // --- Synthetic image-embedding workload (see eval/datasets.h). ----------
   SyntheticSpec spec;
@@ -38,19 +52,27 @@ int main() {
   IvfRabitqIndex index;
   IvfConfig ivf;
   ivf.num_lists = 256;  // ~4 sqrt(N)
+  ivf.metric = metric;
   WallTimer build_timer;
   status = index.Build(base, ivf, RabitqConfig{});
   if (!status.ok()) {
     std::fprintf(stderr, "build failed: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("index built in %.1fs (%zu lists, %zu-bit codes)\n",
+  std::printf("index built in %.1fs (%zu lists, %zu-bit codes, metric %s)\n",
               build_timer.ElapsedSeconds(), index.num_lists(),
-              index.encoder().total_bits());
+              index.encoder().total_bits(), MetricName(metric));
 
-  // --- Ground truth for recall reporting. ----------------------------------
+  // --- Ground truth for recall reporting (same metric as the index; the
+  // mismatch guard below turns a drifted flag into an error, not a silently
+  // wrong recall table). ----------------------------------------------------
   GroundTruth gt;
-  status = ComputeGroundTruth(base, queries, 100, &gt);
+  status = ComputeGroundTruth(base, queries, 100, metric, &gt);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  status = CheckGroundTruthMetric(gt, index.metric());
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;

@@ -12,7 +12,7 @@
 // demo, and the full metrics snapshot is printed as JSON at exit.
 //
 //   ./serve_demo [num_producers] [queries_per_producer] [--shards S]
-//               [--metrics-out PATH]
+//               [--metric l2|ip|cosine] [--metrics-out PATH]
 
 #include <atomic>
 #include <chrono>
@@ -68,6 +68,7 @@ Matrix GaussianClusters(std::size_t n, std::size_t dim, std::size_t clusters,
 
 int main(int argc, char** argv) {
   std::size_t num_shards = 1;
+  rabitq::Metric metric = rabitq::Metric::kL2;
   const char* metrics_out = nullptr;
   std::vector<std::size_t> positional;
   for (int i = 1; i < argc; ++i) {
@@ -76,10 +77,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "usage: serve_demo [num_producers] "
                      "[queries_per_producer] [--shards S>=1] "
-                     "[--metrics-out PATH]\n");
+                     "[--metric l2|ip|cosine] [--metrics-out PATH]\n");
         return 1;
       }
       num_shards = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--metric") == 0) {
+      if (i + 1 >= argc || !rabitq::ParseMetricName(argv[i + 1], &metric)) {
+        std::fprintf(stderr, "--metric needs one of l2|ip|cosine\n");
+        return 1;
+      }
+      ++i;
     } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--metrics-out needs a file path\n");
@@ -96,13 +103,15 @@ int main(int argc, char** argv) {
       positional.size() > 1 ? positional[1] : 200;
   const std::size_t n = 20000, dim = 64;
 
-  std::printf("building IVF+RaBitQ index over %zu x %zu vectors (%zu shard%s)"
-              "...\n",
-              n, dim, num_shards, num_shards == 1 ? "" : "s");
+  std::printf("building IVF+RaBitQ index over %zu x %zu vectors (%zu shard%s, "
+              "metric %s)...\n",
+              n, dim, num_shards, num_shards == 1 ? "" : "s",
+              rabitq::MetricName(metric));
   Matrix data = GaussianClusters(n, dim, 32, 1);
   ShardedIndex index;
   ShardedConfig sharded_config;
   sharded_config.num_shards = num_shards;
+  sharded_config.ivf.metric = metric;
   // Split the list budget across the shards so the total probe work stays
   // comparable as --shards grows.
   sharded_config.ivf.num_lists =

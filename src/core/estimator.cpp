@@ -23,30 +23,35 @@ namespace {
 // path differently from the hand-written SIMD path, which is what keeps the
 // two bit-identical.
 //
-// Edge handling mirrors the kernel's blends: a q_dist == 0 query overrides
-// the whole lane with f_sq, then a dist_to_centroid == 0 code wins with
-// q_sq. (For codes produced by Append the blends are actually no-ops --
-// d == 0 implies f_sq = f_cross = 0 and f_err = 0, so the arithmetic already
-// lands on the same values -- but the blends keep the contract independent
-// of those identities.)
+// Edge handling mirrors the kernel's blends, L2 ONLY (`l2_edges`): a
+// q_dist == 0 query overrides the whole lane with f_sq, then a
+// dist_to_centroid == 0 code wins with q_base (== q_dist^2 under kL2).
+// (For codes produced by Append the blends are actually no-ops -- d == 0
+// implies f_sq = f_cross = 0 and f_err = 0, so the arithmetic already lands
+// on the same values -- but the blends keep the contract independent of
+// those identities.) Under IP/cosine no blends are needed OR wanted: either
+// edge zeroes the cross term, and f_sq + q_base is then EXACTLY -<o,q>
+// (resp. -<c,q>), so the straight-line arithmetic is already exact.
 inline void AssembleLane(float s_f, float pc_f, float d, float f_sq,
                          float f_cross, float f_inv_oo, float f_err,
-                         float q_dist, float q_sq, float ip_scale,
+                         float q_dist, float q_base, float ip_scale,
                          float pop_scale, float bias, float epsilon0,
-                         float* dist_out, float* lb_out) {
+                         bool l2_edges, float* dist_out, float* lb_out) {
   const float x_qbar = std::fma(ip_scale, s_f, std::fma(pop_scale, pc_f, bias));
   const float ip = x_qbar * f_inv_oo;
   const float cross = f_cross * q_dist;
-  const float base = f_sq + q_sq;
+  const float base = f_sq + q_base;
   float dist = std::fma(-cross, ip, base);
   float lb = epsilon0 > 0.0f ? std::fma(-cross, f_err * epsilon0, dist) : dist;
-  if (q_dist == 0.0f) {
-    dist = f_sq;
-    lb = f_sq;
-  }
-  if (d == 0.0f) {
-    dist = q_sq;
-    lb = q_sq;
+  if (l2_edges) {
+    if (q_dist == 0.0f) {
+      dist = f_sq;
+      lb = f_sq;
+    }
+    if (d == 0.0f) {
+      dist = q_base;
+      lb = q_base;
+    }
   }
   *dist_out = dist;
   *lb_out = lb;
@@ -60,18 +65,22 @@ inline DistanceEstimate Assemble(const QuantizedQuery& query,
                                  const RabitqCodeView& code, std::uint32_t s,
                                  float epsilon0, bool unbias) {
   DistanceEstimate est;
-  const float q_sq = query.q_dist * query.q_dist;
-  if (code.dist_to_centroid == 0.0f) {
-    est.dist_sq = q_sq;
-    est.lower_bound_sq = est.dist_sq;
-    est.ip = 1.0f;
-    return est;
-  }
-  if (query.q_dist == 0.0f) {
-    est.dist_sq = code.f_sq;
-    est.lower_bound_sq = est.dist_sq;
-    est.ip = 1.0f;
-    return est;
+  // The exact-edge early returns are L2-only, mirroring AssembleLane's
+  // gated blends; under IP/cosine the straight-line arithmetic below is
+  // already exact at both edges (cross = 0).
+  if (query.metric == Metric::kL2) {
+    if (code.dist_to_centroid == 0.0f) {
+      est.dist_sq = query.q_base;
+      est.lower_bound_sq = est.dist_sq;
+      est.ip = 1.0f;
+      return est;
+    }
+    if (query.q_dist == 0.0f) {
+      est.dist_sq = code.f_sq;
+      est.lower_bound_sq = est.dist_sq;
+      est.ip = 1.0f;
+      return est;
+    }
   }
   // Eq. 20: <x-bar, q-bar>.
   const float x_qbar =
@@ -82,7 +91,7 @@ inline DistanceEstimate Assemble(const QuantizedQuery& query,
   // biased ablation (Appendix F.2) keeps <o-bar, q> as-is.
   est.ip = unbias ? x_qbar * code.f_inv_oo : x_qbar;
   const float cross = code.f_cross * query.q_dist;
-  const float base = code.f_sq + q_sq;
+  const float base = code.f_sq + query.q_base;
   est.dist_sq = std::fma(-cross, est.ip, base);
   if (epsilon0 > 0.0f) {
     est.ip_error = code.f_err * epsilon0;
@@ -126,14 +135,14 @@ inline std::uint32_t FusedBlockScalar(const QuantizedQuery& query,
   const float* f_inv = store.f_inv_oo_data() + begin;
   const float* f_err = store.f_err_data() + begin;
   const std::uint32_t* pc = store.bit_count_data() + begin;
-  const float q_sq = query.q_dist * query.q_dist;
+  const bool l2_edges = query.metric == Metric::kL2;
   std::uint32_t mask = 0;
   for (std::size_t k = 0; k < count; ++k) {
     float dist = 0.0f, lb = 0.0f;
     AssembleLane(static_cast<float>(sums[k]), static_cast<float>(pc[k]),
                  d_arr[k], f_sq[k], f_cross[k], f_inv[k], f_err[k],
-                 query.q_dist, q_sq, query.ip_scale, query.pop_scale,
-                 query.bias, epsilon0, &dist, &lb);
+                 query.q_dist, query.q_base, query.ip_scale, query.pop_scale,
+                 query.bias, epsilon0, l2_edges, &dist, &lb);
     dist_sq[k] = dist;
     if (lower_bounds != nullptr) lower_bounds[k] = lb;
     // Survive unless lb > threshold -- the same strict comparison (and the
@@ -161,17 +170,18 @@ inline std::uint32_t FusedBlockAvx2(const QuantizedQuery& query,
   const float* f_err = store.f_err_data() + begin;
   const std::uint32_t* pc = store.bit_count_data() + begin;
   const float q_dist = query.q_dist;
-  const float q_sq = q_dist * q_dist;
   const __m256 v_ip_scale = _mm256_set1_ps(query.ip_scale);
   const __m256 v_pop_scale = _mm256_set1_ps(query.pop_scale);
   const __m256 v_bias = _mm256_set1_ps(query.bias);
   const __m256 v_q_dist = _mm256_set1_ps(q_dist);
-  const __m256 v_q_sq = _mm256_set1_ps(q_sq);
+  const __m256 v_q_base = _mm256_set1_ps(query.q_base);
   const __m256 v_eps = _mm256_set1_ps(epsilon0);
   const __m256 v_thr = _mm256_set1_ps(prune_threshold);
   const __m256 v_zero = _mm256_setzero_ps();
   const bool has_bound = epsilon0 > 0.0f;
-  const bool q_zero = q_dist == 0.0f;
+  // The exact-edge blends are L2-only (see AssembleLane).
+  const bool l2_edges = query.metric == Metric::kL2;
+  const bool q_zero = l2_edges && q_dist == 0.0f;
   std::uint32_t mask = 0;
   for (int g = 0; g < 4; ++g) {
     const std::size_t off = static_cast<std::size_t>(g) * 8;
@@ -185,7 +195,7 @@ inline std::uint32_t FusedBlockAvx2(const QuantizedQuery& query,
     const __m256 cross =
         _mm256_mul_ps(_mm256_loadu_ps(f_cross + off), v_q_dist);
     const __m256 vf_sq = _mm256_loadu_ps(f_sq + off);
-    const __m256 base = _mm256_add_ps(vf_sq, v_q_sq);
+    const __m256 base = _mm256_add_ps(vf_sq, v_q_base);
     __m256 dist = _mm256_fnmadd_ps(cross, ip, base);
     __m256 lb = dist;
     if (has_bound) {
@@ -196,10 +206,12 @@ inline std::uint32_t FusedBlockAvx2(const QuantizedQuery& query,
       dist = vf_sq;
       lb = vf_sq;
     }
-    const __m256 edge_d =
-        _mm256_cmp_ps(_mm256_loadu_ps(d_arr + off), v_zero, _CMP_EQ_OQ);
-    dist = _mm256_blendv_ps(dist, v_q_sq, edge_d);
-    lb = _mm256_blendv_ps(lb, v_q_sq, edge_d);
+    if (l2_edges) {
+      const __m256 edge_d =
+          _mm256_cmp_ps(_mm256_loadu_ps(d_arr + off), v_zero, _CMP_EQ_OQ);
+      dist = _mm256_blendv_ps(dist, v_q_base, edge_d);
+      lb = _mm256_blendv_ps(lb, v_q_base, edge_d);
+    }
     _mm256_storeu_ps(dist_sq + off, dist);
     if (lower_bounds != nullptr) _mm256_storeu_ps(lower_bounds + off, lb);
     const int pruned =

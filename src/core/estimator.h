@@ -3,6 +3,16 @@
 //   est ||or-qr||^2 = d_o^2 + d_q^2 - 2 d_o d_q est<o,q> (Eq. 2)
 //   error bound    = sqrt((1-<o,o-bar>^2)/<o,o-bar>^2) * eps0/sqrt(B-1)
 //                                                        (Eq. 14/16)
+// The paper's estimator is fundamentally an INNER-PRODUCT estimator --
+// est<o,q> is recovered first, L2 derived from it -- so the same kernels
+// serve every metric: the "distance" they assemble is a generic ascending
+// score, base + cross * est<o,q>, whose ingredients (base, the f_sq /
+// f_cross factors) were baked per-metric at append/preprocess time (see
+// rabitq.h and QuantizedQuery::q_base). Under kL2 the score is the squared
+// distance of Eq. 2; under kInnerProduct/kCosine it is the negated inner
+// product -<o_r, q_r>, with the halved f_cross doubling as the IP-analogue
+// error half-width. The two exact edge blends (q_dist == 0, d == 0) are
+// L2-only and gated on query.metric identically in every path.
 // Two execution paths:
 //   * single code: B_q bitwise and+popcount passes (Eq. 22),
 //   * packed batch of 32 codes: the shared fast-scan kernel (Section 3.3.2)

@@ -1,0 +1,98 @@
+// The metric seam, at the bottom of the layering (linalg -> quant/core ->
+// cluster/index -> engine) so the estimator, query preprocessing and every
+// index layer speak one vocabulary:
+//   kL2           -- squared Euclidean distance, ascending.
+//   kInnerProduct -- maximum inner product; scores are NEGATED inner
+//                    products so "larger is better" maps onto the same
+//                    ascending (score, id) order, heaps and merges as L2.
+//   kCosine       -- inner product over unit vectors: data is normalized
+//                    once at ingest, the query once per search, then the
+//                    whole pipeline is kInnerProduct. Scores are negated
+//                    cosine similarities in [-1, 1].
+// Every build/load path funnels through ValidateMetric, every exact re-rank
+// site through MetricDistance -- the two choke points that keep the index
+// scan, the sharded merge and the brute-force oracle element-identical.
+
+#ifndef RABITQ_CORE_METRIC_H_
+#define RABITQ_CORE_METRIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/vector_ops.h"
+#include "util/status.h"
+
+namespace rabitq {
+
+/// Distance space of an index. Validated at build and at snapshot load
+/// (see ValidateMetric); persisted by snapshot format v3 and the sharded
+/// MANIFEST v2.
+enum class Metric : std::uint8_t {
+  kL2 = 0,
+  kInnerProduct = 1,
+  kCosine = 2,
+};
+
+/// Largest value of the enum; loaders reject anything past it BEFORE doing
+/// any expensive reconstruction work.
+inline constexpr std::uint32_t kMaxMetricValue = 2;
+
+inline const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kL2: return "l2";
+    case Metric::kInnerProduct: return "inner_product";
+    case Metric::kCosine: return "cosine";
+  }
+  return "unknown";
+}
+
+/// Single funnel for the metric seam: every index build/load path calls
+/// this. All three metrics are implemented; the funnel now guards against
+/// out-of-range values (a corrupt snapshot metric byte, a miscast integer)
+/// failing closed instead of silently searching the wrong space.
+inline Status ValidateMetric(Metric metric) {
+  switch (metric) {
+    case Metric::kL2:
+    case Metric::kInnerProduct:
+    case Metric::kCosine:
+      return Status::Ok();
+  }
+  return Status::InvalidArgument(
+      "metric value out of range: " +
+      std::to_string(static_cast<std::uint32_t>(metric)));
+}
+
+/// Parses a user-facing metric name ("l2", "ip"/"inner_product",
+/// "cos"/"cosine") -- the CLI surface of serve_demo/image_search --metric
+/// and the CI matrix's METRIC env var.
+inline bool ParseMetricName(const std::string& name, Metric* out) {
+  if (name == "l2") {
+    *out = Metric::kL2;
+  } else if (name == "ip" || name == "inner_product") {
+    *out = Metric::kInnerProduct;
+  } else if (name == "cos" || name == "cosine") {
+    *out = Metric::kCosine;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// The exact score of one (data vector, query) pair -- the quantity every
+/// exact re-rank site (index scan, sharded merge, brute-force oracle)
+/// computes, ascending-is-better under every metric:
+///   kL2:            ||a - q||^2
+///   kInnerProduct:  -<a, q>
+///   kCosine:        -<a, q> with both sides pre-normalized by the caller
+///                   (the index normalizes data at ingest and the query
+///                   once per search, so no normalization happens here --
+///                   which is what keeps all re-rank sites bit-identical).
+inline float MetricDistance(Metric metric, const float* a, const float* q,
+                            std::size_t dim) {
+  if (metric == Metric::kL2) return L2SqrDistance(a, q, dim);
+  return -Dot(a, q, dim);
+}
+
+}  // namespace rabitq
+
+#endif  // RABITQ_CORE_METRIC_H_

@@ -23,6 +23,17 @@ void FillDegenerate(std::size_t b, QuantizedQuery* out) {
   out->sum_qu = 0;
 }
 
+// Bakes the metric-dependent additive score base into the query (see
+// QuantizedQuery::q_base). Requires out->q_dist to be final. Under kL2 the
+// expression is exactly the q_dist * q_dist the kernels used to compute
+// locally, keeping L2 assembly bitwise unchanged.
+void SetMetricBase(Metric metric, float query_norm_sq, QuantizedQuery* out) {
+  out->metric = metric;
+  const float q_sq = out->q_dist * out->q_dist;
+  out->q_base =
+      metric == Metric::kL2 ? q_sq : 0.5f * (q_sq - query_norm_sq);
+}
+
 // Shared tail: randomized scalar quantization of the rotated unit residual
 // q' (B floats), Eq. 20 constants, bit planes and nibble LUTs.
 Status QuantizeRotatedUnit(const float* q_prime, std::size_t b, Rng* rng,
@@ -90,7 +101,7 @@ void RotateQueryOnce(const RabitqEncoder& encoder, const float* query_raw,
 
 Status PrepareQuery(const RabitqEncoder& encoder, const float* query_raw,
                     const float* centroid, Rng* rng, QuantizedQuery* out,
-                    int query_bits_override) {
+                    int query_bits_override, Metric metric) {
   if (query_raw == nullptr || rng == nullptr || out == nullptr) {
     return Status::InvalidArgument("bad arguments");
   }
@@ -111,6 +122,9 @@ Status PrepareQuery(const RabitqEncoder& encoder, const float* query_raw,
     std::copy_n(query_raw, dim, residual.data());
   }
   out->q_dist = Norm(residual.data(), dim);
+  const float query_norm_sq =
+      metric == Metric::kL2 ? 0.0f : SquaredNorm(query_raw, dim);
+  SetMetricBase(metric, query_norm_sq, out);
   if (out->q_dist == 0.0f) {
     FillDegenerate(b, out);
     return Status::Ok();
@@ -127,7 +141,8 @@ Status PrepareQueryFromRotated(const RabitqEncoder& encoder,
                                const float* rotated_query,
                                const float* rotated_centroid, float q_dist,
                                Rng* rng, QuantizedQuery* out,
-                               int query_bits_override) {
+                               int query_bits_override, Metric metric,
+                               float query_norm_sq) {
   if (rotated_query == nullptr || rng == nullptr || out == nullptr) {
     return Status::InvalidArgument("bad arguments");
   }
@@ -141,6 +156,7 @@ Status PrepareQueryFromRotated(const RabitqEncoder& encoder,
   out->query_bits = query_bits_override > 0 ? query_bits_override
                                             : encoder.config().query_bits;
   out->q_dist = q_dist;
+  SetMetricBase(metric, query_norm_sq, out);
   if (q_dist == 0.0f) {
     FillDegenerate(b, out);
     return Status::Ok();

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "core/metric.h"
 #include "core/rabitq.h"
 #include "util/aligned_buffer.h"
 #include "util/prng.h"
@@ -26,6 +27,17 @@ struct QuantizedQuery {
   std::size_t num_words = 0;    // B / 64
   int query_bits = 0;           // B_q
   float q_dist = 0.0f;          // ||q_r - c||
+
+  /// Metric the estimator should assemble scores in. Set by Prepare*; the
+  /// estimator reads it to pick the score algebra and (for kL2 only) the
+  /// exact q_dist==0 / d==0 edge blends.
+  Metric metric = Metric::kL2;
+  /// Metric-dependent additive base of the assembled score:
+  ///   kL2:         q_dist^2                      (score = d^2 + q^2 - cross)
+  ///   kIP/kCosine: (q_dist^2 - ||q||^2) / 2      (score = g + h - cross)
+  /// Precomputed here so the kernel's shape -- one fma against one scalar
+  /// base -- is identical across metrics.
+  float q_base = 0.0f;
 
   // Randomized scalar quantization of q' (Section 3.3.1).
   float lo = 0.0f;              // v_l
@@ -63,9 +75,16 @@ struct QuantizedQuery {
 /// across queries keeps rounding independent, as Theorem 3.3 assumes.
 /// `query_bits_override` > 0 replaces the encoder's configured B_q (used by
 /// the Fig. 6 sweep; codes are B_q-independent so no re-encoding is needed).
+///
+/// `metric` selects the score algebra baked into the output (see
+/// QuantizedQuery::q_base). For kCosine the caller must pass an ALREADY
+/// NORMALIZED query -- normalization happens once at the outermost layer
+/// that owns the query buffer, never here (re-normalizing a normalized
+/// vector is not a bitwise no-op). For kInnerProduct / kCosine this
+/// overload computes ||query_raw||^2 itself.
 Status PrepareQuery(const RabitqEncoder& encoder, const float* query_raw,
                     const float* centroid, Rng* rng, QuantizedQuery* out,
-                    int query_bits_override = 0);
+                    int query_bits_override = 0, Metric metric = Metric::kL2);
 
 /// Cost-sharing path for multi-cluster probing (the paper's "cost shared by
 /// all the data vectors"): since P^T is linear,
@@ -77,11 +96,18 @@ Status PrepareQuery(const RabitqEncoder& encoder, const float* query_raw,
 /// `rotated_query` = P^T q_r (B floats, from RotateQueryOnce);
 /// `rotated_centroid` = P^T c (B floats; nullptr = origin);
 /// `q_dist` = ||q_r - c|| computed in the original space.
+///
+/// For kInnerProduct / kCosine the caller also passes `query_norm_sq` =
+/// ||q||^2 of the (for cosine: pre-normalized) original-space query, since
+/// only the rotated view is in hand here; it feeds QuantizedQuery::q_base
+/// and is ignored under kL2.
 Status PrepareQueryFromRotated(const RabitqEncoder& encoder,
                                const float* rotated_query,
                                const float* rotated_centroid, float q_dist,
                                Rng* rng, QuantizedQuery* out,
-                               int query_bits_override = 0);
+                               int query_bits_override = 0,
+                               Metric metric = Metric::kL2,
+                               float query_norm_sq = 0.0f);
 
 /// Computes P^T q_r into `out` (encoder.total_bits() floats).
 void RotateQueryOnce(const RabitqEncoder& encoder, const float* query_raw,

@@ -8,17 +8,26 @@
 namespace rabitq {
 
 void RabitqCodeStore::Append(const std::uint64_t* bits, float dist_to_centroid,
-                             float o_o, std::uint32_t bit_count) {
+                             float o_o, std::uint32_t bit_count,
+                             float norm_sq) {
   bits_.insert(bits_.end(), bits, bits + words_per_code_);
   dist_to_centroid_.push_back(dist_to_centroid);
   o_o_.push_back(o_o);
   bit_count_.push_back(bit_count);
+  norm_sq_.push_back(norm_sq);
   // Derived factors: all of the estimator's per-code trigonometry (square,
   // reciprocal, Eq. 16 sqrt) paid once here instead of once per (query,
-  // code) pair in the scan. The clamps mirror the estimator's historical
-  // guards so a degenerate o_o stays finite.
-  f_sq_.push_back(dist_to_centroid * dist_to_centroid);
-  f_cross_.push_back(2.0f * dist_to_centroid);
+  // code) pair in the scan, under the store's metric (see rabitq.h for the
+  // two algebras). The clamps mirror the estimator's historical guards so a
+  // degenerate o_o stays finite.
+  const float d_sq = dist_to_centroid * dist_to_centroid;
+  if (metric_ == Metric::kL2) {
+    f_sq_.push_back(d_sq);
+    f_cross_.push_back(2.0f * dist_to_centroid);
+  } else {
+    f_sq_.push_back(0.5f * (d_sq - norm_sq));
+    f_cross_.push_back(dist_to_centroid);
+  }
   const float o_c = std::max(o_o, 1e-9f);
   f_inv_oo_.push_back(1.0f / o_c);
   const float o_sq = std::max(o_c * o_c, 1e-12f);
@@ -71,17 +80,18 @@ void RabitqCodeStore::FinalizeAppend() {
 
 void RabitqCodeStore::CompactInto(const std::uint8_t* dead,
                                   RabitqCodeStore* out) const {
-  out->Init(total_bits_);
+  out->Init(total_bits_, metric_);
   const std::size_t n = size();
   std::size_t live = 0;
   for (std::size_t i = 0; i < n; ++i) live += dead[i] == 0;
   out->Reserve(live);
   for (std::size_t i = 0; i < n; ++i) {
     if (dead[i]) continue;
-    // Append recomputes the derived factors from the same (dist, o_o)
-    // floats -- a pure function, so the compacted store's factors are
-    // bit-identical to the originals (tested).
-    out->Append(BitsAt(i), dist_to_centroid_[i], o_o_[i], bit_count_[i]);
+    // Append recomputes the derived factors from the same (dist, o_o,
+    // norm_sq) floats -- a pure function, so the compacted store's factors
+    // are bit-identical to the originals (tested).
+    out->Append(BitsAt(i), dist_to_centroid_[i], o_o_[i], bit_count_[i],
+                norm_sq_[i]);
   }
   if (out->size() > 0) out->Finalize();
 }
@@ -119,6 +129,11 @@ Status RabitqEncoder::EncodeAppend(const float* vec, const float* centroid,
   const std::size_t b = total_bits_;
   const std::size_t words = WordsForBits(b);
 
+  // ||o_r||^2 always rides along to the store (it only enters the factors
+  // under IP/cosine, but storing it unconditionally keeps snapshots
+  // metric-switchable without re-encoding).
+  const float norm_sq = SquaredNorm(vec, dim_);
+
   // Residual o_r - c and its norm.
   std::vector<float> residual(dim_);
   if (centroid != nullptr) {
@@ -130,9 +145,10 @@ Status RabitqEncoder::EncodeAppend(const float* vec, const float* centroid,
   std::vector<std::uint64_t> bits(words, 0);
   if (dist == 0.0f) {
     // Residual-free vector: the estimator short-circuits on
-    // dist_to_centroid == 0, so the code content is irrelevant; o_o = 1
-    // keeps downstream arithmetic finite.
-    store->Append(bits.data(), 0.0f, 1.0f, 0);
+    // dist_to_centroid == 0 (kL2) or zeroes the cross term (IP/cosine), so
+    // the code content is irrelevant; o_o = 1 keeps downstream arithmetic
+    // finite.
+    store->Append(bits.data(), 0.0f, 1.0f, 0, norm_sq);
     return Status::Ok();
   }
   ScaleInPlace(residual.data(), 1.0f / dist, dim_);
@@ -151,7 +167,7 @@ Status RabitqEncoder::EncodeAppend(const float* vec, const float* centroid,
     }
   }
   const float o_o = l1 / std::sqrt(static_cast<float>(b));
-  store->Append(bits.data(), dist, o_o, ones);
+  store->Append(bits.data(), dist, o_o, ones, norm_sq);
   return Status::Ok();
 }
 

@@ -9,13 +9,25 @@
 // of Eq. 20 + the Thm 3.2 error bound is a pure fused-multiply-add kernel
 // (no sqrt, no divide, no AoS view in the hot loop -- Andre et al.'s
 // fast-scan discipline of hoisting everything query-invariant out of the
-// scan, applied to the float assembly as well as the LUT accumulation):
-//   f_sq     = dist_to_centroid^2
-//   f_cross  = 2 * dist_to_centroid
-//   f_inv_oo = 1 / max(o_o, 1e-9)
-//   f_err    = sqrt((1 - o_o^2) / max(o_o^2, 1e-12)) / sqrt(B - 1)
-//              (the query-invariant part of Eq. 16; the estimator multiplies
-//               by eps0 at query time)
+// scan, applied to the float assembly as well as the LUT accumulation).
+// The factors are METRIC-AWARE: the store bakes the index's metric into
+// them at append time so the query-phase kernel is one fma regardless of
+// metric (the score it assembles is L2 squared distance under kL2, negated
+// inner product under kInnerProduct/kCosine):
+//   kL2:     f_sq    = dist_to_centroid^2
+//            f_cross = 2 * dist_to_centroid
+//   kIP/cos: f_sq    = (dist_to_centroid^2 - ||o_r||^2) / 2
+//            f_cross = dist_to_centroid
+//            (from -<o,q> = g + h - d_o d_q <u,v> with
+//             g = (d_o^2 - ||o_r||^2)/2 per code and
+//             h = (d_q^2 - ||q_r||^2)/2 per query, the latter living in
+//             QuantizedQuery::q_base)
+//   always:  f_inv_oo = 1 / max(o_o, 1e-9)
+//            f_err    = sqrt((1 - o_o^2) / max(o_o^2, 1e-12)) / sqrt(B - 1)
+//            (the query-invariant part of Eq. 16; the estimator multiplies
+//             by eps0 at query time. Under IP/cosine the halved f_cross
+//             automatically halves the error term too, which is exactly the
+//             IP-analogue half-width: err(-<o,q>) = d_o d_q err(<u,v>).)
 // Codes live in an SoA store that also keeps the packed fast-scan layout for
 // the batch estimator.
 
@@ -26,6 +38,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/metric.h"
 #include "core/rotator.h"
 #include "linalg/matrix.h"
 #include "quant/fastscan.h"
@@ -71,9 +84,12 @@ class RabitqCodeStore {
   RabitqCodeStore() = default;
   explicit RabitqCodeStore(std::size_t total_bits) { Init(total_bits); }
 
-  void Init(std::size_t total_bits) {
+  /// `metric` selects the factor algebra baked in by Append (see the header
+  /// comment); it must match the owning index's metric.
+  void Init(std::size_t total_bits, Metric metric = Metric::kL2) {
     total_bits_ = total_bits;
     words_per_code_ = WordsForBits(total_bits);
+    metric_ = metric;
     Clear();
   }
 
@@ -82,6 +98,7 @@ class RabitqCodeStore {
     dist_to_centroid_.clear();
     o_o_.clear();
     bit_count_.clear();
+    norm_sq_.clear();
     f_sq_.clear();
     f_cross_.clear();
     f_inv_oo_.clear();
@@ -94,6 +111,7 @@ class RabitqCodeStore {
     dist_to_centroid_.reserve(n);
     o_o_.reserve(n);
     bit_count_.reserve(n);
+    norm_sq_.reserve(n);
     f_sq_.reserve(n);
     f_cross_.reserve(n);
     f_inv_oo_.reserve(n);
@@ -103,6 +121,7 @@ class RabitqCodeStore {
   std::size_t size() const { return dist_to_centroid_.size(); }
   std::size_t total_bits() const { return total_bits_; }
   std::size_t words_per_code() const { return words_per_code_; }
+  Metric metric() const { return metric_; }
 
   RabitqCodeView View(std::size_t i) const {
     return RabitqCodeView{bits_.data() + i * words_per_code_,
@@ -117,6 +136,8 @@ class RabitqCodeStore {
   float dist_to_centroid(std::size_t i) const { return dist_to_centroid_[i]; }
   float o_o(std::size_t i) const { return o_o_[i]; }
   std::uint32_t bit_count(std::size_t i) const { return bit_count_[i]; }
+  float norm_sq(std::size_t i) const { return norm_sq_[i]; }
+  const float* norm_sq_data() const { return norm_sq_.data(); }
 
   // SoA factor arrays for the fused batch estimator; parallel to the code
   // order, always size() entries (appended in lock-step by Append).
@@ -128,12 +149,16 @@ class RabitqCodeStore {
   const float* f_err_data() const { return f_err_.data(); }
 
   /// Appends a code; `bits` must hold words_per_code() words. The derived
-  /// estimator factors are computed here -- every code-creation path
-  /// (encode, single-vector append, compaction, snapshot load) funnels
-  /// through this method, so factors can never go stale and snapshots never
-  /// store them (Load recomputes them for free, v1 and v2 alike).
+  /// estimator factors are computed here under the store's metric -- every
+  /// code-creation path (encode, single-vector append, compaction, snapshot
+  /// load) funnels through this method, so factors can never go stale and
+  /// snapshots never store them (Load recomputes them for free, every
+  /// format version alike). `norm_sq` = ||o_r||^2 of the original vector;
+  /// it is stored (and persisted by snapshot v3) regardless of metric so a
+  /// metric switch never needs re-encoding, but only enters the factors
+  /// under kInnerProduct / kCosine.
   void Append(const std::uint64_t* bits, float dist_to_centroid, float o_o,
-              std::uint32_t bit_count);
+              std::uint32_t bit_count, float norm_sq = 0.0f);
 
   /// Builds the packed fast-scan layout (4-bit nibbles of the bit strings).
   /// Call once after the last Append.
@@ -158,10 +183,12 @@ class RabitqCodeStore {
  private:
   std::size_t total_bits_ = 0;
   std::size_t words_per_code_ = 0;
+  Metric metric_ = Metric::kL2;
   AlignedVector<std::uint64_t> bits_;
   std::vector<float> dist_to_centroid_;
   std::vector<float> o_o_;
   std::vector<std::uint32_t> bit_count_;
+  std::vector<float> norm_sq_;
   // Derived factor SoA arrays (see header comment); aligned so the fused
   // kernel's block-granular loads stay on cache-line boundaries.
   AlignedVector<float> f_sq_;

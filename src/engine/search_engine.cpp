@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "linalg/vector_ops.h"
 #include "util/prng.h"
 
 namespace rabitq {
@@ -30,6 +31,7 @@ IvfSearchStats SumStats(const IvfSearchStats* stats, std::size_t n) {
 SearchEngine::SearchEngine(ShardedIndex index, const EngineConfig& config)
     : index_(std::move(index)),
       dim_(index_.dim()),
+      metric_(index_.metric()),
       config_(config),
       pool_(config.num_threads),
       worker_scratch_(pool_.num_threads()),
@@ -156,6 +158,18 @@ void SearchEngine::ExecuteBatch(
   for (std::size_t i = 0; i < n; ++i) {
     std::copy_n(queries[i], d, gather_buf_.Row(i));
   }
+  // Cosine normalizes where it rotates (the index contract for pre-rotated
+  // queries). A zero-norm query fails per-query, not per-batch: its gather
+  // row rotates to zeros harmlessly and its cells are skipped below.
+  std::vector<Status> query_status(n, Status::Ok());
+  if (metric_ == Metric::kCosine) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (NormalizeInPlace(gather_buf_.Row(i), d) == 0.0f) {
+        query_status[i] =
+            Status::InvalidArgument("zero-norm query under cosine metric");
+      }
+    }
+  }
   index_.encoder().rotator().InverseRotateBatch(gather_buf_, &rotated_buf_);
   if (any_traced) {
     // The batched rotation is shared work; each sampled trace gets its
@@ -194,9 +208,16 @@ void SearchEngine::ExecuteBatch(
         const std::size_t s = cell % S;
         // A sampled query's cells may run on several workers; its trace's
         // relaxed atomic accumulators absorb the concurrent span adds.
+        if (!query_status[q].ok()) {
+          cell_status_[cell] = query_status[q];
+          continue;
+        }
         scratch.trace = batch_traces_[q];
+        // The gather row (normalized under cosine, a plain copy otherwise)
+        // is the query the shards see -- exact re-ranks and the merge must
+        // score against the SAME vector the estimates were prepared from.
         cell_status_[cell] = index_.SearchShard(
-            s, queries[q], rotated_buf_.Row(q), *params[q], seeds[q],
+            s, gather_buf_.Row(q), rotated_buf_.Row(q), *params[q], seeds[q],
             &scratch, &cell_results_[cell], &cell_stats_[cell]);
       }
       scratch.trace = nullptr;
@@ -232,7 +253,7 @@ void SearchEngine::ExecuteBatch(
         }
         if (st.ok()) {
           obs::ScopedSpan merge_span(batch_traces_[q], obs::Stage::kMerge);
-          st = index_.MergeShardResults(queries[q], *params[q],
+          st = index_.MergeShardResults(gather_buf_.Row(q), *params[q],
                                         &cell_results_[q * S],
                                         &cell_stats_[q * S],
                                         &worker_scratch_[c], &results[q],

@@ -120,6 +120,9 @@ class SearchEngine {
   /// an immutable-in-practice index_.dim() would race with Insert's move
   /// of the underlying storage.
   std::size_t dim() const { return dim_; }
+  /// Distance metric of the served index (cached at construction, same
+  /// reasoning as dim()).
+  Metric metric() const { return metric_; }
   /// Current number of ids ever assigned (racy snapshot, safe anytime).
   std::size_t size() const;
   /// Current number of live (non-deleted) vectors (racy snapshot).
@@ -259,6 +262,7 @@ class SearchEngine {
 
   ShardedIndex index_;
   std::size_t dim_;
+  Metric metric_;
   EngineConfig config_;
   ThreadPool pool_;
 

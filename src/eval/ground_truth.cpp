@@ -5,8 +5,9 @@
 namespace rabitq {
 
 Status ComputeGroundTruth(const Matrix& base, const Matrix& queries,
-                          std::size_t k, GroundTruth* out) {
+                          std::size_t k, Metric metric, GroundTruth* out) {
   if (out == nullptr) return Status::InvalidArgument("null output");
+  RABITQ_RETURN_IF_ERROR(ValidateMetric(metric));
   if (base.rows() == 0 || queries.rows() == 0) {
     return Status::InvalidArgument("empty base/query set");
   }
@@ -15,6 +16,7 @@ Status ComputeGroundTruth(const Matrix& base, const Matrix& queries,
   }
   k = std::min(k, base.rows());
   out->k = k;
+  out->metric = metric;
   out->ids.assign(queries.rows() * k, 0);
   out->dist_sq.assign(queries.rows() * k, 0.0f);
   GlobalThreadPool().ParallelFor(
@@ -22,7 +24,7 @@ Status ComputeGroundTruth(const Matrix& base, const Matrix& queries,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t q = begin; q < end; ++q) {
           const std::vector<Neighbor> nn =
-              BruteForceSearch(base, queries.Row(q), k);
+              BruteForceSearch(base, queries.Row(q), k, metric);
           for (std::size_t j = 0; j < nn.size(); ++j) {
             out->ids[q * k + j] = nn[j].second;
             out->dist_sq[q * k + j] = nn[j].first;
@@ -30,6 +32,20 @@ Status ComputeGroundTruth(const Matrix& base, const Matrix& queries,
         }
       },
       /*min_chunk=*/1);
+  return Status::Ok();
+}
+
+Status ComputeGroundTruth(const Matrix& base, const Matrix& queries,
+                          std::size_t k, GroundTruth* out) {
+  return ComputeGroundTruth(base, queries, k, Metric::kL2, out);
+}
+
+Status CheckGroundTruthMetric(const GroundTruth& gt, Metric index_metric) {
+  if (gt.metric != index_metric) {
+    return Status::InvalidArgument(
+        std::string("ground truth computed under ") + MetricName(gt.metric) +
+        " cannot score an index serving " + MetricName(index_metric));
+  }
   return Status::Ok();
 }
 

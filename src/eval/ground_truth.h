@@ -15,18 +15,34 @@ namespace rabitq {
 
 struct GroundTruth {
   std::size_t k = 0;
+  /// Metric the truth was computed under; recall/ratio comparisons against
+  /// an index serving a different metric are meaningless (see
+  /// CheckGroundTruthMetric).
+  Metric metric = Metric::kL2;
   /// ids[q * k + j] = id of the j-th nearest base vector of query q.
   std::vector<std::uint32_t> ids;
-  /// dist_sq[q * k + j] = its exact squared distance.
+  /// dist_sq[q * k + j] = its exact distance key (squared L2 distance for
+  /// kL2, negated inner product for kInnerProduct/kCosine).
   std::vector<float> dist_sq;
 
   const std::uint32_t* IdsFor(std::size_t q) const { return ids.data() + q * k; }
   const float* DistFor(std::size_t q) const { return dist_sq.data() + q * k; }
 };
 
-/// Computes exact top-k for every query row.
+/// Computes exact top-k for every query row under `metric` (ranked by
+/// MetricDistance keys; cosine normalizes both sides, so `base` may be raw).
+Status ComputeGroundTruth(const Matrix& base, const Matrix& queries,
+                          std::size_t k, Metric metric, GroundTruth* out);
+
+/// L2 shorthand, the original signature.
 Status ComputeGroundTruth(const Matrix& base, const Matrix& queries,
                           std::size_t k, GroundTruth* out);
+
+/// Refuses (InvalidArgument) an evaluation that would compare search results
+/// produced under `index_metric` against truth computed under another
+/// metric. Every recall/ratio harness should funnel through this before
+/// scoring.
+Status CheckGroundTruthMetric(const GroundTruth& gt, Metric index_metric);
 
 }  // namespace rabitq
 

@@ -35,11 +35,27 @@ std::vector<Neighbor> TopKHeap::ExtractSorted() {
 }
 
 std::vector<Neighbor> BruteForceSearch(const Matrix& data, const float* query,
-                                       std::size_t k) {
+                                       std::size_t k, Metric metric) {
   TopKHeap heap(k);
-  for (std::size_t i = 0; i < data.rows(); ++i) {
-    heap.Push(L2SqrDistance(data.Row(i), query, data.cols()),
-              static_cast<std::uint32_t>(i));
+  const std::size_t d = data.cols();
+  if (metric == Metric::kCosine) {
+    // Normalize both sides on the fly with the same NormalizeInPlace the
+    // index applies at ingest/search, so the oracle's keys are bitwise the
+    // keys an exact re-rank over the (normalized-at-ingest) index computes.
+    std::vector<float> unit_query(query, query + d);
+    NormalizeInPlace(unit_query.data(), d);  // zero-norm query: all keys 0
+    std::vector<float> unit_row(d);
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+      std::copy_n(data.Row(i), d, unit_row.begin());
+      NormalizeInPlace(unit_row.data(), d);
+      heap.Push(-Dot(unit_row.data(), unit_query.data(), d),
+                static_cast<std::uint32_t>(i));
+    }
+  } else {
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+      heap.Push(MetricDistance(metric, data.Row(i), query, d),
+                static_cast<std::uint32_t>(i));
+    }
   }
   return heap.ExtractSorted();
 }

@@ -9,16 +9,23 @@
 #include <utility>
 #include <vector>
 
+#include "core/metric.h"
 #include "linalg/matrix.h"
 
 namespace rabitq {
 
-/// (squared distance, id) pair ordered by distance.
+/// (distance key, id) pair ordered by key. The key is the metric's
+/// minimization objective: squared L2 distance for kL2, the negated inner
+/// product for kInnerProduct/kCosine (see MetricDistance).
 using Neighbor = std::pair<float, std::uint32_t>;
 
-/// Exact top-k of `query` over the rows of `data`, ascending by distance.
+/// Exact top-k of `query` over the rows of `data`, ascending by the
+/// metric's distance key. Under kCosine both the query and each row are
+/// normalized on the fly (zero-norm rows score 0, a zero-norm query scores
+/// every row 0), so `data` may hold raw, un-normalized vectors.
 std::vector<Neighbor> BruteForceSearch(const Matrix& data, const float* query,
-                                       std::size_t k);
+                                       std::size_t k,
+                                       Metric metric = Metric::kL2);
 
 /// Bounded max-heap of the k best (smallest-distance) neighbors seen so far.
 class TopKHeap {

@@ -56,16 +56,36 @@ inline std::uint64_t NanosSince(TraceClock::time_point start) {
 // bias / tightness telemetry costs a handful of flops per RE-RANKED
 // candidate (a tiny fraction of codes scanned) on top of a full exact
 // distance -- never a measurable hot-path cost.
+// Scores ascend under every metric (negated inner products for IP/cosine),
+// so "exact < lb" is a bound violation in the same sense everywhere. The
+// relative stats normalize by |exact|: identical to the historical /exact
+// for kL2 (squared distances are nonnegative), and the only normalization
+// that keeps IP/cosine samples -- whose scores are typically negative --
+// from being skipped or sign-flipped. Tightness stays lb/exact (same-sign
+// quantities), so ~1 still reads as "bound hugging the true score".
 inline void AccumulateRerankHealth(float est, float lb, float exact,
                                    IvfSearchStats* stats) {
   stats->rerank_bound_violations += exact < lb;
-  if (exact > 0.0f) {
+  if (exact != 0.0f) {
     ++stats->rerank_health_samples;
-    const double inv = 1.0 / static_cast<double>(exact);
+    const double inv = 1.0 / std::abs(static_cast<double>(exact));
     stats->rerank_signed_err_sum +=
         (static_cast<double>(est) - static_cast<double>(exact)) * inv;
-    stats->rerank_tightness_sum += static_cast<double>(lb) * inv;
+    stats->rerank_tightness_sum +=
+        static_cast<double>(lb) / static_cast<double>(exact);
   }
+}
+
+// Cosine ingest: copy-and-normalize one vector, failing closed on a
+// zero-norm input (its direction -- the only thing cosine sees -- is
+// undefined).
+Status NormalizeForCosine(const float* vec, std::size_t dim,
+                          std::vector<float>* out) {
+  out->assign(vec, vec + dim);
+  if (NormalizeInPlace(out->data(), dim) == 0.0f) {
+    return Status::InvalidArgument("zero-norm vector under cosine metric");
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -74,11 +94,26 @@ Status IvfRabitqIndex::Build(const Matrix& data, const IvfConfig& ivf_config,
                              const RabitqConfig& rabitq_config) {
   if (data.rows() == 0) return Status::InvalidArgument("empty dataset");
   RABITQ_RETURN_IF_ERROR(ValidateMetric(ivf_config.metric));
+  // kCosine normalizes the dataset BEFORE clustering so the centroids live
+  // in the same unit-sphere space as the stored vectors (cosine over the
+  // normalized copies IS inner product); a zero-norm row fails the build.
+  Matrix normalized;
+  const Matrix* build_data = &data;
+  if (ivf_config.metric == Metric::kCosine) {
+    normalized.Reset(data.rows(), data.cols());
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+      std::copy_n(data.Row(i), data.cols(), normalized.Row(i));
+      if (NormalizeInPlace(normalized.Row(i), data.cols()) == 0.0f) {
+        return Status::InvalidArgument("zero-norm vector under cosine metric");
+      }
+    }
+    build_data = &normalized;
+  }
   KMeansConfig kmeans = ivf_config.kmeans;
   kmeans.num_clusters = std::min(ivf_config.num_lists, data.rows());
   KMeansResult clustering;
-  RABITQ_RETURN_IF_ERROR(RunKMeans(data, kmeans, &clustering));
-  return BuildFromClustering(data, std::move(clustering.centroids),
+  RABITQ_RETURN_IF_ERROR(RunKMeans(*build_data, kmeans, &clustering));
+  return BuildFromClustering(*build_data, std::move(clustering.centroids),
                              clustering.assignments.data(), rabitq_config,
                              ivf_config.metric);
 }
@@ -125,7 +160,7 @@ Status IvfRabitqIndex::BuildFromClustering(const Matrix& data, Matrix centroids,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t l = begin; l < end; ++l) {
           List& list = lists_[l];
-          list.codes.Init(encoder_.total_bits());
+          list.codes.Init(encoder_.total_bits(), metric_);
           list.codes.Reserve(list.ids.size());
           for (const std::uint32_t id : list.ids) {
             const Status s = encoder_.EncodeAppend(data.Row(id),
@@ -170,8 +205,11 @@ void IvfRabitqIndex::ProbeOrderInto(
     const float* query, std::size_t nprobe,
     std::vector<std::pair<float, std::uint32_t>>* out) const {
   out->resize(centroids_.rows());
+  // Metric-aware probe key: squared distance under kL2, negated centroid
+  // inner product under kInnerProduct/kCosine (probe the lists whose
+  // centroid scores best under the index's own metric).
   for (std::size_t l = 0; l < centroids_.rows(); ++l) {
-    (*out)[l] = {L2SqrDistance(query, centroids_.Row(l), dim()),
+    (*out)[l] = {MetricDistance(metric_, centroids_.Row(l), query, dim()),
                  static_cast<std::uint32_t>(l)};
   }
   if (nprobe >= out->size()) {
@@ -222,6 +260,18 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
   }
   if (query == nullptr) return Status::InvalidArgument("null query");
   if (params.k == 0) return Status::InvalidArgument("k must be positive");
+  // kCosine: normalize the query WHERE it gets rotated (the contract of
+  // SearchWithScratch): a caller passing a precomputed rotation guarantees
+  // `query` is already unit-normalized, so normalizing again here would
+  // break bit-parity with that caller. Everything below -- probe order,
+  // preprocessing, exact re-rank -- sees the normalized pointer.
+  if (metric_ == Metric::kCosine && rotated_query == nullptr) {
+    scratch->norm_query.assign(query, query + dim());
+    if (NormalizeInPlace(scratch->norm_query.data(), dim()) == 0.0f) {
+      return Status::InvalidArgument("zero-norm query under cosine metric");
+    }
+    query = scratch->norm_query.data();
+  }
   const float epsilon0 = params.epsilon0_override >= 0.0f
                              ? params.epsilon0_override
                              : encoder_.config().epsilon0;
@@ -251,6 +301,11 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
       trace->AddNanos(obs::Stage::kPreprocess, NanosSince(span_start));
     }
   }
+
+  // ||q||^2 feeds the per-query half of the IP/cosine score base
+  // (QuantizedQuery::q_base); computed once, not per probed list.
+  const float query_norm_sq =
+      metric_ == Metric::kL2 ? 0.0f : SquaredNorm(query, dim());
 
   IvfSearchStats local_stats;
   TopKHeap exact_heap(params.k);
@@ -297,9 +352,17 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
     // the quantized query of a list is identical no matter which shard of a
     // sharded index holds it or in what order lists are probed.
     Rng list_rng(MixSeed(seed, list_id));
+    // q_dist = ||q - c||. Under kL2 the probe key IS the squared distance;
+    // under IP/cosine the key is a negated dot product, so the residual
+    // norm is computed here (one extra O(dim) pass per PROBED list).
+    const float q_dist =
+        metric_ == Metric::kL2
+            ? std::sqrt(std::max(0.0f, order[p].first))
+            : std::sqrt(std::max(
+                  0.0f, L2SqrDistance(query, centroids_.Row(list_id), dim())));
     RABITQ_RETURN_IF_ERROR(PrepareQueryFromRotated(
-        encoder_, rotated_query, rotated_centroids_.Row(list_id),
-        std::sqrt(std::max(0.0f, order[p].first)), &list_rng, &qq));
+        encoder_, rotated_query, rotated_centroids_.Row(list_id), q_dist,
+        &list_rng, &qq, /*query_bits_override=*/0, metric_, query_norm_sq));
     const std::size_t n = list.ids.size();
     const bool batch = params.use_batch_estimator && qq.has_exact_luts &&
                        list.codes.finalized();
@@ -359,7 +422,7 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
             continue;
           }
           const std::uint32_t id = list.ids[i];
-          const float exact = L2SqrDistance(data_.Row(id), query, dim());
+          const float exact = MetricDistance(metric_, data_.Row(id), query, dim());
           exact_heap.Push(exact, id);
           ++local_stats.candidates_reranked;
           AccumulateRerankHealth(est_buf[i], lb_buf[i], exact, &local_stats);
@@ -400,7 +463,7 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
           }
           if (exact_heap.full() && lb_buf[i] > exact_heap.Threshold()) continue;
           const std::uint32_t id = list.ids[i];
-          const float exact = L2SqrDistance(data_.Row(id), query, dim());
+          const float exact = MetricDistance(metric_, data_.Row(id), query, dim());
           exact_heap.Push(exact, id);
           ++local_stats.candidates_reranked;
           AccumulateRerankHealth(est_buf[i], lb_buf[i], exact, &local_stats);
@@ -432,7 +495,7 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
     if (trace != nullptr) span_start = TraceClock::now();
     for (std::size_t i = 0; i < keep; ++i) {
       const std::uint32_t id = estimate_pool[i].second;
-      exact_heap.Push(L2SqrDistance(data_.Row(id), query, dim()), id);
+      exact_heap.Push(MetricDistance(metric_, data_.Row(id), query, dim()), id);
     }
     if (trace != nullptr) rerank_ns += NanosSince(span_start);
     local_stats.candidates_reranked = keep;
@@ -472,6 +535,13 @@ Status IvfRabitqIndex::AppendToNearestList(std::uint32_t id,
 Status IvfRabitqIndex::Add(const float* vec, std::uint32_t* id_out) {
   if (vec == nullptr) return Status::InvalidArgument("null vector");
   if (lists_.empty()) return Status::FailedPrecondition("index not built");
+  // kCosine stores the normalized vector (same as Build), so re-rank and
+  // the estimator see unit data no matter how the vector arrived.
+  std::vector<float> normalized;
+  if (metric_ == Metric::kCosine) {
+    RABITQ_RETURN_IF_ERROR(NormalizeForCosine(vec, dim(), &normalized));
+    vec = normalized.data();
+  }
   const std::uint32_t id = data_.Append(vec);
   // The id turns live only once its list entry exists; on append failure it
   // stays permanently dead (IsDeleted == true), never a dangling mapping.
@@ -502,6 +572,13 @@ Status IvfRabitqIndex::Update(std::uint32_t id, const float* vec) {
   if (vec == nullptr) return Status::InvalidArgument("null vector");
   if (lists_.empty()) return Status::FailedPrecondition("index not built");
   if (IsDeleted(id)) return Status::NotFound("id not live");
+  // Normalize FIRST (and fail closed) so a zero-norm update under cosine
+  // leaves the index untouched rather than half-tombstoned.
+  std::vector<float> normalized;
+  if (metric_ == Metric::kCosine) {
+    RABITQ_RETURN_IF_ERROR(NormalizeForCosine(vec, dim(), &normalized));
+    vec = normalized.data();
+  }
   // Tombstone the stale entry, then re-encode against the (possibly new)
   // nearest centroid. The id itself stays live throughout.
   List& old_list = lists_[id_to_list_[id]];

@@ -44,9 +44,12 @@ namespace rabitq {
 struct IvfConfig {
   std::size_t num_lists = 256;
   KMeansConfig kmeans;  // num_clusters is overwritten with num_lists
-  /// Distance space of the index; only Metric::kL2 is implemented today.
-  /// Validated at build and load (ValidateMetric) so the request types stay
-  /// stable when inner-product/cosine land.
+  /// Distance space of the index (kL2 / kInnerProduct / kCosine), validated
+  /// at build and load (ValidateMetric) and persisted by snapshot v3. Under
+  /// kCosine the index normalizes every ingested vector (Build, Add, Update)
+  /// and each query once per search; zero-norm vectors are rejected. Scores
+  /// are always ascending-is-better: negated inner products under
+  /// kInnerProduct/kCosine (see core/metric.h).
   Metric metric = Metric::kL2;
 };
 
@@ -57,6 +60,10 @@ struct IvfConfig {
 struct IvfSearchScratch {
   std::vector<std::pair<float, std::uint32_t>> probe_order;
   std::vector<float> rotated_query;
+  /// Unit-normalized copy of the query, filled only under kCosine when the
+  /// caller did not pass a rotated query (the normalize-where-you-rotate
+  /// contract; see SearchWithScratch).
+  std::vector<float> norm_query;
   std::vector<float> est_buf;
   std::vector<float> lb_buf;
   std::vector<Neighbor> estimate_pool;
@@ -102,6 +109,9 @@ class IvfRabitqIndex {
   /// exactly RunKMeans + this. ShardedIndex uses it to give every shard the
   /// SAME centroid set (one global clustering), which is what makes the
   /// scatter-gather merge bit-identical to a single-shard index.
+  /// Under kCosine, `data` rows must already be unit-normalized (Build and
+  /// ShardedIndex normalize before clustering; zero rows must have been
+  /// rejected by then) -- this method ingests them as-is.
   Status BuildFromClustering(const Matrix& data, Matrix centroids,
                              const std::uint32_t* assignments,
                              const RabitqConfig& rabitq_config,
@@ -117,7 +127,8 @@ class IvfRabitqIndex {
   std::size_t num_tombstones() const { return num_tombstones_; }
   std::size_t dim() const { return data_.dim(); }
   std::size_t num_lists() const { return centroids_.rows(); }
-  /// Distance space the index was built for (always kL2 today).
+  /// Distance space the index was built for; persisted by snapshot v3
+  /// (v1/v2 snapshots load as kL2).
   Metric metric() const { return metric_; }
   const RabitqEncoder& encoder() const { return encoder_; }
   const Matrix& centroids() const { return centroids_; }
@@ -144,11 +155,13 @@ class IvfRabitqIndex {
   /// preparation is a subtract-and-scale (see PrepareQueryFromRotated).
   const Matrix& rotated_centroids() const { return rotated_centroids_; }
 
-  /// Lists sorted ascending by centroid distance to `query` (the probe
-  /// order); exposed for the distance-estimation benches.
+  /// Lists sorted ascending by centroid key to `query` (the probe order):
+  /// squared centroid distance under kL2, negated centroid inner product
+  /// under kInnerProduct/kCosine. Exposed for the distance-estimation
+  /// benches.
   std::vector<std::uint32_t> ProbeOrder(const float* query) const;
 
-  /// Probe order with the squared centroid distances attached.
+  /// Probe order with the centroid keys attached.
   std::vector<std::pair<float, std::uint32_t>> ProbeOrderWithDistances(
       const float* query) const;
 
@@ -197,7 +210,12 @@ class IvfRabitqIndex {
   /// engine). `rotated_query` optionally passes a precomputed P^T q
   /// (encoder().total_bits() floats, e.g. one row of the engine's batched
   /// rotation -- bit-identical to RotateQueryOnce by the Rotator contract);
-  /// nullptr computes it into the scratch. `seed` is the per-query base of
+  /// nullptr computes it into the scratch. Under kCosine the query is
+  /// normalized WHERE it is rotated: when `rotated_query` is null this
+  /// method normalizes (rejecting a zero-norm query); when non-null the
+  /// caller guarantees `query` is already unit-normalized and `rotated_query`
+  /// is its rotation -- never both, since re-normalizing an already
+  /// normalized vector is not a bitwise no-op. `seed` is the per-query base of
   /// the per-list rounding seeds -- the explicit parameter wins over
   /// params.seed, which this level ignores (the layers above resolve it).
   /// params.filter, when active, is pushed into candidate selection; its
@@ -251,15 +269,20 @@ class IvfRabitqIndex {
   /// ListsNeedingCompaction(min_ratio, min_dead). Requires exclusive access.
   Status Compact(float min_ratio = 0.0f, std::size_t min_dead = 1);
 
-  /// Serializes the full index (raw vectors, centroids, codes, tombstones
-  /// and the quantizer configuration) in snapshot format v2 ("RBQIVF02").
-  /// The rotation matrix itself is NOT stored: rotators are deterministic in
-  /// (dim, bits, kind, seed), so Load re-derives it from the saved config --
-  /// the same trick the paper uses to never materialize the codebook.
+  /// Serializes the full index (raw vectors, centroids, codes, tombstones,
+  /// per-code norms, the metric and the quantizer configuration) in snapshot
+  /// format v3 ("RBQIVF03"). The rotation matrix itself is NOT stored:
+  /// rotators are deterministic in (dim, bits, kind, seed), so Load
+  /// re-derives it from the saved config -- the same trick the paper uses to
+  /// never materialize the codebook.
   Status Save(const std::string& path) const;
 
-  /// Restores an index written by Save into `*this`. Reads both the current
-  /// v2 format and the legacy v1 ("RBQIVF01", no tombstones) format.
+  /// Restores an index written by Save into `*this`. Reads the current v3
+  /// format plus the legacy v2 ("RBQIVF02", no metric/norms) and v1
+  /// ("RBQIVF01", additionally no tombstones) formats; legacy snapshots
+  /// load as Metric::kL2, the only metric that existed when they were
+  /// written. A v3 metric byte is validated BEFORE the O(B^3) rotator
+  /// rebuild so corrupt values fail closed cheaply.
   Status Load(const std::string& path);
 
  private:

@@ -1,17 +1,24 @@
-// Save/Load for IvfRabitqIndex. Snapshot format v2 ("RBQIVF02") stores the
-// raw vectors, the coarse centroids, the per-list ids, positional tombstones
-// and code-store arrays, and the RabitqConfig; the rotation is reconstructed
-// deterministically from (dim, bits, kind, seed) at load time, mirroring the
-// paper's observation that the codebook never needs to be materialized.
-// Legacy v1 files ("RBQIVF01", written before the index became mutable; no
-// tombstone sections) still load: every entry is treated as live.
+// Save/Load for IvfRabitqIndex. Snapshot format v3 ("RBQIVF03") stores the
+// metric (a u32 immediately after the header, so it is validated before any
+// expensive reconstruction), the raw vectors, the coarse centroids, the
+// per-list ids, positional tombstones and code-store arrays (including the
+// per-code ||o_r||^2 the IP/cosine factors need), and the RabitqConfig; the
+// rotation is reconstructed deterministically from (dim, bits, kind, seed)
+// at load time, mirroring the paper's observation that the codebook never
+// needs to be materialized.
+// Legacy files still load: v2 ("RBQIVF02", written before metrics -- no
+// metric field, no per-code norms) and v1 ("RBQIVF01", written before the
+// index became mutable -- additionally no tombstone sections). Both default
+// to Metric::kL2, the only metric in existence when they were written,
+// which fixes the old hardcoded `metric_ = kL2` that would have silently
+// mis-loaded any non-L2 snapshot.
 //
 // The derived estimator factors (f_sq/f_cross/f_inv_oo/f_err) are NOT part
-// of either format: they are a pure function of the stored per-code
-// (dist_to_centroid, o_o) floats and are recomputed by
-// RabitqCodeStore::Append as Load streams the codes in -- v1 and v2
-// snapshots both come back with factors bit-identical to the ones the
-// original index computed at encode time, with no format bump.
+// of any format: they are a pure function of the stored per-code
+// (dist_to_centroid, o_o, norm_sq) floats and the metric, and are recomputed
+// by RabitqCodeStore::Append as Load streams the codes in -- every format
+// version comes back with factors bit-identical to the ones the original
+// index computed at encode time.
 
 #include <algorithm>
 #include <vector>
@@ -25,10 +32,12 @@ namespace {
 // Readable formats, newest first; Save always writes kMagics[0]. Keeping
 // writer and reader on one table means a format bump cannot desynchronize
 // them.
-constexpr char kMagics[][8] = {{'R', 'B', 'Q', 'I', 'V', 'F', '0', '2'},
+constexpr char kMagics[][8] = {{'R', 'B', 'Q', 'I', 'V', 'F', '0', '3'},
+                               {'R', 'B', 'Q', 'I', 'V', 'F', '0', '2'},
                                {'R', 'B', 'Q', 'I', 'V', 'F', '0', '1'}};
-constexpr std::uint32_t kVersions[] = {2, 1};
-constexpr std::uint32_t kVersionV2 = 2;
+constexpr std::uint32_t kVersions[] = {3, 2, 1};
+constexpr std::uint32_t kVersionV2 = 2;  // adds tombstones
+constexpr std::uint32_t kVersionV3 = 3;  // adds metric + per-code norms
 static_assert(std::size(kMagics) == std::size(kVersions),
               "every readable magic needs its version");
 }  // namespace
@@ -38,6 +47,11 @@ Status IvfRabitqIndex::Save(const std::string& path) const {
   std::unique_ptr<BinaryWriter> writer;
   RABITQ_RETURN_IF_ERROR(BinaryWriter::Open(path, &writer));
   RABITQ_RETURN_IF_ERROR(WriteHeader(writer.get(), kMagics[0], kVersions[0]));
+
+  // v3: the metric comes FIRST so Load can validate it before reading (or
+  // reconstructing) anything expensive.
+  RABITQ_RETURN_IF_ERROR(
+      writer->WriteU32(static_cast<std::uint32_t>(metric_)));
 
   // Quantizer configuration (the rotator is re-derived from this on load).
   const RabitqConfig& config = encoder_.config();
@@ -86,6 +100,10 @@ Status IvfRabitqIndex::Save(const std::string& path) const {
       RABITQ_RETURN_IF_ERROR(writer->WriteF32(view.dist_to_centroid));
       RABITQ_RETURN_IF_ERROR(writer->WriteF32(view.o_o));
       RABITQ_RETURN_IF_ERROR(writer->WriteU32(view.bit_count));
+      // v3: ||o_r||^2, stored (not recomputed at load: Update overwrites the
+      // raw row of a stale entry, so the raw vectors cannot reproduce every
+      // entry's norm) regardless of metric.
+      RABITQ_RETURN_IF_ERROR(writer->WriteF32(list.codes.norm_sq(i)));
     }
   }
   return writer->Close();
@@ -98,12 +116,24 @@ Status IvfRabitqIndex::Load(const std::string& path) {
   RABITQ_RETURN_IF_ERROR(ExpectHeaderOneOf(reader.get(), kMagics, kVersions,
                                            std::size(kMagics), &format));
   const bool has_tombstones = kVersions[format] >= kVersionV2;
+  const bool has_metric = kVersions[format] >= kVersionV3;
+  const bool has_norm_sq = kVersions[format] >= kVersionV3;
 
-  // Every readable format (v1/v2) predates non-L2 metrics, so a snapshot's
-  // metric is kL2 by construction; the validation funnel still runs so the
-  // day a format stores a metric byte, Load rejects unimplemented ones in
-  // the same place Build does.
-  metric_ = Metric::kL2;
+  // v3 stores the metric right after the header; it is range-checked and
+  // run through the ValidateMetric funnel BEFORE anything else is read --
+  // in particular before encoder_.Init's O(B^3) rotator reconstruction --
+  // so a corrupt metric byte fails closed cheaply. v1/v2 predate non-L2
+  // metrics, so their metric is kL2 by construction.
+  if (has_metric) {
+    std::uint32_t metric_raw = 0;
+    RABITQ_RETURN_IF_ERROR(reader->ReadU32(&metric_raw));
+    if (metric_raw > kMaxMetricValue) {
+      return Status::IoError("corrupt metric");
+    }
+    metric_ = static_cast<Metric>(metric_raw);
+  } else {
+    metric_ = Metric::kL2;
+  }
   RABITQ_RETURN_IF_ERROR(ValidateMetric(metric_));
 
   std::uint64_t dim = 0, total_bits = 0, seed = 0;
@@ -225,17 +255,22 @@ Status IvfRabitqIndex::Load(const std::string& path) {
     if (codes != list.ids.size()) {
       return Status::IoError("list id/code count mismatch");
     }
-    list.codes.Init(total_bits);
+    list.codes.Init(total_bits, metric_);
     list.codes.Reserve(codes);
     for (std::uint64_t i = 0; i < codes; ++i) {
-      float dist = 0.0f, o_o = 0.0f;
+      float dist = 0.0f, o_o = 0.0f, norm_sq = 0.0f;
       std::uint32_t bit_count = 0;
       RABITQ_RETURN_IF_ERROR(
           reader->ReadBytes(bits.data(), words * sizeof(std::uint64_t)));
       RABITQ_RETURN_IF_ERROR(reader->ReadF32(&dist));
       RABITQ_RETURN_IF_ERROR(reader->ReadF32(&o_o));
       RABITQ_RETURN_IF_ERROR(reader->ReadU32(&bit_count));
-      list.codes.Append(bits.data(), dist, o_o, bit_count);
+      // Pre-v3 snapshots carry no norms; they are all-kL2, whose factors
+      // never read norm_sq, so 0 is not just a placeholder but exact.
+      if (has_norm_sq) {
+        RABITQ_RETURN_IF_ERROR(reader->ReadF32(&norm_sq));
+      }
+      list.codes.Append(bits.data(), dist, o_o, bit_count, norm_sq);
     }
     if (!list.ids.empty()) list.codes.Finalize();
   }

@@ -2,9 +2,11 @@
 // ShardedIndex, SearchEngine): one SearchRequest in, one SearchResponse out.
 // The paper's protocol is "one thread, one query, one metric, no
 // predicates"; serving workloads are not. This header is where the extra
-// dimensions live so that new capabilities (filters today, alternative
-// metrics next) extend ONE request type instead of growing another
-// positional parameter on three Search spellings.
+// dimensions live so that new capabilities (filters, metrics) extend ONE
+// request type instead of growing another positional parameter on three
+// Search spellings. The metric itself is an INDEX property, not a request
+// property -- see core/metric.h -- so requests stay metric-agnostic and
+// scores are ascending-is-better under every metric.
 //
 //   SearchRequest  = non-owning query view + SearchOptions
 //   SearchOptions  = k / nprobe / rerank policy / estimator knobs
@@ -26,6 +28,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/metric.h"
 #include "index/brute_force.h"
 #include "util/status.h"
 
@@ -44,32 +47,11 @@
 
 namespace rabitq {
 
-/// Distance space of an index. Only kL2 is implemented today; the enum is
-/// the seam for inner-product / cosine so adding them changes IvfConfig
-/// validation and the estimator, not the request type. Validated at build
-/// and at snapshot load (see ValidateMetric).
-enum class Metric : std::uint8_t {
-  kL2 = 0,
-  kInnerProduct = 1,  // declared, not yet implemented
-  kCosine = 2,        // declared, not yet implemented
-};
-
-inline const char* MetricName(Metric metric) {
-  switch (metric) {
-    case Metric::kL2: return "l2";
-    case Metric::kInnerProduct: return "inner_product";
-    case Metric::kCosine: return "cosine";
-  }
-  return "unknown";
-}
-
-/// Single funnel for the metric seam: every index build/load path calls
-/// this, so the day kInnerProduct lands it is unlocked in one place.
-inline Status ValidateMetric(Metric metric) {
-  if (metric == Metric::kL2) return Status::Ok();
-  return Status::Unimplemented(std::string("metric not implemented: ") +
-                               MetricName(metric));
-}
+// Metric / MetricName / ValidateMetric / MetricDistance moved down to
+// core/metric.h (included above) when kInnerProduct and kCosine unlocked:
+// the estimator and query-preprocessing layers below this header now need
+// the enum too. Every existing `#include "index/search_types.h"` keeps
+// seeing the same names.
 
 enum class RerankPolicy {
   kErrorBound,       // paper Section 4, no tunable parameter

@@ -15,8 +15,17 @@ namespace rabitq {
 
 namespace {
 
-constexpr char kManifestMagic[8] = {'R', 'B', 'Q', 'S', 'H', 'R', 'D', '1'};
-constexpr std::uint32_t kManifestVersion = 1;
+// Readable manifest formats, newest first; Save always writes
+// kManifestMagics[0]. Manifest v2 adds the metric (a u32 right after the
+// header, validated before the shard blobs are touched); v1 manifests
+// predate non-L2 metrics and load as kL2.
+constexpr char kManifestMagics[][8] = {
+    {'R', 'B', 'Q', 'S', 'H', 'R', 'D', '2'},
+    {'R', 'B', 'Q', 'S', 'H', 'R', 'D', '1'}};
+constexpr std::uint32_t kManifestVersions[] = {2, 1};
+constexpr std::uint32_t kManifestVersionV2 = 2;
+static_assert(std::size(kManifestMagics) == std::size(kManifestVersions),
+              "every readable manifest magic needs its version");
 
 std::string ManifestPath(const std::string& dir) { return dir + "/MANIFEST"; }
 
@@ -89,6 +98,23 @@ Status ShardedIndex::Build(const Matrix& data, const ShardedConfig& config) {
   id_local_.clear();
   local_to_global_.clear();
 
+  // Cosine stores unit vectors. Under kShared the shards encode through
+  // BuildFromClustering, which expects pre-normalized rows, so normalize
+  // BEFORE the partition copies; under kPerShard each shard's own Build
+  // normalizes its slice.
+  Matrix normalized;
+  const Matrix* source = &data;
+  if (config.ivf.metric == Metric::kCosine &&
+      config.clustering == ShardClustering::kShared) {
+    normalized = data;
+    for (std::size_t g = 0; g < normalized.rows(); ++g) {
+      if (NormalizeInPlace(normalized.Row(g), normalized.cols()) == 0.0f) {
+        return Status::InvalidArgument("zero-norm vector under cosine metric");
+      }
+    }
+    source = &normalized;
+  }
+
   // Round-robin partition: global id g -> (shard g % S, local g / S).
   std::vector<Matrix> shard_data(S);
   for (std::size_t s = 0; s < S; ++s) {
@@ -96,7 +122,7 @@ Status ShardedIndex::Build(const Matrix& data, const ShardedConfig& config) {
     shard_data[s].Reset(rows, data.cols());
   }
   for (std::size_t g = 0; g < data.rows(); ++g) {
-    std::copy_n(data.Row(g), data.cols(), shard_data[g % S].Row(g / S));
+    std::copy_n(source->Row(g), data.cols(), shard_data[g % S].Row(g / S));
   }
 
   std::vector<std::unique_ptr<IvfRabitqIndex>> shards;
@@ -112,7 +138,7 @@ Status ShardedIndex::Build(const Matrix& data, const ShardedConfig& config) {
     KMeansConfig kmeans = config.ivf.kmeans;
     kmeans.num_clusters = std::min(config.ivf.num_lists, data.rows());
     KMeansResult clustering;
-    RABITQ_RETURN_IF_ERROR(RunKMeans(data, kmeans, &clustering));
+    RABITQ_RETURN_IF_ERROR(RunKMeans(*source, kmeans, &clustering));
     std::vector<std::vector<std::uint32_t>> shard_assign(S);
     for (std::size_t s = 0; s < S; ++s) {
       shard_assign[s].reserve(shard_data[s].rows());
@@ -229,6 +255,15 @@ Status ShardedIndex::SearchWithScratch(const float* query,
   if (params.k == 0) return Status::InvalidArgument("k must be positive");
   if (shards_.empty()) return Status::FailedPrecondition("index not built");
   if (rotated_query == nullptr) {
+    // Normalize where we rotate (the IvfRabitqIndex contract): a caller
+    // that pre-rotated the query guarantees it was already normalized.
+    if (metric() == Metric::kCosine) {
+      scratch->norm_query.assign(query, query + dim());
+      if (NormalizeInPlace(scratch->norm_query.data(), dim()) == 0.0f) {
+        return Status::InvalidArgument("zero-norm query under cosine metric");
+      }
+      query = scratch->norm_query.data();
+    }
     scratch->rotated_query.resize(encoder().total_bits());
     RotateQueryOnce(encoder(), query, scratch->rotated_query.data());
     rotated_query = scratch->rotated_query.data();
@@ -329,7 +364,8 @@ Status ShardedIndex::MergeShardResults(const float* query,
     TopKHeap heap(params.k);
     const std::size_t d = dim();
     for (std::size_t i = 0; i < keep; ++i) {
-      heap.Push(L2SqrDistance(cands[i].vec, query, d), cands[i].gid);
+      heap.Push(MetricDistance(metric(), cands[i].vec, query, d),
+                cands[i].gid);
     }
     *out = heap.ExtractSorted();
     agg.candidates_reranked += keep;
@@ -432,7 +468,8 @@ Status ShardedIndex::Save(const std::string& path) const {
     std::unique_ptr<BinaryWriter> writer;
     RABITQ_RETURN_IF_ERROR(BinaryWriter::Open(ManifestPath(path), &writer));
     RABITQ_RETURN_IF_ERROR(
-        WriteHeader(writer.get(), kManifestMagic, kManifestVersion));
+        WriteHeader(writer.get(), kManifestMagics[0], kManifestVersions[0]));
+    RABITQ_RETURN_IF_ERROR(writer->WriteU32(static_cast<std::uint32_t>(metric())));
     RABITQ_RETURN_IF_ERROR(writer->WriteU64(shards_.size()));
     RABITQ_RETURN_IF_ERROR(writer->WriteU64(dim()));
     RABITQ_RETURN_IF_ERROR(writer->WriteU64(next_id_));
@@ -460,12 +497,27 @@ Status ShardedIndex::Load(const std::string& path) {
   }
 
   std::uint64_t num_shards = 0, dim = 0, next_id = 0;
+  Metric manifest_metric = Metric::kL2;
   std::vector<std::vector<std::uint32_t>> maps;
   {
     std::unique_ptr<BinaryReader> reader;
     RABITQ_RETURN_IF_ERROR(BinaryReader::Open(ManifestPath(path), &reader));
-    RABITQ_RETURN_IF_ERROR(
-        ExpectHeader(reader.get(), kManifestMagic, kManifestVersion));
+    std::size_t format = 0;
+    RABITQ_RETURN_IF_ERROR(ExpectHeaderOneOf(reader.get(), kManifestMagics,
+                                             kManifestVersions,
+                                             std::size(kManifestMagics),
+                                             &format));
+    if (kManifestVersions[format] >= kManifestVersionV2) {
+      // Validated before anything else is read -- a corrupt metric fails
+      // closed without touching the (much larger) shard blobs.
+      std::uint32_t metric_raw = 0;
+      RABITQ_RETURN_IF_ERROR(reader->ReadU32(&metric_raw));
+      if (metric_raw > kMaxMetricValue) {
+        return Status::IoError("corrupt manifest metric");
+      }
+      manifest_metric = static_cast<Metric>(metric_raw);
+    }
+    RABITQ_RETURN_IF_ERROR(ValidateMetric(manifest_metric));
     RABITQ_RETURN_IF_ERROR(reader->ReadU64(&num_shards));
     if (num_shards == 0 || num_shards > kMaxShards) {
       return Status::IoError("corrupt shard count");
@@ -494,6 +546,9 @@ Status ShardedIndex::Load(const std::string& path) {
   for (std::uint64_t s = 0; s < num_shards; ++s) {
     if (shards[s]->dim() != dim) {
       return Status::IoError("shard dim mismatch with manifest");
+    }
+    if (shards[s]->metric() != manifest_metric) {
+      return Status::IoError("shard metric mismatch with manifest");
     }
     if (shards[s]->size() != maps[s].size()) {
       return Status::IoError("shard size mismatch with manifest id map");

@@ -89,6 +89,7 @@ struct ShardedSearchScratch {
   std::vector<std::vector<Neighbor>> shard_results;
   std::vector<IvfSearchStats> shard_stats;
   std::vector<float> rotated_query;
+  std::vector<float> norm_query;  // cosine: unit-normalized query copy
   std::vector<MergeCand> cands;
 };
 
@@ -129,6 +130,11 @@ class ShardedIndex {
     return shards_.empty() ? 0 : shards_[0]->num_lists();
   }
   const RabitqEncoder& encoder() const { return shards_[0]->encoder(); }
+  /// Distance metric (all shards are configured identically; enforced on
+  /// Load against the manifest).
+  Metric metric() const {
+    return shards_.empty() ? Metric::kL2 : shards_[0]->metric();
+  }
 
   /// True iff `id` has no live entry (never assigned, pending, or deleted).
   bool IsDeleted(std::uint32_t id) const;
@@ -213,14 +219,16 @@ class ShardedIndex {
   Status Compact(float min_ratio = 0.0f, std::size_t min_dead = 1);
 
   /// Writes a sharded snapshot: `path` becomes a directory holding a
-  /// MANIFEST ("RBQSHRD1": shard count, id space, per-shard id maps) plus
-  /// one v2 ("RBQIVF02") blob per shard, written in parallel.
+  /// MANIFEST ("RBQSHRD2": metric, shard count, id space, per-shard id
+  /// maps) plus one v3 ("RBQIVF03") blob per shard, written in parallel.
   Status Save(const std::string& path) const;
 
   /// Restores a snapshot written by Save (shard blobs load in parallel).
-  /// A `path` that is a regular FILE is read as a single-file v1/v2
-  /// snapshot and loaded into a 1-shard configuration, so pre-sharding
-  /// snapshots keep working unchanged.
+  /// Legacy "RBQSHRD1" manifests (which predate non-L2 metrics) load as
+  /// kL2; every shard blob's metric must match the manifest's. A `path`
+  /// that is a regular FILE is read as a single-file snapshot and loaded
+  /// into a 1-shard configuration, so pre-sharding snapshots keep working
+  /// unchanged.
   Status Load(const std::string& path);
 
  private:

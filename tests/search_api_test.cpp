@@ -126,22 +126,37 @@ TEST_F(SearchApiTest, RequestErrorsReportThroughResponseStatus) {
 }
 
 TEST_F(SearchApiTest, MetricValidatedAtBuild) {
-  for (const Metric metric : {Metric::kInnerProduct, Metric::kCosine}) {
+  // Every declared metric builds; a value outside the enum fails closed.
+  for (const Metric metric :
+       {Metric::kL2, Metric::kInnerProduct, Metric::kCosine}) {
     IvfConfig ivf;
     ivf.num_lists = 16;
     ivf.metric = metric;
-    IvfRabitqIndex rejected;
-    const Status status = rejected.Build(data_, ivf, RabitqConfig{});
-    EXPECT_EQ(status.code(), StatusCode::kUnimplemented) << MetricName(metric);
+    IvfRabitqIndex built;
+    ASSERT_TRUE(built.Build(data_, ivf, RabitqConfig{}).ok())
+        << MetricName(metric);
+    EXPECT_EQ(built.metric(), metric);
   }
   EXPECT_EQ(index_.metric(), Metric::kL2);
+
+  IvfConfig bogus;
+  bogus.num_lists = 16;
+  bogus.metric = static_cast<Metric>(kMaxMetricValue + 1);
+  IvfRabitqIndex rejected;
+  EXPECT_EQ(rejected.Build(data_, bogus, RabitqConfig{}).code(),
+            StatusCode::kInvalidArgument);
 
   ShardedConfig sharded;
   sharded.num_shards = 2;
   sharded.ivf.num_lists = 8;
   sharded.ivf.metric = Metric::kInnerProduct;
-  ShardedIndex rejected;
-  EXPECT_EQ(rejected.Build(data_, sharded).code(), StatusCode::kUnimplemented);
+  ShardedIndex built;
+  ASSERT_TRUE(built.Build(data_, sharded).ok());
+  EXPECT_EQ(built.metric(), Metric::kInnerProduct);
+  sharded.ivf.metric = static_cast<Metric>(kMaxMetricValue + 1);
+  ShardedIndex sharded_rejected;
+  EXPECT_EQ(sharded_rejected.Build(data_, sharded).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST_F(SearchApiTest, MetricSurvivesSnapshotRoundTrip) {

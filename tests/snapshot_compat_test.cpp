@@ -1,7 +1,11 @@
 // Snapshot format compatibility: the committed v1 golden file (written by
-// the pre-lifecycle code, magic "RBQIVF01") must keep loading, and the v2
-// format ("RBQIVF02") must round-trip a mutated index -- tombstones, stale
-// update entries and all -- with bit-identical search results.
+// the pre-lifecycle code, magic "RBQIVF01") and v2 golden file (written by
+// the pre-metric code, "RBQIVF02") must keep loading -- both as kL2 -- and
+// the current v3 format ("RBQIVF03", which persists the metric and per-code
+// norms) must round-trip a mutated index -- tombstones, stale update
+// entries and all -- with bit-identical search results. The v3 metric byte
+// (offset 12) is fuzzed explicitly: in-range values load with that metric,
+// out-of-range values fail closed before the rotator rebuild.
 
 #include <gtest/gtest.h>
 
@@ -66,9 +70,10 @@ TEST(SnapshotCompatTest, V1GoldenFileLoads) {
   EXPECT_EQ(index.dim(), kGoldenDim);
   EXPECT_EQ(index.num_lists(), kGoldenLists);
   EXPECT_EQ(index.encoder().total_bits(), kGoldenBits);
-  // v1 predates tombstones: everything is live.
+  // v1 predates tombstones and metrics: everything is live, metric is L2.
   EXPECT_EQ(index.live_size(), kGoldenN);
   EXPECT_EQ(index.num_tombstones(), 0u);
+  EXPECT_EQ(index.metric(), Metric::kL2);
 
   // Every id is live in exactly one list, and a full-probe self-search
   // finds each sampled vector at distance ~0.
@@ -90,7 +95,33 @@ TEST(SnapshotCompatTest, V1GoldenFileLoads) {
   }
 }
 
-TEST(SnapshotCompatTest, V1GoldenSurvivesV2RoundTripBitIdentically) {
+// The v2 golden file (pre-metric writer) loads as kL2 with bit-identical
+// search results to the v1 golden over the same generator data.
+TEST(SnapshotCompatTest, V2GoldenFileLoadsAsL2) {
+  IvfRabitqIndex v2;
+  const std::string golden =
+      std::string(RABITQ_TEST_DATA_DIR) + "/golden_v2.rbq";
+  ASSERT_TRUE(v2.Load(golden).ok()) << "cannot load v2 golden " << golden;
+  EXPECT_EQ(v2.size(), kGoldenN);
+  EXPECT_EQ(v2.dim(), kGoldenDim);
+  EXPECT_EQ(v2.num_lists(), kGoldenLists);
+  EXPECT_EQ(v2.metric(), Metric::kL2);
+  EXPECT_EQ(v2.num_tombstones(), 0u);
+
+  IvfRabitqIndex v1;
+  ASSERT_TRUE(
+      v1.Load(std::string(RABITQ_TEST_DATA_DIR) + "/golden_v1.rbq").ok());
+  IvfSearchParams params;
+  params.k = 10;
+  params.nprobe = 4;
+  const auto want = SearchAll(v1, params);
+  const auto got = SearchAll(v2, params);
+  for (std::size_t q = 0; q < want.size(); ++q) {
+    ExpectSameNeighbors(want[q], got[q]);
+  }
+}
+
+TEST(SnapshotCompatTest, V1GoldenSurvivesCurrentRoundTripBitIdentically) {
   IvfRabitqIndex v1;
   ASSERT_TRUE(
       v1.Load(std::string(RABITQ_TEST_DATA_DIR) + "/golden_v1.rbq").ok());
@@ -99,11 +130,12 @@ TEST(SnapshotCompatTest, V1GoldenSurvivesV2RoundTripBitIdentically) {
   params.nprobe = 4;
   const auto before = SearchAll(v1, params);
 
-  const std::string path = TempPath("golden_as_v2.rbq");
-  ASSERT_TRUE(v1.Save(path).ok());  // rewrites in the current (v2) format
-  IvfRabitqIndex v2;
-  ASSERT_TRUE(v2.Load(path).ok());
-  const auto after = SearchAll(v2, params);
+  const std::string path = TempPath("golden_as_v3.rbq");
+  ASSERT_TRUE(v1.Save(path).ok());  // rewrites in the current (v3) format
+  IvfRabitqIndex v3;
+  ASSERT_TRUE(v3.Load(path).ok());
+  EXPECT_EQ(v3.metric(), Metric::kL2);
+  const auto after = SearchAll(v3, params);
   for (std::size_t q = 0; q < before.size(); ++q) {
     ExpectSameNeighbors(before[q], after[q]);
   }
@@ -341,6 +373,51 @@ TEST(SnapshotFuzzTest, V2BitFlipsNeverCrashAndHeaderFlipsFailClosed) {
     } else if (status.ok()) {
       ExpectLoadedIndexIsConsistent(loaded);
     }
+  }
+  std::remove(path.c_str());
+  std::remove(mutant.c_str());
+}
+
+// The v3 metric field (u32 at offset 12, right after magic + version) is
+// the headline bugfix surface: every in-range value loads an index SERVING
+// that metric (the factors are recomputed from the stored norms, so the
+// index stays self-consistent), every out-of-range value is rejected --
+// BEFORE the O(B^3) rotator rebuild ever runs.
+TEST(SnapshotFuzzTest, V3MetricByteInRangeLoadsOutOfRangeFailsClosed) {
+  const std::string path = TempPath("fuzz_metric.rbq");
+  ASSERT_TRUE(BuildMutatedIndex().Save(path).ok());
+  const std::vector<unsigned char> bytes = ReadFileBytes(path);
+  constexpr std::size_t kMetricOffset = 12;  // magic(8) + version(4)
+  ASSERT_EQ(bytes[kMetricOffset], 0u) << "golden writer saved non-L2?";
+
+  const std::string mutant = TempPath("fuzz_metric_mutant.rbq");
+  const Metric kWant[] = {Metric::kL2, Metric::kInnerProduct, Metric::kCosine};
+  for (std::uint32_t value = 0; value <= kMaxMetricValue; ++value) {
+    std::vector<unsigned char> patched = bytes;
+    patched[kMetricOffset] = static_cast<unsigned char>(value);
+    WriteFileBytes(mutant, patched);
+    IvfRabitqIndex loaded;
+    ASSERT_TRUE(loaded.Load(mutant).ok()) << "metric value " << value;
+    EXPECT_EQ(loaded.metric(), kWant[value]);
+    ExpectLoadedIndexIsConsistent(loaded);
+  }
+  for (const std::uint32_t value :
+       {kMaxMetricValue + 1, std::uint32_t{17}, std::uint32_t{255}}) {
+    std::vector<unsigned char> patched = bytes;
+    patched[kMetricOffset] = static_cast<unsigned char>(value);
+    WriteFileBytes(mutant, patched);
+    IvfRabitqIndex loaded;
+    EXPECT_FALSE(loaded.Load(mutant).ok())
+        << "out-of-range metric " << value << " loaded";
+  }
+  // High bytes of the u32 too: any of them non-zero is out of range.
+  for (std::size_t byte = 1; byte < 4; ++byte) {
+    std::vector<unsigned char> patched = bytes;
+    patched[kMetricOffset + byte] = 1;
+    WriteFileBytes(mutant, patched);
+    IvfRabitqIndex loaded;
+    EXPECT_FALSE(loaded.Load(mutant).ok())
+        << "metric high byte " << byte << " loaded";
   }
   std::remove(path.c_str());
   std::remove(mutant.c_str());
