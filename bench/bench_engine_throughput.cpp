@@ -294,6 +294,79 @@ int Run(int argc, char** argv) {
   }
   std::remove(tmp_path);
 
+  // ---- Bits-per-dim ablation: the multi-bit code path (B in {1,2,4,8})
+  // across an nprobe sweep, batched engine at max threads, under three
+  // settings per width:
+  //   * kErrorBound at the paper's eps0 = 1.9 -- the two-stage scan
+  //     (sign-plane prune, survivors refined with the B-bit estimate)
+  //     feeding exact re-rank; the refined bound prunes more, so
+  //     candidates_reranked drops with B at a small recall cost (two
+  //     pruning stages, two chances for a bound violation);
+  //   * kErrorBound at eps0 = 2.5 -- the setting the tighter multi-bit
+  //     half-width buys: a more conservative confidence level recovers the
+  //     violation-pruned recall while still re-ranking far fewer
+  //     candidates than B = 1, which is where B > 1 takes the
+  //     recall-vs-QPS frontier at equal recall >= 0.95;
+  //   * kNone -- rank by the B-bit estimate alone, no exact re-rank
+  //     (recall tracks estimate quality: the 1-bit estimate saturates
+  //     under 0.5 here, the 8-bit estimate near the query-quantization
+  //     ceiling).
+  struct AblationSetting {
+    RerankPolicy policy;
+    float eps0;  // epsilon0_override; -1 keeps the config default (1.9)
+    const char* tag;
+  };
+  constexpr AblationSetting kAblationSettings[] = {
+      {RerankPolicy::kErrorBound, -1.0f, "error_bound"},
+      {RerankPolicy::kErrorBound, 2.5f, "error_bound_eps2.5"},
+      {RerankPolicy::kNone, -1.0f, "none"},
+  };
+  for (const std::size_t bits : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{4}, std::size_t{8}}) {
+    IvfConfig bits_ivf;
+    bits_ivf.num_lists = 256;
+    RabitqConfig bits_rabitq;
+    bits_rabitq.bits_per_dim = bits;
+    IvfRabitqIndex bits_index;
+    CheckOk(bits_index.Build(data, bits_ivf, bits_rabitq), "bits Build");
+    EngineConfig config;
+    config.num_threads = max_threads;
+    SearchEngine engine(std::move(bits_index), config);
+    for (const AblationSetting& setting : kAblationSettings) {
+      for (const std::size_t nprobe : {std::size_t{4}, std::size_t{8},
+                                       std::size_t{16}, std::size_t{32}}) {
+        IvfSearchParams bparams = params;
+        bparams.policy = setting.policy;
+        bparams.epsilon0_override = setting.eps0;
+        bparams.nprobe = nprobe;
+        engine.ResetStats();
+        std::vector<std::vector<Neighbor>> all(num_queries);
+        WallTimer timer;
+        for (std::size_t r = 0; r < repeat; ++r) {
+          for (std::size_t begin = 0; begin < num_queries; begin += 32) {
+            const std::size_t count =
+                std::min<std::size_t>(32, num_queries - begin);
+            RunRequestBatch(&engine, queries, begin, count, bparams,
+                            IdFilter{}, &all);
+          }
+        }
+        const double seconds = timer.ElapsedSeconds();
+        const EngineStatsSnapshot stats = engine.Stats();
+        std::printf(",\n  {\"mode\":\"bits_ablation\",\"bits\":%zu,"
+                    "\"policy\":\"%s\",\"threads\":%zu,\"nprobe\":%zu,"
+                    "\"qps\":%.1f,\"recall\":%.4f,\"codes_refined\":%llu,"
+                    "\"candidates_reranked\":%llu}",
+                    bits, setting.tag, max_threads, nprobe,
+                    static_cast<double>(num_queries * repeat) /
+                        std::max(seconds, 1e-9),
+                    RecallOf(gt, all, params.k),
+                    static_cast<unsigned long long>(stats.codes_refined),
+                    static_cast<unsigned long long>(
+                        stats.candidates_reranked));
+      }
+    }
+  }
+
   // ---- Inner-product serving: the same vectors and queries scored under
   // Metric::kInnerProduct (halved cross factor, IP error half-width, exact
   // -<a,q> re-rank). Sequential vs batched engine at max threads, recall

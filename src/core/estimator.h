@@ -116,6 +116,63 @@ std::uint32_t EstimateBlockFusedPrunedScalar(
     float prune_threshold, const std::uint8_t* dead, float* dist_sq,
     float* lower_bounds, std::uint32_t lane_mask = 0xFFFFFFFFu);
 
+// --- Multi-bit refine kernels (stores with bits_per_dim > 1) --------------
+//
+// Stage 2 of the two-stage error-bound scan: the 1-bit kernels above prune
+// with the sign plane, then the survivors are re-estimated from the full
+// B_d-bit code. With x-bar_i = m_alpha * u_i + m_beta (see rabitq.h) the
+// assembly is
+//   <x-bar, q-bar> = m_alpha * (step * S + lo * sum(u)) + m_beta * kq,
+//   S = sum_j 2^j <plane_j, q-bar_u>   (sign plane = MSB plane)
+// followed by the same cross/base/bound arithmetic as the 1-bit lane, using
+// the tighter m_inv_oo / m_err factors. Fused AVX2 and scalar reference
+// follow the 1-bit discipline: identical operation order per lane, so they
+// agree bit-for-bit with each other and with the single-code path (tested).
+
+/// Weighted bitwise dot for a multi-bit code: S = sum_j 2^j <plane_j, qu>,
+/// the sign plane contributing 2^(bits_per_dim - 1).
+std::uint32_t BitwiseDotQueryMulti(const QuantizedQuery& query,
+                                   const RabitqCodeStore& store,
+                                   std::size_t i);
+
+/// Full single-code multi-bit estimate; requires store.bits_per_dim() > 1.
+/// Bit-identical to the fused block kernels at the same code.
+DistanceEstimate EstimateDistanceMulti(const QuantizedQuery& query,
+                                       const RabitqCodeStore& store,
+                                       std::size_t i, float epsilon0);
+
+/// Accumulates the weighted multi-bit LUT sums S for one packed block into
+/// `multi_sums` (kFastScanBlockSize entries): `sign_sums` are the sign-plane
+/// sums the stage-1 scan already produced (reused, not recomputed), the
+/// extra planes are accumulated here. Requires query.has_exact_luts and a
+/// finalized store with bits_per_dim() > 1.
+void AccumulateMultiBlockSums(const QuantizedQuery& query,
+                              const RabitqCodeStore& store, std::size_t block,
+                              const std::uint32_t* sign_sums,
+                              std::uint32_t* multi_sums);
+
+/// Stage-2 refine over one block: assembles the multi-bit estimate and
+/// lower bound for the lanes set in `candidate_mask` (stage-1 survivors)
+/// and returns the refined survivors mask -- candidate lanes whose
+/// multi-bit lower bound does not exceed `prune_threshold` (same strict >,
+/// same +inf no-prune sentinel as EstimateBlockFusedPruned). Outputs at
+/// lanes outside `candidate_mask` are unspecified (the SIMD path may write
+/// whole 8-lane groups, and skips groups with no candidates entirely).
+std::uint32_t EstimateBlockMultiPruned(const QuantizedQuery& query,
+                                       const RabitqCodeStore& store,
+                                       std::size_t block,
+                                       const std::uint32_t* multi_sums,
+                                       float epsilon0, float prune_threshold,
+                                       std::uint32_t candidate_mask,
+                                       float* dist_sq, float* lower_bounds);
+
+/// Bit-exact scalar reference for EstimateBlockMultiPruned.
+std::uint32_t EstimateBlockMultiPrunedScalar(
+    const QuantizedQuery& query, const RabitqCodeStore& store,
+    std::size_t block, const std::uint32_t* multi_sums, float epsilon0,
+    float prune_threshold, std::uint32_t candidate_mask, float* dist_sq,
+    float* lower_bounds);
+
 /// Software-prefetches block `block`'s packed codes and factor arrays into
 /// cache; no-op past the last block. The block scan loops (EstimateAll, the
 /// IVF fused selection loop) call this one block ahead so the next block's
@@ -126,6 +183,15 @@ void PrefetchBlockData(const RabitqCodeStore& store, std::size_t block);
 /// (and `lower_bounds` if non-null) must hold store.size() floats.
 void EstimateAll(const QuantizedQuery& query, const RabitqCodeStore& store,
                  float epsilon0, float* dist_sq, float* lower_bounds);
+
+/// Multi-bit analogue of EstimateAll: every code estimated from its full
+/// B_d-bit planes, no pruning (+inf threshold, all-lanes candidate mask).
+/// Bit-identical per code to EstimateDistanceMulti. Both output buffers
+/// must be non-null (the block kernel always assembles the bound) and hold
+/// store.size() floats. Requires store.bits_per_dim() > 1.
+void EstimateAllMulti(const QuantizedQuery& query,
+                      const RabitqCodeStore& store, float epsilon0,
+                      float* dist_sq, float* lower_bounds);
 
 }  // namespace rabitq
 

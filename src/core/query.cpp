@@ -20,6 +20,7 @@ void FillDegenerate(std::size_t b, QuantizedQuery* out) {
   out->luts.assign((b / 4) * 16, 0);
   out->has_exact_luts = true;
   out->lo = out->step = out->ip_scale = out->pop_scale = out->bias = 0.0f;
+  out->kq = 0.0f;
   out->sum_qu = 0;
 }
 
@@ -51,6 +52,8 @@ Status QuantizeRotatedUnit(const float* q_prime, std::size_t b, Rng* rng,
   out->pop_scale = 2.0f * out->lo / sqrt_b;
   out->bias = -out->step / sqrt_b * static_cast<float>(out->sum_qu) -
               sqrt_b * out->lo;
+  out->kq = out->step * static_cast<float>(out->sum_qu) +
+            static_cast<float>(b) * out->lo;
 
   // Bit planes: plane j, bit i = j-th bit of qu[i] (Eq. 22).
   out->bit_planes.assign(

@@ -51,6 +51,14 @@ struct QuantizedQuery {
   float pop_scale = 0.0f;  // 2*v_l/sqrt(B)
   float bias = 0.0f;       // -Delta/sqrt(B)*sum_qu - sqrt(B)*v_l
 
+  // Multi-bit assembly companion (codes with bits_per_dim > 1): with
+  // x-bar_i = m_alpha * u_i + m_beta,
+  //   <x-bar, q-bar> = m_alpha * (step * S + lo * sum(u)) + m_beta * kq
+  // where S = sum_i u_i * qu_i (accumulated from the code's bit planes) and
+  //   kq = step * sum_qu + B * lo
+  // is the only query-side scalar the refine kernel needs beyond (step, lo).
+  float kq = 0.0f;
+
   // Bitwise single-code path: B_q planes of B bits each (Eq. 22).
   AlignedVector<std::uint64_t> bit_planes;
 

@@ -8,8 +8,9 @@
 namespace rabitq {
 
 void RabitqCodeStore::Append(const std::uint64_t* bits, float dist_to_centroid,
-                             float o_o, std::uint32_t bit_count,
-                             float norm_sq) {
+                             float o_o, std::uint32_t bit_count, float norm_sq,
+                             const std::uint64_t* extra_planes, float m_o_o,
+                             float m_alpha, float m_beta, float m_code_sum) {
   bits_.insert(bits_.end(), bits, bits + words_per_code_);
   dist_to_centroid_.push_back(dist_to_centroid);
   o_o_.push_back(o_o);
@@ -33,6 +34,29 @@ void RabitqCodeStore::Append(const std::uint64_t* bits, float dist_to_centroid,
   const float o_sq = std::max(o_c * o_c, 1e-12f);
   f_err_.push_back(std::sqrt((1.0f - o_sq) / o_sq) /
                    std::sqrt(static_cast<float>(total_bits_ - 1)));
+  if (bits_per_dim_ > 1) {
+    const std::size_t extra_words = extra_words_per_code();
+    if (extra_planes != nullptr) {
+      extra_bits_.insert(extra_bits_.end(), extra_planes,
+                         extra_planes + extra_words);
+    } else {
+      extra_bits_.resize(extra_bits_.size() + extra_words, 0);
+    }
+    m_o_o_.push_back(m_o_o);
+    m_alpha_.push_back(m_alpha);
+    m_beta_.push_back(m_beta);
+    m_code_sum_.push_back(m_code_sum);
+    // Same derivation as f_inv_oo / f_err, just against the tighter
+    // multi-bit <x-bar, o'>: the bound's query-invariant part shrinks as
+    // the grid refines.
+    const float mo_c = std::max(m_o_o, 1e-9f);
+    m_inv_oo_.push_back(1.0f / mo_c);
+    const float mo_sq = std::max(mo_c * mo_c, 1e-12f);
+    // At 8 bits <x-bar, o'> sits so close to 1 that rounding could nudge
+    // mo_sq past it; clamp the numerator so the half-width stays 0, not NaN.
+    m_err_.push_back(std::sqrt(std::max(1.0f - mo_sq, 0.0f) / mo_sq) /
+                     std::sqrt(static_cast<float>(total_bits_ - 1)));
+  }
 }
 
 void RabitqCodeStore::Finalize() {
@@ -47,6 +71,19 @@ void RabitqCodeStore::Finalize() {
     }
   }
   PackFastScanCodes(nibbles.data(), n, num_segments, &packed_);
+  // Each extra plane gets its own packing so the stage-2 refine can reuse
+  // the 1-bit LUT accumulator verbatim, one pass per plane.
+  for (std::size_t j = 0; j + 1 < bits_per_dim_; ++j) {
+    const std::size_t extra_words = extra_words_per_code();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t* plane =
+          extra_bits_.data() + i * extra_words + j * words_per_code_;
+      for (std::size_t t = 0; t < num_segments; ++t) {
+        nibbles[i * num_segments + t] = GetNibble(plane, t);
+      }
+    }
+    PackFastScanCodes(nibbles.data(), n, num_segments, &extra_packed_[j]);
+  }
 }
 
 void RabitqCodeStore::FinalizeAppend() {
@@ -60,38 +97,52 @@ void RabitqCodeStore::FinalizeAppend() {
   const std::size_t i = n - 1;
   const std::size_t block = i / kFastScanBlockSize;
   const std::size_t slot = i % kFastScanBlockSize;
-  if (block >= packed_.num_blocks) {
-    packed_.num_segments = num_segments;
-    packed_.num_blocks = block + 1;
-    // Tail slots of the new block start zero-filled, as PackFastScanCodes
-    // leaves them.
-    packed_.packed.resize(packed_.num_blocks * num_segments * 16, 0);
+  const auto write_slot = [&](FastScanCodes* dst, const std::uint64_t* code) {
+    if (block >= dst->num_blocks) {
+      dst->num_segments = num_segments;
+      dst->num_blocks = block + 1;
+      // Tail slots of the new block start zero-filled, as PackFastScanCodes
+      // leaves them.
+      dst->packed.resize(dst->num_blocks * num_segments * 16, 0);
+    }
+    std::uint8_t* block_ptr = dst->packed.data() + block * num_segments * 16;
+    for (std::size_t t = 0; t < num_segments; ++t) {
+      const std::uint8_t nibble = GetNibble(code, t);
+      std::uint8_t& byte = block_ptr[t * 16 + (slot & 15)];
+      byte = slot < 16
+                 ? static_cast<std::uint8_t>((byte & 0xF0) | nibble)
+                 : static_cast<std::uint8_t>((byte & 0x0F) | (nibble << 4));
+    }
+    dst->num_vectors = n;
+  };
+  write_slot(&packed_, BitsAt(i));
+  for (std::size_t j = 0; j + 1 < bits_per_dim_; ++j) {
+    write_slot(&extra_packed_[j],
+               ExtraPlanesAt(i) + j * words_per_code_);
   }
-  const std::uint64_t* code = BitsAt(i);
-  std::uint8_t* block_ptr = packed_.packed.data() + block * num_segments * 16;
-  for (std::size_t t = 0; t < num_segments; ++t) {
-    const std::uint8_t nibble = GetNibble(code, t);
-    std::uint8_t& byte = block_ptr[t * 16 + (slot & 15)];
-    byte = slot < 16 ? static_cast<std::uint8_t>((byte & 0xF0) | nibble)
-                     : static_cast<std::uint8_t>((byte & 0x0F) | (nibble << 4));
-  }
-  packed_.num_vectors = n;
 }
 
 void RabitqCodeStore::CompactInto(const std::uint8_t* dead,
                                   RabitqCodeStore* out) const {
-  out->Init(total_bits_, metric_);
+  out->Init(total_bits_, metric_, bits_per_dim_);
   const std::size_t n = size();
   std::size_t live = 0;
   for (std::size_t i = 0; i < n; ++i) live += dead[i] == 0;
   out->Reserve(live);
+  const bool multi = bits_per_dim_ > 1;
   for (std::size_t i = 0; i < n; ++i) {
     if (dead[i]) continue;
     // Append recomputes the derived factors from the same (dist, o_o,
     // norm_sq) floats -- a pure function, so the compacted store's factors
     // are bit-identical to the originals (tested).
-    out->Append(BitsAt(i), dist_to_centroid_[i], o_o_[i], bit_count_[i],
-                norm_sq_[i]);
+    if (multi) {
+      out->Append(BitsAt(i), dist_to_centroid_[i], o_o_[i], bit_count_[i],
+                  norm_sq_[i], ExtraPlanesAt(i), m_o_o_[i], m_alpha_[i],
+                  m_beta_[i], m_code_sum_[i]);
+    } else {
+      out->Append(BitsAt(i), dist_to_centroid_[i], o_o_[i], bit_count_[i],
+                  norm_sq_[i]);
+    }
   }
   if (out->size() > 0) out->Finalize();
 }
@@ -103,6 +154,10 @@ Status RabitqEncoder::Init(std::size_t dim, const RabitqConfig& config) {
   }
   if (config.epsilon0 < 0.0f) {
     return Status::InvalidArgument("epsilon0 must be non-negative");
+  }
+  if (config.bits_per_dim != 1 && config.bits_per_dim != 2 &&
+      config.bits_per_dim != 4 && config.bits_per_dim != 8) {
+    return Status::InvalidArgument("bits_per_dim must be 1, 2, 4 or 8");
   }
   config_ = config;
   dim_ = dim;
@@ -126,6 +181,9 @@ Status RabitqEncoder::EncodeAppend(const float* vec, const float* centroid,
   if (store->total_bits() != total_bits_) {
     return Status::FailedPrecondition("store bit width mismatch");
   }
+  if (store->bits_per_dim() != config_.bits_per_dim) {
+    return Status::FailedPrecondition("store bits_per_dim mismatch");
+  }
   const std::size_t b = total_bits_;
   const std::size_t words = WordsForBits(b);
 
@@ -143,11 +201,14 @@ Status RabitqEncoder::EncodeAppend(const float* vec, const float* centroid,
   }
   const float dist = Norm(residual.data(), dim_);
   std::vector<std::uint64_t> bits(words, 0);
+  const std::size_t bpd = config_.bits_per_dim;
   if (dist == 0.0f) {
     // Residual-free vector: the estimator short-circuits on
     // dist_to_centroid == 0 (kL2) or zeroes the cross term (IP/cosine), so
     // the code content is irrelevant; o_o = 1 keeps downstream arithmetic
-    // finite.
+    // finite. Under a multi-bit width the all-zero extra planes (u = 0,
+    // alpha = beta = 0) make the refine stage assemble the same
+    // short-circuit values.
     store->Append(bits.data(), 0.0f, 1.0f, 0, norm_sq);
     return Status::Ok();
   }
@@ -167,7 +228,59 @@ Status RabitqEncoder::EncodeAppend(const float* vec, const float* centroid,
     }
   }
   const float o_o = l1 / std::sqrt(static_cast<float>(b));
-  store->Append(bits.data(), dist, o_o, ones, norm_sq);
+  if (bpd == 1) {
+    store->Append(bits.data(), dist, o_o, ones, norm_sq);
+    return Status::Ok();
+  }
+
+  // Multi-bit grid (see rabitq.h): symmetric uniform over [-m, m], split at
+  // zero so u's MSB is forced to the sign bit computed above -- the branch
+  // below quantizes each half-range separately, which both guarantees the
+  // plane identity under float rounding and equals the ideal
+  // floor((o' + m) / delta) grid away from the sign boundary.
+  float m = 0.0f;
+  for (std::size_t i = 0; i < b; ++i) m = std::max(m, std::fabs(rotated[i]));
+  const std::uint32_t levels = 1u << bpd;
+  const std::uint32_t half = levels >> 1;
+  const float delta = 2.0f * m / static_cast<float>(levels);
+  const float lo = -m;
+  std::vector<std::uint8_t> u(b);
+  double rec_norm_sq = 0.0;
+  double rec_dot = 0.0;
+  std::uint32_t code_sum = 0;
+  for (std::size_t i = 0; i < b; ++i) {
+    std::uint32_t q;
+    if (rotated[i] >= 0.0f) {
+      const float t = std::floor(rotated[i] / delta);
+      q = half + std::min(static_cast<std::uint32_t>(std::max(t, 0.0f)),
+                          half - 1);
+    } else {
+      const float t = std::floor((rotated[i] + m) / delta);
+      q = std::min(static_cast<std::uint32_t>(std::max(t, 0.0f)), half - 1);
+    }
+    u[i] = static_cast<std::uint8_t>(q);
+    code_sum += q;
+    const double rec = static_cast<double>(lo) +
+                       (static_cast<double>(q) + 0.5) *
+                           static_cast<double>(delta);
+    rec_norm_sq += rec * rec;
+    rec_dot += rec * static_cast<double>(rotated[i]);
+  }
+  const float rec_norm =
+      std::sqrt(std::max(static_cast<float>(rec_norm_sq), 1e-30f));
+  const float m_alpha = delta / rec_norm;
+  const float m_beta = (lo + 0.5f * delta) / rec_norm;
+  const float m_o_o = static_cast<float>(rec_dot) / rec_norm;
+
+  std::vector<std::uint64_t> extra((bpd - 1) * words, 0);
+  for (std::size_t j = 0; j + 1 < bpd; ++j) {
+    std::uint64_t* plane = extra.data() + j * words;
+    for (std::size_t i = 0; i < b; ++i) {
+      if ((u[i] >> j) & 1u) SetBit(plane, i);
+    }
+  }
+  store->Append(bits.data(), dist, o_o, ones, norm_sq, extra.data(), m_o_o,
+                m_alpha, m_beta, static_cast<float>(code_sum));
   return Status::Ok();
 }
 

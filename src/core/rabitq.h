@@ -30,6 +30,25 @@
 //             IP-analogue half-width: err(-<o,q>) = d_o d_q err(<u,v>).)
 // Codes live in an SoA store that also keeps the packed fast-scan layout for
 // the batch estimator.
+//
+// MULTI-BIT CODES (bits_per_dim B_d in {1, 2, 4, 8}): each rotated residual
+// entry o'_i is quantized onto a symmetric uniform grid of 2^B_d levels over
+// [-m, m] with m = max_i |o'_i|:
+//   delta = 2m / 2^B_d,  u_i in [0, 2^B_d),  rec_i = -m + (u_i + 0.5) delta
+//   x-bar = rec / ||rec||  =>  x-bar_i = m_alpha * u_i + m_beta  with
+//   m_alpha = delta / ||rec||,  m_beta = (-m + 0.5 delta) / ||rec||
+// The grid is sign-split so the MSB plane of u IS the 1-bit sign code:
+// u_i >= 2^(B_d - 1) iff o'_i >= 0. The sign plane therefore keeps living in
+// bits_ (1-bit estimates, goldens and the stage-1 scan are unchanged for any
+// B_d) and only the B_d - 1 low planes are stored extra, each with its own
+// fast-scan packing. Per-code multi factors:
+//   m_o_o      = <x-bar, o'>      (replaces ||o'||_1 / sqrt(B) of the 1-bit
+//                                  code -- tighter, so the Eq. 16 bound
+//                                  shrinks with B_d)
+//   m_code_sum = sum_i u_i        (pairs with the query's v_l term)
+// plus derived m_inv_oo / m_err computed in Append exactly like the 1-bit
+// f_inv_oo / f_err. B_d = 1 stores nothing extra and degenerates bit-for-bit
+// to the historical code path.
 
 #ifndef RABITQ_CORE_RABITQ_H_
 #define RABITQ_CORE_RABITQ_H_
@@ -59,6 +78,11 @@ struct RabitqConfig {
   /// Bits per entry of the quantized query (B_q, Section 3.3.1); 4 makes the
   /// scalar-quantization error negligible (Theorem 3.3, Section 5.2.5).
   int query_bits = 4;
+  /// Bits per (padded) dimension of the stored code: 1, 2, 4 or 8. 1 is the
+  /// paper's sign code; higher widths add low bit planes on the sign-split
+  /// uniform grid (see the header comment) and enable the two-stage
+  /// error-bound scan: the 1-bit plane prunes, the full-width code refines.
+  std::size_t bits_per_dim = 1;
   RotatorKind rotator = RotatorKind::kDense;
   std::uint64_t seed = 0x5A17B1D5EEDULL;
 };
@@ -85,11 +109,14 @@ class RabitqCodeStore {
   explicit RabitqCodeStore(std::size_t total_bits) { Init(total_bits); }
 
   /// `metric` selects the factor algebra baked in by Append (see the header
-  /// comment); it must match the owning index's metric.
-  void Init(std::size_t total_bits, Metric metric = Metric::kL2) {
+  /// comment); it must match the owning index's metric. `bits_per_dim`
+  /// must match the encoder feeding this store (1, 2, 4 or 8).
+  void Init(std::size_t total_bits, Metric metric = Metric::kL2,
+            std::size_t bits_per_dim = 1) {
     total_bits_ = total_bits;
     words_per_code_ = WordsForBits(total_bits);
     metric_ = metric;
+    bits_per_dim_ = bits_per_dim;
     Clear();
   }
 
@@ -103,7 +130,16 @@ class RabitqCodeStore {
     f_cross_.clear();
     f_inv_oo_.clear();
     f_err_.clear();
+    extra_bits_.clear();
+    m_o_o_.clear();
+    m_code_sum_.clear();
+    m_alpha_.clear();
+    m_beta_.clear();
+    m_inv_oo_.clear();
+    m_err_.clear();
     packed_ = FastScanCodes{};
+    extra_packed_.assign(bits_per_dim_ > 1 ? bits_per_dim_ - 1 : 0,
+                         FastScanCodes{});
   }
 
   void Reserve(std::size_t n) {
@@ -116,12 +152,27 @@ class RabitqCodeStore {
     f_cross_.reserve(n);
     f_inv_oo_.reserve(n);
     f_err_.reserve(n);
+    if (bits_per_dim_ > 1) {
+      extra_bits_.reserve(n * extra_words_per_code());
+      m_o_o_.reserve(n);
+      m_code_sum_.reserve(n);
+      m_alpha_.reserve(n);
+      m_beta_.reserve(n);
+      m_inv_oo_.reserve(n);
+      m_err_.reserve(n);
+    }
   }
 
   std::size_t size() const { return dist_to_centroid_.size(); }
   std::size_t total_bits() const { return total_bits_; }
   std::size_t words_per_code() const { return words_per_code_; }
   Metric metric() const { return metric_; }
+  std::size_t bits_per_dim() const { return bits_per_dim_; }
+  /// Words of extra (low) bit planes per code: (bits_per_dim - 1) planes of
+  /// words_per_code() words each, plane-major (plane j at offset j * words).
+  std::size_t extra_words_per_code() const {
+    return bits_per_dim_ > 1 ? (bits_per_dim_ - 1) * words_per_code_ : 0;
+  }
 
   RabitqCodeView View(std::size_t i) const {
     return RabitqCodeView{bits_.data() + i * words_per_code_,
@@ -148,17 +199,46 @@ class RabitqCodeStore {
   const float* f_inv_oo_data() const { return f_inv_oo_.data(); }
   const float* f_err_data() const { return f_err_.data(); }
 
+  // Multi-bit accessors; only meaningful when bits_per_dim() > 1 (the
+  // arrays stay empty otherwise).
+  const std::uint64_t* ExtraPlanesAt(std::size_t i) const {
+    return extra_bits_.data() + i * extra_words_per_code();
+  }
+  float m_o_o(std::size_t i) const { return m_o_o_[i]; }
+  float m_alpha(std::size_t i) const { return m_alpha_[i]; }
+  float m_beta(std::size_t i) const { return m_beta_[i]; }
+  float m_code_sum(std::size_t i) const { return m_code_sum_[i]; }
+  const float* m_alpha_data() const { return m_alpha_.data(); }
+  const float* m_beta_data() const { return m_beta_.data(); }
+  const float* m_code_sum_data() const { return m_code_sum_.data(); }
+  const float* m_inv_oo_data() const { return m_inv_oo_.data(); }
+  const float* m_err_data() const { return m_err_.data(); }
+  /// Packed fast-scan layout of extra plane j (0 <= j < bits_per_dim - 1).
+  const FastScanCodes& extra_packed(std::size_t j) const {
+    return extra_packed_[j];
+  }
+
   /// Appends a code; `bits` must hold words_per_code() words. The derived
   /// estimator factors are computed here under the store's metric -- every
   /// code-creation path (encode, single-vector append, compaction, snapshot
   /// load) funnels through this method, so factors can never go stale and
   /// snapshots never store them (Load recomputes them for free, every
   /// format version alike). `norm_sq` = ||o_r||^2 of the original vector;
-  /// it is stored (and persisted by snapshot v3) regardless of metric so a
+  /// it is stored (and persisted by snapshot v3+) regardless of metric so a
   /// metric switch never needs re-encoding, but only enters the factors
   /// under kInnerProduct / kCosine.
+  ///
+  /// When bits_per_dim() > 1 the multi-bit payload rides along:
+  /// `extra_planes` holds extra_words_per_code() words (nullptr appends
+  /// all-zero planes, the zero-residual case), and (m_o_o, m_alpha, m_beta,
+  /// m_code_sum) are the primary multi factors -- they depend on the rotated
+  /// residual, which is never stored, so unlike the derived factors they ARE
+  /// persisted (snapshot v4). m_inv_oo / m_err are derived from them here.
   void Append(const std::uint64_t* bits, float dist_to_centroid, float o_o,
-              std::uint32_t bit_count, float norm_sq = 0.0f);
+              std::uint32_t bit_count, float norm_sq = 0.0f,
+              const std::uint64_t* extra_planes = nullptr, float m_o_o = 1.0f,
+              float m_alpha = 0.0f, float m_beta = 0.0f,
+              float m_code_sum = 0.0f);
 
   /// Builds the packed fast-scan layout (4-bit nibbles of the bit strings).
   /// Call once after the last Append.
@@ -184,6 +264,7 @@ class RabitqCodeStore {
   std::size_t total_bits_ = 0;
   std::size_t words_per_code_ = 0;
   Metric metric_ = Metric::kL2;
+  std::size_t bits_per_dim_ = 1;
   AlignedVector<std::uint64_t> bits_;
   std::vector<float> dist_to_centroid_;
   std::vector<float> o_o_;
@@ -195,7 +276,17 @@ class RabitqCodeStore {
   AlignedVector<float> f_cross_;
   AlignedVector<float> f_inv_oo_;
   AlignedVector<float> f_err_;
+  // Multi-bit state (empty at bits_per_dim_ == 1): low bit planes, primary
+  // factors (persisted) and derived factors (recomputed in Append).
+  AlignedVector<std::uint64_t> extra_bits_;
+  std::vector<float> m_o_o_;
+  AlignedVector<float> m_code_sum_;
+  AlignedVector<float> m_alpha_;
+  AlignedVector<float> m_beta_;
+  AlignedVector<float> m_inv_oo_;
+  AlignedVector<float> m_err_;
   FastScanCodes packed_;
+  std::vector<FastScanCodes> extra_packed_;
 };
 
 /// Stateless-per-vector encoder; owns the rotator (the conceptual codebook:

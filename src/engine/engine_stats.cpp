@@ -44,6 +44,9 @@ EngineStatsCollector::EngineStatsCollector(obs::MetricsRegistry* registry)
       codes_filtered_(
           registry->GetCounter("rabitq_codes_filtered_total",
                                "Live codes excluded by IdFilters")),
+      codes_refined_(registry->GetCounter(
+          "rabitq_codes_refined_total",
+          "Stage-2 multi-bit refinements in the two-stage scan")),
       bound_violations_(registry->GetCounter(
           "rabitq_rerank_bound_violations_total",
           "Re-ranked candidates whose exact distance beat the eps0 bound")),
@@ -70,6 +73,7 @@ void EngineStatsCollector::RecordBatch(std::size_t batch_size,
   candidates_reranked_->Add(batch_stats.candidates_reranked);
   lists_probed_->Add(batch_stats.lists_probed);
   codes_filtered_->Add(batch_stats.codes_filtered);
+  codes_refined_->Add(batch_stats.codes_refined);
   bound_violations_->Add(batch_stats.rerank_bound_violations);
   health_samples_->Add(batch_stats.rerank_health_samples);
   if (batch_stats.rerank_signed_err_sum != 0.0) {
@@ -115,6 +119,7 @@ EngineStatsSnapshot EngineStatsCollector::Snapshot() const {
   snap.candidates_reranked = candidates_reranked_->Value();
   snap.lists_probed = lists_probed_->Value();
   snap.codes_filtered = codes_filtered_->Value();
+  snap.codes_refined = codes_refined_->Value();
   snap.rerank_bound_violations = bound_violations_->Value();
   snap.rerank_health_samples = health_samples_->Value();
   snap.eps0_violation_rate =

@@ -42,6 +42,9 @@ struct EngineStatsSnapshot {
   std::uint64_t candidates_reranked = 0;
   std::uint64_t lists_probed = 0;
   std::uint64_t codes_filtered = 0;  // excluded by per-query IdFilters
+  /// Stage-2 multi-bit refinements (bits_per_dim > 1 under kErrorBound);
+  /// 0 on a 1-bit index.
+  std::uint64_t codes_refined = 0;
 
   /// Seconds since construction or the last Reset() -- the rate window the
   /// qps above is computed over, so a post-warmup Reset() yields a QPS
@@ -55,7 +58,8 @@ struct EngineStatsSnapshot {
   double eps0_violation_rate = 0.0;
   /// Mean of (estimate - exact) / exact; ~0 iff the estimator is unbiased.
   double rerank_signed_err_mean = 0.0;
-  /// Mean of lower_bound / exact in (0, 1]; how tight the bound runs.
+  /// Mean of 1 - (exact - lower_bound) / |exact| in (0, 1]; how tight the
+  /// bound runs (1 = bound hugging the exact score).
   double rerank_bound_tightness_mean = 0.0;
 };
 
@@ -120,6 +124,7 @@ class EngineStatsCollector {
   obs::Counter* candidates_reranked_;
   obs::Counter* lists_probed_;
   obs::Counter* codes_filtered_;
+  obs::Counter* codes_refined_;
   obs::Counter* bound_violations_;
   obs::Counter* health_samples_;
   obs::FloatCounter* signed_err_sum_;

@@ -18,6 +18,7 @@ IvfSearchStats SumStats(const IvfSearchStats* stats, std::size_t n) {
     agg.candidates_reranked += stats[i].candidates_reranked;
     agg.lists_probed += stats[i].lists_probed;
     agg.codes_filtered += stats[i].codes_filtered;
+    agg.codes_refined += stats[i].codes_refined;
     agg.rerank_bound_violations += stats[i].rerank_bound_violations;
     agg.rerank_health_samples += stats[i].rerank_health_samples;
     agg.rerank_signed_err_sum += stats[i].rerank_signed_err_sum;
@@ -32,6 +33,7 @@ SearchEngine::SearchEngine(ShardedIndex index, const EngineConfig& config)
     : index_(std::move(index)),
       dim_(index_.dim()),
       metric_(index_.metric()),
+      bits_per_dim_(index_.encoder().config().bits_per_dim),
       config_(config),
       pool_(config.num_threads),
       worker_scratch_(pool_.num_threads()),

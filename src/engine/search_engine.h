@@ -123,6 +123,10 @@ class SearchEngine {
   /// Distance metric of the served index (cached at construction, same
   /// reasoning as dim()).
   Metric metric() const { return metric_; }
+  /// Bits per dimension of the served index's codes (cached at
+  /// construction, same reasoning as dim()). Widths > 1 run the two-stage
+  /// error-bound scan -- see EngineStatsSnapshot::codes_refined.
+  std::size_t bits_per_dim() const { return bits_per_dim_; }
   /// Current number of ids ever assigned (racy snapshot, safe anytime).
   std::size_t size() const;
   /// Current number of live (non-deleted) vectors (racy snapshot).
@@ -263,6 +267,7 @@ class SearchEngine {
   ShardedIndex index_;
   std::size_t dim_;
   Metric metric_;
+  std::size_t bits_per_dim_;
   EngineConfig config_;
   ThreadPool pool_;
 

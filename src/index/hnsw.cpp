@@ -10,7 +10,10 @@
 namespace rabitq {
 
 float HnswIndex::DistanceTo(const float* query, std::uint32_t id) const {
-  return L2SqrDistance(query, data_.Row(id), data_.cols());
+  // The configured metric, not hardcoded L2: an IP graph built with L2
+  // edges silently returns L2 neighbors no matter what the caller asked
+  // for. MetricDistance keeps scores ascending under both metrics.
+  return MetricDistance(config_.metric, data_.Row(id), query, data_.cols());
 }
 
 std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
@@ -52,7 +55,8 @@ std::vector<std::uint32_t> HnswIndex::SelectNeighbors(
     if (kept.size() >= m) break;
     bool dominated = false;
     for (const std::uint32_t other : kept) {
-      if (L2SqrDistance(data_.Row(id), data_.Row(other), data_.cols()) < dist) {
+      if (MetricDistance(config_.metric, data_.Row(id), data_.Row(other),
+                         data_.cols()) < dist) {
         dominated = true;
         break;
       }
@@ -73,6 +77,14 @@ std::vector<std::uint32_t> HnswIndex::SelectNeighbors(
 Status HnswIndex::Build(const Matrix& data, const HnswConfig& config) {
   if (data.rows() == 0) return Status::InvalidArgument("empty dataset");
   if (config.m < 2) return Status::InvalidArgument("m must be >= 2");
+  RABITQ_RETURN_IF_ERROR(ValidateMetric(config.metric));
+  // Fail closed rather than rank by magnitude: cosine needs normalized
+  // data, and this baseline ingests vectors as-is.
+  if (config.metric == Metric::kCosine) {
+    return Status::InvalidArgument(
+        "HnswIndex does not support kCosine (vectors are not normalized on "
+        "ingest); normalize the data and use kInnerProduct");
+  }
   data_ = data;
   config_ = config;
   nodes_.assign(data.rows(), Node{});

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/metric.h"
 #include "index/brute_force.h"
 #include "linalg/matrix.h"
 #include "util/status.h"
@@ -23,9 +24,16 @@ struct HnswConfig {
   std::size_t m = 16;
   std::size_t ef_construction = 200;
   std::uint64_t seed = 2024;
+  /// Distance space of the graph: kL2 or kInnerProduct (every edge and
+  /// search comparison goes through MetricDistance, so scores ascend under
+  /// both). kCosine is rejected at Build: this baseline does not normalize
+  /// on ingest, so silently treating cosine as IP would rank by magnitude.
+  Metric metric = Metric::kL2;
 };
 
-/// In-memory HNSW index over L2 distance.
+/// In-memory HNSW index in the configured metric space (see
+/// HnswConfig::metric; search scores are ascending-is-better, negated inner
+/// products under kInnerProduct).
 class HnswIndex {
  public:
   Status Build(const Matrix& data, const HnswConfig& config);

@@ -57,12 +57,13 @@ inline std::uint64_t NanosSince(TraceClock::time_point start) {
 // candidate (a tiny fraction of codes scanned) on top of a full exact
 // distance -- never a measurable hot-path cost.
 // Scores ascend under every metric (negated inner products for IP/cosine),
-// so "exact < lb" is a bound violation in the same sense everywhere. The
-// relative stats normalize by |exact|: identical to the historical /exact
-// for kL2 (squared distances are nonnegative), and the only normalization
-// that keeps IP/cosine samples -- whose scores are typically negative --
-// from being skipped or sign-flipped. Tightness stays lb/exact (same-sign
-// quantities), so ~1 still reads as "bound hugging the true score".
+// so "exact < lb" is a bound violation in the same sense everywhere. Both
+// relative stats normalize the GAP by |exact|: tightness is
+// 1 - (exact - lb)/|exact|, which equals the historical lb/exact whenever
+// exact > 0 (all of kL2) but keeps its "1 = bound hugging the true score,
+// smaller = slacker" reading when IP/cosine scores go negative -- dividing
+// lb by a signed exact there flipped the gauge's direction, reporting
+// slack bounds as tightness > 1 and tight bounds as < 1.
 inline void AccumulateRerankHealth(float est, float lb, float exact,
                                    IvfSearchStats* stats) {
   stats->rerank_bound_violations += exact < lb;
@@ -72,7 +73,7 @@ inline void AccumulateRerankHealth(float est, float lb, float exact,
     stats->rerank_signed_err_sum +=
         (static_cast<double>(est) - static_cast<double>(exact)) * inv;
     stats->rerank_tightness_sum +=
-        static_cast<double>(lb) / static_cast<double>(exact);
+        1.0 - (static_cast<double>(exact) - static_cast<double>(lb)) * inv;
   }
 }
 
@@ -160,7 +161,8 @@ Status IvfRabitqIndex::BuildFromClustering(const Matrix& data, Matrix centroids,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t l = begin; l < end; ++l) {
           List& list = lists_[l];
-          list.codes.Init(encoder_.total_bits(), metric_);
+          list.codes.Init(encoder_.total_bits(), metric_,
+                          encoder_.config().bits_per_dim);
           list.codes.Reserve(list.ids.size());
           for (const std::uint32_t id : list.ids) {
             const Status s = encoder_.EncodeAppend(data.Row(id),
@@ -336,6 +338,15 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
       kFastScanBlockSize;
   est_buf.resize(padded);
   lb_buf.resize(padded);
+  // Stage-2 scan of a multi-bit index: the two-stage refine needs the
+  // multi-bit lower bounds in their own buffer (stage 2 overwrites est_buf
+  // at candidate lanes, but the walk re-checks BOTH stages' bounds). The
+  // estimate-only policies need it too, as the batch kernel's mandatory
+  // bound output (the bounds themselves go unread there).
+  const bool multi_code = encoder_.config().bits_per_dim > 1;
+  const bool multi = need_bounds && multi_code;
+  std::vector<float>& mlb_buf = scratch->mlb_buf;
+  if (multi_code) mlb_buf.resize(padded);
 
   // Scan span = (list loop + result extraction) minus the re-rank time
   // accumulated inside; the two stages tile the post-preprocess pipeline.
@@ -412,6 +423,22 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
             qq, list.codes, block, sums, epsilon0, threshold,
             dead_base == nullptr ? nullptr : dead_base + begin,
             est_buf.data() + begin, lb_buf.data() + begin, allow_mask);
+        // Two-stage scan for multi-bit codes: the block above pruned with
+        // the cheap sign plane; its survivors are re-estimated from the
+        // full B_d-bit code (reusing the sign-plane sums) and pruned again
+        // against the same snapshot threshold. est_buf now holds the
+        // tighter stage-2 estimates at candidate lanes; mlb_buf their
+        // bounds, with lb_buf keeping the stage-1 bounds for the walk's
+        // live re-check of both stages.
+        if (multi && survivors != 0) {
+          local_stats.codes_refined +=
+              static_cast<std::size_t>(std::popcount(survivors));
+          std::uint32_t msums[kFastScanBlockSize];
+          AccumulateMultiBlockSums(qq, list.codes, block, sums, msums);
+          survivors = EstimateBlockMultiPruned(
+              qq, list.codes, block, msums, epsilon0, threshold, survivors,
+              est_buf.data() + begin, mlb_buf.data() + begin);
+        }
         const bool time_rerank = trace != nullptr && survivors != 0;
         if (time_rerank) span_start = TraceClock::now();
         while (survivors != 0) {
@@ -421,30 +448,50 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
           if (exact_heap.full() && lb_buf[i] > exact_heap.Threshold()) {
             continue;
           }
+          if (multi && exact_heap.full() &&
+              mlb_buf[i] > exact_heap.Threshold()) {
+            continue;
+          }
           const std::uint32_t id = list.ids[i];
           const float exact = MetricDistance(metric_, data_.Row(id), query, dim());
           exact_heap.Push(exact, id);
           ++local_stats.candidates_reranked;
-          AccumulateRerankHealth(est_buf[i], lb_buf[i], exact, &local_stats);
+          AccumulateRerankHealth(est_buf[i], multi ? mlb_buf[i] : lb_buf[i],
+                                 exact, &local_stats);
         }
         if (time_rerank) rerank_ns += NanosSince(span_start);
       }
       continue;
     }
 
+    // Estimate-only policies on a multi-bit index rank by the code's full
+    // width: the extra planes exist precisely so the estimate can stand in
+    // for the exact distance (kNone) or pick the rerank set (kFixed-
+    // Candidates), so the pool gets B_d-bit estimates, not the sign
+    // plane's. kErrorBound keeps its two-stage shape: sign-plane estimates
+    // here, per-survivor refinement below.
+    const bool refine_all =
+        multi_code && params.policy != RerankPolicy::kErrorBound;
     if (batch) {
-      EstimateAll(qq, list.codes, epsilon0, est_buf.data(),
-                  need_bounds ? lb_buf.data() : nullptr);
+      if (refine_all) {
+        EstimateAllMulti(qq, list.codes, epsilon0, est_buf.data(),
+                         mlb_buf.data());
+      } else {
+        EstimateAll(qq, list.codes, epsilon0, est_buf.data(),
+                    need_bounds ? lb_buf.data() : nullptr);
+      }
     } else {
       for (std::size_t i = 0; i < n; ++i) {
         const DistanceEstimate est =
-            EstimateDistance(qq, list.codes.View(i), epsilon0);
+            refine_all ? EstimateDistanceMulti(qq, list.codes, i, epsilon0)
+                       : EstimateDistance(qq, list.codes.View(i), epsilon0);
         est_buf[i] = est.dist_sq;
         // Match the batch path's need_bounds gating: policies that never
         // read lower bounds do not pay the stores.
         if (need_bounds) lb_buf[i] = est.lower_bound_sq;
       }
     }
+    if (refine_all) local_stats.codes_refined += n;
 
     switch (params.policy) {
       case RerankPolicy::kErrorBound:
@@ -462,11 +509,24 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
             continue;
           }
           if (exact_heap.full() && lb_buf[i] > exact_heap.Threshold()) continue;
+          float est = est_buf[i];
+          float lb = lb_buf[i];
+          // Stage 2 of the multi-bit scan, per entry: refine the stage-1
+          // survivor from the full B_d-bit code and give the tighter bound
+          // its own chance to prune before the exact distance is paid.
+          if (multi) {
+            const DistanceEstimate refined =
+                EstimateDistanceMulti(qq, list.codes, i, epsilon0);
+            ++local_stats.codes_refined;
+            est = refined.dist_sq;
+            lb = refined.lower_bound_sq;
+            if (exact_heap.full() && lb > exact_heap.Threshold()) continue;
+          }
           const std::uint32_t id = list.ids[i];
           const float exact = MetricDistance(metric_, data_.Row(id), query, dim());
           exact_heap.Push(exact, id);
           ++local_stats.candidates_reranked;
-          AccumulateRerankHealth(est_buf[i], lb_buf[i], exact, &local_stats);
+          AccumulateRerankHealth(est, lb, exact, &local_stats);
         }
         if (trace != nullptr) rerank_ns += NanosSince(span_start);
         break;

@@ -66,6 +66,10 @@ struct IvfSearchScratch {
   std::vector<float> norm_query;
   std::vector<float> est_buf;
   std::vector<float> lb_buf;
+  /// Stage-2 lower bounds of the multi-bit refine (bits_per_dim > 1 under
+  /// kErrorBound). Separate from lb_buf because the re-rank walk re-checks
+  /// BOTH bounds against the live threshold.
+  std::vector<float> mlb_buf;
   std::vector<Neighbor> estimate_pool;
   QuantizedQuery query;
   /// When non-null, SearchWithScratch adds per-stage spans (probe ordering,
@@ -270,19 +274,22 @@ class IvfRabitqIndex {
   Status Compact(float min_ratio = 0.0f, std::size_t min_dead = 1);
 
   /// Serializes the full index (raw vectors, centroids, codes, tombstones,
-  /// per-code norms, the metric and the quantizer configuration) in snapshot
-  /// format v3 ("RBQIVF03"). The rotation matrix itself is NOT stored:
-  /// rotators are deterministic in (dim, bits, kind, seed), so Load
-  /// re-derives it from the saved config -- the same trick the paper uses to
-  /// never materialize the codebook.
+  /// per-code norms, the metric, bits_per_dim and -- for multi-bit stores --
+  /// the extra code planes and their scale factors) in snapshot format v4
+  /// ("RBQIVF04"). The rotation matrix itself is NOT stored: rotators are
+  /// deterministic in (dim, bits, kind, seed), so Load re-derives it from
+  /// the saved config -- the same trick the paper uses to never materialize
+  /// the codebook.
   Status Save(const std::string& path) const;
 
-  /// Restores an index written by Save into `*this`. Reads the current v3
-  /// format plus the legacy v2 ("RBQIVF02", no metric/norms) and v1
-  /// ("RBQIVF01", additionally no tombstones) formats; legacy snapshots
-  /// load as Metric::kL2, the only metric that existed when they were
-  /// written. A v3 metric byte is validated BEFORE the O(B^3) rotator
-  /// rebuild so corrupt values fail closed cheaply.
+  /// Restores an index written by Save into `*this`. Reads the current v4
+  /// format plus the legacy v3 ("RBQIVF03", no bits_per_dim / multi-bit
+  /// payload), v2 ("RBQIVF02", additionally no metric/norms) and v1
+  /// ("RBQIVF01", additionally no tombstones) formats; v1-v3 snapshots load
+  /// with bits_per_dim = 1, and v1/v2 as Metric::kL2 -- the only choices
+  /// that existed when they were written. Metric, rotator kind and
+  /// bits_per_dim bytes are validated BEFORE the O(B^3) rotator rebuild so
+  /// corrupt values fail closed cheaply.
   Status Load(const std::string& path);
 
  private:

@@ -1,17 +1,23 @@
-// Save/Load for IvfRabitqIndex. Snapshot format v3 ("RBQIVF03") stores the
+// Save/Load for IvfRabitqIndex. Snapshot format v4 ("RBQIVF04") stores the
 // metric (a u32 immediately after the header, so it is validated before any
 // expensive reconstruction), the raw vectors, the coarse centroids, the
 // per-list ids, positional tombstones and code-store arrays (including the
-// per-code ||o_r||^2 the IP/cosine factors need), and the RabitqConfig; the
+// per-code ||o_r||^2 the IP/cosine factors need), and the RabitqConfig --
+// now including bits_per_dim (a u32 right after the config seed, validated
+// up front like the metric). Multi-bit stores additionally persist, per
+// code, the B_d - 1 extra bit planes and the primary multi factors
+// (m_o_o, m_alpha, m_beta, m_code_sum): unlike the derived estimator
+// factors these depend on the rotated residual, which is never stored. The
 // rotation is reconstructed deterministically from (dim, bits, kind, seed)
 // at load time, mirroring the paper's observation that the codebook never
 // needs to be materialized.
-// Legacy files still load: v2 ("RBQIVF02", written before metrics -- no
-// metric field, no per-code norms) and v1 ("RBQIVF01", written before the
-// index became mutable -- additionally no tombstone sections). Both default
-// to Metric::kL2, the only metric in existence when they were written,
-// which fixes the old hardcoded `metric_ = kL2` that would have silently
-// mis-loaded any non-L2 snapshot.
+// Legacy files still load: v3 ("RBQIVF03", written before multi-bit codes
+// -- no bits_per_dim field or multi payload, so it loads as bits_per_dim =
+// 1, the only width in existence then), v2 ("RBQIVF02", additionally no
+// metric field or per-code norms) and v1 ("RBQIVF01", written before the
+// index became mutable -- additionally no tombstone sections). v1/v2
+// default to Metric::kL2, which fixes the old hardcoded `metric_ = kL2`
+// that would have silently mis-loaded any non-L2 snapshot.
 //
 // The derived estimator factors (f_sq/f_cross/f_inv_oo/f_err) are NOT part
 // of any format: they are a pure function of the stored per-code
@@ -32,12 +38,14 @@ namespace {
 // Readable formats, newest first; Save always writes kMagics[0]. Keeping
 // writer and reader on one table means a format bump cannot desynchronize
 // them.
-constexpr char kMagics[][8] = {{'R', 'B', 'Q', 'I', 'V', 'F', '0', '3'},
+constexpr char kMagics[][8] = {{'R', 'B', 'Q', 'I', 'V', 'F', '0', '4'},
+                               {'R', 'B', 'Q', 'I', 'V', 'F', '0', '3'},
                                {'R', 'B', 'Q', 'I', 'V', 'F', '0', '2'},
                                {'R', 'B', 'Q', 'I', 'V', 'F', '0', '1'}};
-constexpr std::uint32_t kVersions[] = {3, 2, 1};
+constexpr std::uint32_t kVersions[] = {4, 3, 2, 1};
 constexpr std::uint32_t kVersionV2 = 2;  // adds tombstones
 constexpr std::uint32_t kVersionV3 = 3;  // adds metric + per-code norms
+constexpr std::uint32_t kVersionV4 = 4;  // adds bits_per_dim + multi planes
 static_assert(std::size(kMagics) == std::size(kVersions),
               "every readable magic needs its version");
 }  // namespace
@@ -62,6 +70,10 @@ Status IvfRabitqIndex::Save(const std::string& path) const {
   RABITQ_RETURN_IF_ERROR(
       writer->WriteU32(static_cast<std::uint32_t>(config.rotator)));
   RABITQ_RETURN_IF_ERROR(writer->WriteU64(config.seed));
+  // v4: the code width per dimension; gates the per-code multi payload.
+  const std::uint32_t bits_per_dim =
+      static_cast<std::uint32_t>(config.bits_per_dim);
+  RABITQ_RETURN_IF_ERROR(writer->WriteU32(bits_per_dim));
 
   // Raw vectors (chunk by chunk -- the store is not one contiguous block)
   // and centroids.
@@ -104,6 +116,17 @@ Status IvfRabitqIndex::Save(const std::string& path) const {
       // raw row of a stale entry, so the raw vectors cannot reproduce every
       // entry's norm) regardless of metric.
       RABITQ_RETURN_IF_ERROR(writer->WriteF32(list.codes.norm_sq(i)));
+      // v4 multi payload: the low bit planes and the primary multi factors
+      // (the rotated residual they derive from is never stored).
+      if (bits_per_dim > 1) {
+        RABITQ_RETURN_IF_ERROR(writer->WriteBytes(
+            list.codes.ExtraPlanesAt(i),
+            list.codes.extra_words_per_code() * sizeof(std::uint64_t)));
+        RABITQ_RETURN_IF_ERROR(writer->WriteF32(list.codes.m_o_o(i)));
+        RABITQ_RETURN_IF_ERROR(writer->WriteF32(list.codes.m_alpha(i)));
+        RABITQ_RETURN_IF_ERROR(writer->WriteF32(list.codes.m_beta(i)));
+        RABITQ_RETURN_IF_ERROR(writer->WriteF32(list.codes.m_code_sum(i)));
+      }
     }
   }
   return writer->Close();
@@ -118,6 +141,7 @@ Status IvfRabitqIndex::Load(const std::string& path) {
   const bool has_tombstones = kVersions[format] >= kVersionV2;
   const bool has_metric = kVersions[format] >= kVersionV3;
   const bool has_norm_sq = kVersions[format] >= kVersionV3;
+  const bool has_bits_per_dim = kVersions[format] >= kVersionV4;
 
   // v3 stores the metric right after the header; it is range-checked and
   // run through the ValidateMetric funnel BEFORE anything else is read --
@@ -145,6 +169,16 @@ Status IvfRabitqIndex::Load(const std::string& path) {
   RABITQ_RETURN_IF_ERROR(reader->ReadU32(&query_bits));
   RABITQ_RETURN_IF_ERROR(reader->ReadU32(&rotator_kind));
   RABITQ_RETURN_IF_ERROR(reader->ReadU64(&seed));
+  // v4: per-dimension code width, validated up front (pre-v4 snapshots were
+  // all written at the only width that existed, 1).
+  std::uint32_t bits_per_dim = 1;
+  if (has_bits_per_dim) {
+    RABITQ_RETURN_IF_ERROR(reader->ReadU32(&bits_per_dim));
+    if (bits_per_dim != 1 && bits_per_dim != 2 && bits_per_dim != 4 &&
+        bits_per_dim != 8) {
+      return Status::IoError("corrupt bits_per_dim");
+    }
+  }
   if (dim == 0 || dim > (1u << 20)) return Status::IoError("corrupt dim");
   // Bound the code width BEFORE Init reconstructs the B x B rotator (an
   // O(B^3) orthogonalization for kDense): a bit-flipped width must fail
@@ -170,6 +204,7 @@ Status IvfRabitqIndex::Load(const std::string& path) {
           : total_bits;
   config.epsilon0 = epsilon0;
   config.query_bits = static_cast<int>(query_bits);
+  config.bits_per_dim = bits_per_dim;
   config.rotator = static_cast<RotatorKind>(rotator_kind);
   config.seed = seed;
   RABITQ_RETURN_IF_ERROR(encoder_.Init(dim, config));
@@ -230,6 +265,9 @@ Status IvfRabitqIndex::Load(const std::string& path) {
   lists_.assign(num_lists, List{});
   const std::size_t words = WordsForBits(total_bits);
   std::vector<std::uint64_t> bits(words);
+  const std::size_t extra_words =
+      bits_per_dim > 1 ? (bits_per_dim - 1) * words : 0;
+  std::vector<std::uint64_t> extra(extra_words);
   num_tombstones_ = 0;
   std::uint64_t entries_seen = 0;
   for (List& list : lists_) {
@@ -255,7 +293,7 @@ Status IvfRabitqIndex::Load(const std::string& path) {
     if (codes != list.ids.size()) {
       return Status::IoError("list id/code count mismatch");
     }
-    list.codes.Init(total_bits, metric_);
+    list.codes.Init(total_bits, metric_, bits_per_dim);
     list.codes.Reserve(codes);
     for (std::uint64_t i = 0; i < codes; ++i) {
       float dist = 0.0f, o_o = 0.0f, norm_sq = 0.0f;
@@ -270,7 +308,19 @@ Status IvfRabitqIndex::Load(const std::string& path) {
       if (has_norm_sq) {
         RABITQ_RETURN_IF_ERROR(reader->ReadF32(&norm_sq));
       }
-      list.codes.Append(bits.data(), dist, o_o, bit_count, norm_sq);
+      if (bits_per_dim > 1) {
+        float m_o_o = 1.0f, m_alpha = 0.0f, m_beta = 0.0f, m_code_sum = 0.0f;
+        RABITQ_RETURN_IF_ERROR(reader->ReadBytes(
+            extra.data(), extra_words * sizeof(std::uint64_t)));
+        RABITQ_RETURN_IF_ERROR(reader->ReadF32(&m_o_o));
+        RABITQ_RETURN_IF_ERROR(reader->ReadF32(&m_alpha));
+        RABITQ_RETURN_IF_ERROR(reader->ReadF32(&m_beta));
+        RABITQ_RETURN_IF_ERROR(reader->ReadF32(&m_code_sum));
+        list.codes.Append(bits.data(), dist, o_o, bit_count, norm_sq,
+                          extra.data(), m_o_o, m_alpha, m_beta, m_code_sum);
+      } else {
+        list.codes.Append(bits.data(), dist, o_o, bit_count, norm_sq);
+      }
     }
     if (!list.ids.empty()) list.codes.Finalize();
   }

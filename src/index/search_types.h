@@ -188,6 +188,11 @@ struct IvfSearchStats {
   /// Live candidate codes excluded by the request's IdFilter before
   /// re-ranking (tombstoned entries are not double-counted here).
   std::size_t codes_filtered = 0;
+  /// Stage-2 multi-bit refinements (indexes with bits_per_dim > 1 under
+  /// kErrorBound only): candidates that survived the 1-bit prune and were
+  /// re-estimated from the full B_d-bit code before exact re-ranking.
+  /// Always 0 for 1-bit indexes and for kFixedCandidates/kNone.
+  std::size_t codes_refined = 0;
 
   // Estimator-health telemetry, collected at kErrorBound re-rank where the
   // estimate, the eps0 lower bound and the exact distance are all in hand

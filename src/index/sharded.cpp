@@ -348,6 +348,7 @@ Status ShardedIndex::MergeShardResults(const float* query,
       agg.candidates_reranked += shard_stats[s].candidates_reranked;
       agg.lists_probed += shard_stats[s].lists_probed;
       agg.codes_filtered += shard_stats[s].codes_filtered;
+      agg.codes_refined += shard_stats[s].codes_refined;
       agg.rerank_bound_violations += shard_stats[s].rerank_bound_violations;
       agg.rerank_health_samples += shard_stats[s].rerank_health_samples;
       agg.rerank_signed_err_sum += shard_stats[s].rerank_signed_err_sum;
@@ -555,6 +556,10 @@ Status ShardedIndex::Load(const std::string& path) {
     }
     if (shards[s]->encoder().total_bits() != shards[0]->encoder().total_bits()) {
       return Status::IoError("shard code width mismatch");
+    }
+    if (shards[s]->encoder().config().bits_per_dim !=
+        shards[0]->encoder().config().bits_per_dim) {
+      return Status::IoError("shard bits_per_dim mismatch");
     }
   }
   // The id maps must cover the id space exactly; checked by size here so a

@@ -220,7 +220,7 @@ class ShardedIndex {
 
   /// Writes a sharded snapshot: `path` becomes a directory holding a
   /// MANIFEST ("RBQSHRD2": metric, shard count, id space, per-shard id
-  /// maps) plus one v3 ("RBQIVF03") blob per shard, written in parallel.
+  /// maps) plus one v4 ("RBQIVF04") blob per shard, written in parallel.
   Status Save(const std::string& path) const;
 
   /// Restores a snapshot written by Save (shard blobs load in parallel).

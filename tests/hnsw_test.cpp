@@ -116,6 +116,59 @@ TEST(HnswTest, TinyDatasetExactlyRecovered) {
   }
 }
 
+// Regression for the hardcoded-L2 bug: an index built with
+// metric = kInnerProduct must rank by (negated) inner product -- graph
+// edges, search comparisons and returned keys alike -- not silently by L2.
+TEST(HnswTest, InnerProductSearchMatchesMetricOracle) {
+  const std::size_t n = 800, dim = 16, k = 10;
+  Matrix data = RandomData(n, dim, 41);
+  Matrix queries = RandomData(15, dim, 42);
+  HnswConfig config;
+  config.m = 12;
+  config.ef_construction = 150;
+  config.metric = Metric::kInnerProduct;
+  HnswIndex index;
+  ASSERT_TRUE(index.Build(data, config).ok());
+
+  GroundTruth gt;
+  ASSERT_TRUE(
+      ComputeGroundTruth(data, queries, k, Metric::kInnerProduct, &gt).ok());
+  double recall = 0.0;
+  std::size_t metric_disagreements = 0;
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    std::vector<Neighbor> result;
+    ASSERT_TRUE(index.Search(queries.Row(q), k, 400, &result).ok());
+    recall += RecallAtK(gt, q, result, k);
+    // Returned keys are the metric's own scores (negated inner products).
+    for (const Neighbor& nb : result) {
+      EXPECT_EQ(nb.first, MetricDistance(Metric::kInnerProduct,
+                                         data.Row(nb.second), queries.Row(q),
+                                         dim));
+    }
+    // Where the IP and L2 top-1 disagree, the index must side with IP --
+    // the exact situation the hardcoded-L2 graph got wrong.
+    const std::vector<Neighbor> l2_top =
+        BruteForceSearch(data, queries.Row(q), 1, Metric::kL2);
+    if (!result.empty() && gt.IdsFor(q)[0] != l2_top[0].second) {
+      ++metric_disagreements;
+      EXPECT_EQ(result[0].second, gt.IdsFor(q)[0]) << "query " << q;
+    }
+  }
+  EXPECT_GE(recall / queries.rows(), 0.9);
+  EXPECT_GT(metric_disagreements, 0u)
+      << "test data never separates IP from L2; weaken seed";
+}
+
+// kCosine fails closed at Build: the baseline does not normalize on ingest,
+// so treating cosine as IP would rank by magnitude.
+TEST(HnswTest, CosineBuildFailsClosed) {
+  HnswConfig config;
+  config.metric = Metric::kCosine;
+  HnswIndex index;
+  const Status status = index.Build(RandomData(20, 8, 5), config);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
 TEST(HnswTest, RejectsBadArguments) {
   HnswIndex index;
   EXPECT_FALSE(index.Build(Matrix(), HnswConfig{}).ok());

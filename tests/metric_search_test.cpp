@@ -13,7 +13,9 @@
 //   * cosine ingest/search rejects zero-norm vectors and queries;
 //   * eval ground truth records its metric and refuses a mismatch.
 // The engine/sharded variants honor the METRIC env var ("l2", "ip",
-// "cosine") so the CI matrix can sweep the serving metric.
+// "cosine") so the CI matrix can sweep the serving metric, and every index
+// built here honors the BITS env var (1/2/4/8 bits per dimension) so the
+// same matrix sweeps the multi-bit code path.
 
 #include <gtest/gtest.h>
 
@@ -40,6 +42,17 @@ Metric EnvMetric(Metric fallback) {
   Metric metric = fallback;
   if (value != nullptr && !ParseMetricName(value, &metric)) return fallback;
   return metric;
+}
+
+// Code width for every index built in this file; the CI matrix sets BITS to
+// sweep the multi-bit quantizer through the whole metric surface.
+std::size_t EnvBits() {
+  const char* value = std::getenv("BITS");
+  if (value == nullptr) return 1;
+  const int bits = std::atoi(value);
+  return (bits == 1 || bits == 2 || bits == 4 || bits == 8)
+             ? static_cast<std::size_t>(bits)
+             : 1;
 }
 
 Matrix ClusteredData(std::size_t n, std::size_t dim, std::size_t clusters,
@@ -112,7 +125,9 @@ class MetricSearchTest : public ::testing::Test {
     IvfConfig ivf;
     ivf.num_lists = kLists;
     ivf.metric = metric;
-    EXPECT_TRUE(index.Build(data_, ivf, RabitqConfig{}).ok());
+    RabitqConfig rabitq;
+    rabitq.bits_per_dim = EnvBits();
+    EXPECT_TRUE(index.Build(data_, ivf, rabitq).ok());
     return index;
   }
 
@@ -124,6 +139,7 @@ class MetricSearchTest : public ::testing::Test {
     config.clustering = clustering;
     config.ivf.num_lists = kLists;
     config.ivf.metric = metric;
+    config.rabitq.bits_per_dim = EnvBits();
     EXPECT_TRUE(index.Build(data_, config).ok());
     return index;
   }

@@ -44,10 +44,11 @@ Matrix Clustered(std::size_t n, std::size_t dim, std::uint64_t seed) {
   return data;
 }
 
-IvfRabitqIndex BuildIndex(const Matrix& data) {
+IvfRabitqIndex BuildIndex(const Matrix& data, Metric metric = Metric::kL2) {
   IvfRabitqIndex index;
   IvfConfig config;
   config.num_lists = kNumLists;
+  config.metric = metric;
   EXPECT_TRUE(index.Build(data, config, RabitqConfig{}).ok());
   return index;
 }
@@ -194,92 +195,114 @@ TEST_F(ObsTracingTest, SampledSubsetIsDeterministicAcrossRuns) {
 // is re-ranked (k > N, so the exact heap never fills and the bound check
 // never prunes; the scalar estimator keeps the offline math identical),
 // then replicate the per-candidate accumulation offline exactly like
-// error_bound_property_test replicates the bound math.
+// error_bound_property_test replicates the bound math. Runs under kL2 AND
+// kInnerProduct: negative IP scores are where the tightness gauge used to
+// flip direction (dividing the lower bound by a signed exact), so the IP
+// leg pins the corrected 1 - (exact - lb)/|exact| normalization.
 TEST_F(ObsTracingTest, HealthTelemetryMatchesOfflineReplication) {
-  EngineConfig config;
-  config.num_threads = 2;
-  config.trace_sample_period = 0;
-  SearchEngine engine(BuildIndex(data_), config);
-  IvfSearchParams params;
-  params.k = kN + 10;
-  params.nprobe = kNumLists;
-  params.use_batch_estimator = false;  // scalar estimates, replicable below
+  for (const Metric metric : {Metric::kL2, Metric::kInnerProduct}) {
+    EngineConfig config;
+    config.num_threads = 2;
+    config.trace_sample_period = 0;
+    SearchEngine engine(BuildIndex(data_, metric), config);
+    IvfSearchParams params;
+    params.k = kN + 10;
+    params.nprobe = kNumLists;
+    params.use_batch_estimator = false;  // scalar estimates, replicable below
 
-  RunBatch(&engine, params);
-  const EngineStatsSnapshot stats = engine.Stats();
+    RunBatch(&engine, params);
+    const EngineStatsSnapshot stats = engine.Stats();
 
-  // Offline replication against the very index the engine serves (no
-  // writers exist, so reading internals is within contract).
-  const IvfRabitqIndex& index = engine.index().shard(0);
-  const RabitqEncoder& encoder = index.encoder();
-  const float epsilon0 = encoder.config().epsilon0;
-  std::uint64_t candidates = 0, violations = 0, samples = 0;
-  double signed_err_sum = 0.0, tightness_sum = 0.0;
-  std::vector<float> rotated(encoder.total_bits());
-  QuantizedQuery qq;
-  for (std::size_t q = 0; q < kNumQueries; ++q) {
-    const float* query = queries_.Row(q);
-    const std::uint64_t seed = SearchEngine::QuerySeed(kSeedBase, q);
-    RotateQueryOnce(encoder, query, rotated.data());
-    const auto order = index.ProbeOrderWithDistances(query);
-    for (const auto& [centroid_dist, list_id] : order) {
-      const auto& ids = index.list_ids(list_id);
-      if (ids.empty()) continue;
-      Rng list_rng(MixSeed(seed, list_id));
-      ASSERT_TRUE(PrepareQueryFromRotated(
-                      encoder, rotated.data(),
-                      index.rotated_centroids().Row(list_id),
-                      std::sqrt(std::max(0.0f, centroid_dist)), &list_rng, &qq)
-                      .ok());
-      for (std::size_t i = 0; i < ids.size(); ++i) {
-        const DistanceEstimate est =
-            EstimateDistance(qq, index.list_codes(list_id).View(i), epsilon0);
-        const float exact =
-            L2SqrDistance(index.vector(ids[i]), query, index.dim());
-        ++candidates;
-        violations += exact < est.lower_bound_sq;
-        if (exact > 0.0f) {
-          ++samples;
-          const double inv = 1.0 / static_cast<double>(exact);
-          signed_err_sum +=
-              (static_cast<double>(est.dist_sq) - exact) * inv;
-          tightness_sum += static_cast<double>(est.lower_bound_sq) * inv;
+    // Offline replication against the very index the engine serves (no
+    // writers exist, so reading internals is within contract).
+    const IvfRabitqIndex& index = engine.index().shard(0);
+    const RabitqEncoder& encoder = index.encoder();
+    const float epsilon0 = encoder.config().epsilon0;
+    std::uint64_t candidates = 0, violations = 0, samples = 0;
+    double signed_err_sum = 0.0, tightness_sum = 0.0;
+    std::vector<float> rotated(encoder.total_bits());
+    QuantizedQuery qq;
+    for (std::size_t q = 0; q < kNumQueries; ++q) {
+      const float* query = queries_.Row(q);
+      const std::uint64_t seed = SearchEngine::QuerySeed(kSeedBase, q);
+      const float query_norm_sq =
+          metric == Metric::kL2 ? 0.0f : SquaredNorm(query, index.dim());
+      RotateQueryOnce(encoder, query, rotated.data());
+      const auto order = index.ProbeOrderWithDistances(query);
+      for (const auto& [centroid_key, list_id] : order) {
+        const auto& ids = index.list_ids(list_id);
+        if (ids.empty()) continue;
+        Rng list_rng(MixSeed(seed, list_id));
+        // q_dist = ||q - c||: under kL2 the probe key is that squared
+        // distance; under IP it is a negated dot product, so recompute.
+        const float q_dist =
+            metric == Metric::kL2
+                ? std::sqrt(std::max(0.0f, centroid_key))
+                : std::sqrt(std::max(
+                      0.0f, L2SqrDistance(query, index.centroids().Row(list_id),
+                                          index.dim())));
+        ASSERT_TRUE(PrepareQueryFromRotated(
+                        encoder, rotated.data(),
+                        index.rotated_centroids().Row(list_id), q_dist,
+                        &list_rng, &qq, /*query_bits_override=*/0, metric,
+                        query_norm_sq)
+                        .ok());
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          const DistanceEstimate est = EstimateDistance(
+              qq, index.list_codes(list_id).View(i), epsilon0);
+          const float exact =
+              MetricDistance(metric, index.vector(ids[i]), query, index.dim());
+          ++candidates;
+          violations += exact < est.lower_bound_sq;
+          if (exact != 0.0f) {
+            ++samples;
+            const double inv = 1.0 / std::abs(static_cast<double>(exact));
+            signed_err_sum +=
+                (static_cast<double>(est.dist_sq) - exact) * inv;
+            tightness_sum +=
+                1.0 -
+                (exact - static_cast<double>(est.lower_bound_sq)) * inv;
+          }
         }
       }
     }
+
+    EXPECT_EQ(stats.candidates_reranked, candidates);
+    EXPECT_EQ(stats.rerank_bound_violations, violations);
+    EXPECT_EQ(stats.rerank_health_samples, samples);
+    ASSERT_GT(samples, 0u);
+    const double expected_rate =
+        static_cast<double>(violations) / static_cast<double>(candidates);
+    EXPECT_NEAR(stats.eps0_violation_rate, expected_rate, 1e-12);
+    EXPECT_NEAR(stats.rerank_signed_err_mean,
+                signed_err_sum / static_cast<double>(samples),
+                1e-9 * std::max(1.0, std::abs(signed_err_sum)));
+    EXPECT_NEAR(stats.rerank_bound_tightness_mean,
+                tightness_sum / static_cast<double>(samples),
+                1e-9 * std::max(1.0, std::abs(tightness_sum)));
+    // Sanity on the telemetry itself: at the paper's eps0 = 1.9 the
+    // one-sided violation rate tracks P(Z > 1.9) ~ 2.9%; anything past 8%
+    // means the live bound is broken (cf. error_bound_property_test).
+    EXPECT_LT(stats.eps0_violation_rate, 0.08);
+    // Tightness reads "1 = bound hugging the true score" under every
+    // metric; overshoot past 1 is capped by the rare bound violation.
+    EXPECT_LT(stats.rerank_bound_tightness_mean, 1.05);
+    if (metric == Metric::kL2) {
+      // L2 scores are positive and the gap is at most the score itself on
+      // average, so the historical (0, 1]-ish band still applies.
+      EXPECT_GT(stats.rerank_bound_tightness_mean, 0.0);
+    }
+
+    // The same numbers flow out through the gauges after SnapshotMetrics.
+    const obs::MetricsSnapshot metrics = engine.SnapshotMetrics();
+    const obs::MetricValue* rate = metrics.Find("rabitq_eps0_violation_rate");
+    ASSERT_NE(rate, nullptr);
+    EXPECT_NEAR(rate->value, expected_rate, 1e-12);
+    const obs::MetricValue* reranked =
+        metrics.Find("rabitq_candidates_reranked_total");
+    ASSERT_NE(reranked, nullptr);
+    EXPECT_EQ(reranked->u64, candidates);
   }
-
-  EXPECT_EQ(stats.candidates_reranked, candidates);
-  EXPECT_EQ(stats.rerank_bound_violations, violations);
-  EXPECT_EQ(stats.rerank_health_samples, samples);
-  ASSERT_GT(samples, 0u);
-  const double expected_rate =
-      static_cast<double>(violations) / static_cast<double>(candidates);
-  EXPECT_NEAR(stats.eps0_violation_rate, expected_rate, 1e-12);
-  EXPECT_NEAR(stats.rerank_signed_err_mean,
-              signed_err_sum / static_cast<double>(samples),
-              1e-9 * std::max(1.0, std::abs(signed_err_sum)));
-  EXPECT_NEAR(stats.rerank_bound_tightness_mean,
-              tightness_sum / static_cast<double>(samples),
-              1e-9 * std::max(1.0, tightness_sum));
-  // Sanity on the telemetry itself: at the paper's eps0 = 1.9 the one-sided
-  // violation rate tracks P(Z > 1.9) ~ 2.9%; anything past 8% means the
-  // live bound is broken (cf. error_bound_property_test's bands).
-  EXPECT_LT(stats.eps0_violation_rate, 0.08);
-  // The bound is a LOWER bound on the exact distance, so its mean ratio to
-  // the exact distance sits in (0, 1) plus the rare violation overshoot.
-  EXPECT_GT(stats.rerank_bound_tightness_mean, 0.0);
-  EXPECT_LT(stats.rerank_bound_tightness_mean, 1.05);
-
-  // The same numbers flow out through the gauges after SnapshotMetrics.
-  const obs::MetricsSnapshot metrics = engine.SnapshotMetrics();
-  const obs::MetricValue* rate = metrics.Find("rabitq_eps0_violation_rate");
-  ASSERT_NE(rate, nullptr);
-  EXPECT_NEAR(rate->value, expected_rate, 1e-12);
-  const obs::MetricValue* reranked =
-      metrics.Find("rabitq_candidates_reranked_total");
-  ASSERT_NE(reranked, nullptr);
-  EXPECT_EQ(reranked->u64, candidates);
 }
 
 }  // namespace

@@ -1,11 +1,14 @@
 // Snapshot format compatibility: the committed v1 golden file (written by
-// the pre-lifecycle code, magic "RBQIVF01") and v2 golden file (written by
-// the pre-metric code, "RBQIVF02") must keep loading -- both as kL2 -- and
-// the current v3 format ("RBQIVF03", which persists the metric and per-code
-// norms) must round-trip a mutated index -- tombstones, stale update
-// entries and all -- with bit-identical search results. The v3 metric byte
-// (offset 12) is fuzzed explicitly: in-range values load with that metric,
-// out-of-range values fail closed before the rotator rebuild.
+// the pre-lifecycle code, magic "RBQIVF01"), v2 golden file (written by
+// the pre-metric code, "RBQIVF02") and v3 golden file (written by the
+// pre-multi-bit code, "RBQIVF03", inner-product metric) must keep loading
+// -- v1/v2 as kL2, all three with bits_per_dim = 1 -- and the current v4
+// format ("RBQIVF04", which adds bits_per_dim and the multi-bit payload)
+// must round-trip a mutated index -- tombstones, stale update entries and
+// all -- with bit-identical search results. The metric byte (offset 12) and
+// the rotator-kind byte (offset 40) are fuzzed explicitly: in-range values
+// load with that setting, out-of-range values fail closed before the
+// rotator rebuild.
 
 #include <gtest/gtest.h>
 
@@ -119,6 +122,72 @@ TEST(SnapshotCompatTest, V2GoldenFileLoadsAsL2) {
   for (std::size_t q = 0; q < want.size(); ++q) {
     ExpectSameNeighbors(want[q], got[q]);
   }
+}
+
+// The v3 golden file (pre-multi-bit writer, inner-product metric) pins the
+// metric-persisting format: it must load with its metric, bits_per_dim = 1,
+// stored arrays bit-identical to an in-test rebuild from the generator
+// recipe, and it must survive a current-format (v4) re-save bit-identically.
+TEST(SnapshotCompatTest, V3GoldenFileLoadsWithMetricAndMatchesRebuild) {
+  IvfRabitqIndex golden;
+  const std::string path =
+      std::string(RABITQ_TEST_DATA_DIR) + "/golden_v3.rbq";
+  ASSERT_TRUE(golden.Load(path).ok()) << "cannot load v3 golden " << path;
+  EXPECT_EQ(golden.size(), kGoldenN);
+  EXPECT_EQ(golden.dim(), kGoldenDim);
+  EXPECT_EQ(golden.num_lists(), kGoldenLists);
+  EXPECT_EQ(golden.metric(), Metric::kInnerProduct);
+  EXPECT_EQ(golden.encoder().config().bits_per_dim, 1u);
+  EXPECT_EQ(golden.num_tombstones(), 0u);
+
+  // The generator recipe, replayed: same data, same build, same metric.
+  Rng rng(123);
+  Matrix data(kGoldenN, kGoldenDim);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  IvfRabitqIndex rebuilt;
+  IvfConfig ivf;
+  ivf.num_lists = kGoldenLists;
+  ivf.metric = Metric::kInnerProduct;
+  ASSERT_TRUE(rebuilt.Build(data, ivf, RabitqConfig{}).ok());
+  ASSERT_EQ(rebuilt.num_lists(), golden.num_lists());
+  for (std::size_t l = 0; l < golden.num_lists(); ++l) {
+    ASSERT_EQ(golden.list_ids(l), rebuilt.list_ids(l)) << "list " << l;
+    const RabitqCodeStore& a = golden.list_codes(l);
+    const RabitqCodeStore& b = rebuilt.list_codes(l);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      for (std::size_t w = 0; w < a.words_per_code(); ++w) {
+        ASSERT_EQ(a.BitsAt(i)[w], b.BitsAt(i)[w]) << "list " << l;
+      }
+      EXPECT_EQ(a.dist_to_centroid(i), b.dist_to_centroid(i));
+      EXPECT_EQ(a.o_o(i), b.o_o(i));
+      EXPECT_EQ(a.bit_count(i), b.bit_count(i));
+      EXPECT_EQ(a.norm_sq(i), b.norm_sq(i));
+    }
+  }
+
+  IvfSearchParams params;
+  params.k = 10;
+  params.nprobe = 4;
+  const auto want = SearchAll(rebuilt, params);
+  const auto got = SearchAll(golden, params);
+  for (std::size_t q = 0; q < want.size(); ++q) {
+    ExpectSameNeighbors(want[q], got[q]);
+  }
+
+  // Current-format re-save keeps metric and results bit-identical.
+  const std::string resaved = TempPath("golden_v3_as_v4.rbq");
+  ASSERT_TRUE(golden.Save(resaved).ok());
+  IvfRabitqIndex v4;
+  ASSERT_TRUE(v4.Load(resaved).ok());
+  EXPECT_EQ(v4.metric(), Metric::kInnerProduct);
+  const auto after = SearchAll(v4, params);
+  for (std::size_t q = 0; q < want.size(); ++q) {
+    ExpectSameNeighbors(want[q], after[q]);
+  }
+  std::remove(resaved.c_str());
 }
 
 TEST(SnapshotCompatTest, V1GoldenSurvivesCurrentRoundTripBitIdentically) {
@@ -418,6 +487,55 @@ TEST(SnapshotFuzzTest, V3MetricByteInRangeLoadsOutOfRangeFailsClosed) {
     IvfRabitqIndex loaded;
     EXPECT_FALSE(loaded.Load(mutant).ok())
         << "metric high byte " << byte << " loaded";
+  }
+  std::remove(path.c_str());
+  std::remove(mutant.c_str());
+}
+
+// The rotator-kind field (u32 at offset 40, after metric + dim + bits +
+// eps0 + query_bits) gates the O(B^3) rotator rebuild: every in-range value
+// loads a self-consistent index with that rotator, every out-of-range value
+// is rejected with "corrupt rotator kind" before the rebuild runs.
+TEST(SnapshotFuzzTest, RotatorKindByteInRangeLoadsOutOfRangeFailsClosed) {
+  const std::string path = TempPath("fuzz_rotator.rbq");
+  ASSERT_TRUE(BuildMutatedIndex().Save(path).ok());
+  const std::vector<unsigned char> bytes = ReadFileBytes(path);
+  // magic(8) + version(4) + metric(4) + dim(8) + total_bits(8) + eps0(4) +
+  // query_bits(4).
+  constexpr std::size_t kRotatorOffset = 40;
+  ASSERT_EQ(bytes[kRotatorOffset],
+            static_cast<unsigned char>(RotatorKind::kDense))
+      << "golden writer saved a non-default rotator?";
+
+  const std::string mutant = TempPath("fuzz_rotator_mutant.rbq");
+  for (const RotatorKind kind :
+       {RotatorKind::kDense, RotatorKind::kFht, RotatorKind::kIdentity}) {
+    std::vector<unsigned char> patched = bytes;
+    patched[kRotatorOffset] = static_cast<unsigned char>(kind);
+    WriteFileBytes(mutant, patched);
+    IvfRabitqIndex loaded;
+    ASSERT_TRUE(loaded.Load(mutant).ok())
+        << "rotator kind " << static_cast<int>(kind);
+    EXPECT_EQ(loaded.encoder().config().rotator, kind);
+    ExpectLoadedIndexIsConsistent(loaded);
+  }
+  for (const unsigned char value : {3, 17, 255}) {
+    std::vector<unsigned char> patched = bytes;
+    patched[kRotatorOffset] = value;
+    WriteFileBytes(mutant, patched);
+    IvfRabitqIndex loaded;
+    EXPECT_FALSE(loaded.Load(mutant).ok())
+        << "out-of-range rotator kind " << static_cast<int>(value)
+        << " loaded";
+  }
+  // High bytes of the u32: any of them non-zero is out of range.
+  for (std::size_t byte = 1; byte < 4; ++byte) {
+    std::vector<unsigned char> patched = bytes;
+    patched[kRotatorOffset + byte] = 1;
+    WriteFileBytes(mutant, patched);
+    IvfRabitqIndex loaded;
+    EXPECT_FALSE(loaded.Load(mutant).ok())
+        << "rotator high byte " << byte << " loaded";
   }
   std::remove(path.c_str());
   std::remove(mutant.c_str());
