@@ -27,6 +27,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
@@ -291,6 +292,97 @@ int Run(int argc, char** argv) {
                 stats.eps0_violation_rate, stats.rerank_signed_err_mean,
                 stats.rerank_bound_tightness_mean,
                 static_cast<unsigned long long>(stats.rerank_health_samples));
+  }
+  // ---- Open-loop overload: offered load is PACED (1ms ticks), not closed
+  // loop, so pushing past saturation actually overloads the engine instead
+  // of self-throttling. Every request carries a 20ms budget and the queue
+  // is bounded, so past saturation the engine degrades by design: excess
+  // work is rejected at admission or shed when its deadline lapses in the
+  // queue, while goodput stays near saturation and the served-query p99
+  // stays bounded by the deadline instead of growing with the backlog.
+  {
+    EngineConfig config;
+    config.num_threads = max_threads;
+    config.max_batch = 32;
+    config.max_queue_depth = 256;
+    IvfRabitqIndex engine_index;
+    CheckOk(engine_index.Load(tmp_path), "Load");
+    SearchEngine engine(std::move(engine_index), config);
+
+    // Saturation estimate: closed-loop batched throughput on this engine.
+    double saturation_qps = 0.0;
+    {
+      std::vector<std::vector<Neighbor>> all(num_queries);
+      WallTimer timer;
+      for (std::size_t r = 0; r < repeat; ++r) {
+        for (std::size_t begin = 0; begin < num_queries; begin += 32) {
+          const std::size_t count =
+              std::min<std::size_t>(32, num_queries - begin);
+          RunRequestBatch(&engine, queries, begin, count, params, IdFilter{},
+                          &all);
+        }
+      }
+      saturation_qps = static_cast<double>(num_queries * repeat) /
+                       std::max(timer.ElapsedSeconds(), 1e-9);
+    }
+
+    constexpr std::uint64_t kBudgetUs = 20000;
+    for (const double load_factor : {0.5, 1.0, 2.0}) {
+      const double rate = saturation_qps * load_factor;
+      std::size_t total = static_cast<std::size_t>(rate * 0.75);
+      total = std::max<std::size_t>(256, std::min<std::size_t>(total, 50000));
+
+      engine.ResetStats();
+      std::vector<std::future<SearchResponse>> futures;
+      futures.reserve(total);
+      std::size_t submitted = 0;
+      auto next_tick = std::chrono::steady_clock::now();
+      WallTimer timer;
+      while (submitted < total) {
+        next_tick += std::chrono::milliseconds(1);
+        const double target_cumulative =
+            rate * std::max(timer.ElapsedSeconds(), 1e-9);
+        const std::size_t target = std::min(
+            total, static_cast<std::size_t>(target_cumulative) + 1);
+        while (submitted < target) {
+          SearchRequest request{queries.Row(submitted % num_queries), params};
+          request.options.seed =
+              SearchEngine::QuerySeed(kSeedBase, submitted % num_queries);
+          request.options.timeout_us = kBudgetUs;
+          futures.push_back(engine.SubmitAsync(request));
+          ++submitted;
+        }
+        std::this_thread::sleep_until(next_tick);
+      }
+      std::size_t good = 0, rejected = 0, deadline = 0, other = 0;
+      for (auto& f : futures) {
+        const SearchResponse response = f.get();
+        if (response.ok()) {
+          ++good;
+        } else if (response.status.code() == StatusCode::kResourceExhausted) {
+          ++rejected;
+        } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+          ++deadline;
+        } else {
+          ++other;
+        }
+      }
+      const double seconds = std::max(timer.ElapsedSeconds(), 1e-9);
+      const EngineStatsSnapshot stats = engine.Stats();
+      std::printf(",\n  {\"mode\":\"overload\",\"threads\":%zu,"
+                  "\"load_factor\":%.1f,\"queue_depth\":%zu,"
+                  "\"timeout_us\":%llu,\"offered_qps\":%.0f,"
+                  "\"submitted\":%zu,\"goodput_qps\":%.0f,\"served\":%zu,"
+                  "\"rejected\":%zu,\"deadline_exceeded\":%zu,"
+                  "\"errors\":%zu,\"shed\":%llu,\"p99_us\":%.1f}",
+                  max_threads, load_factor, config.max_queue_depth,
+                  static_cast<unsigned long long>(kBudgetUs),
+                  static_cast<double>(submitted) / seconds, submitted,
+                  static_cast<double>(good) / seconds, good, rejected,
+                  deadline, other,
+                  static_cast<unsigned long long>(stats.queries_shed),
+                  stats.latency_p99_us);
+    }
   }
   std::remove(tmp_path);
 

@@ -34,6 +34,21 @@ EngineStatsCollector::EngineStatsCollector(obs::MetricsRegistry* registry)
                                         "Lists compacted")),
       search_errors_(registry->GetCounter("rabitq_search_errors_total",
                                           "Queries that failed")),
+      rejected_(registry->GetCounter(
+          "rabitq_queries_rejected_total",
+          "Submissions rejected at admission (queue full)")),
+      shed_(registry->GetCounter(
+          "rabitq_queries_shed_total",
+          "Queued queries shed unexecuted (deadline expired in queue)")),
+      deadline_exceeded_(registry->GetCounter(
+          "rabitq_deadline_exceeded_total",
+          "Queries that ran out of deadline mid-scan")),
+      partial_responses_(registry->GetCounter(
+          "rabitq_partial_responses_total",
+          "Responses flagged partial (deadline and/or shard failure)")),
+      shard_failures_(registry->GetCounter(
+          "rabitq_shard_failures_total",
+          "Per-shard hard failures isolated by the scatter-gather merge")),
       codes_estimated_(registry->GetCounter("rabitq_codes_estimated_total",
                                             "Codes distance-estimated")),
       candidates_reranked_(
@@ -96,6 +111,11 @@ EngineStatsSnapshot EngineStatsCollector::Snapshot() const {
   snap.updates = updates_->Value();
   snap.compactions = compactions_->Value();
   snap.search_errors = search_errors_->Value();
+  snap.queries_rejected = rejected_->Value();
+  snap.queries_shed = shed_->Value();
+  snap.deadline_exceeded = deadline_exceeded_->Value();
+  snap.partial_responses = partial_responses_->Value();
+  snap.shard_failures = shard_failures_->Value();
   snap.uptime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     created_)

@@ -26,6 +26,15 @@ struct EngineStatsSnapshot {
   std::uint64_t updates = 0;
   std::uint64_t compactions = 0;  // lists compacted, not passes
   std::uint64_t search_errors = 0;
+  // Overload / degraded-outcome tallies (the robustness layer): rejected at
+  // admission (queue at max_queue_depth), shed unexecuted (deadline expired
+  // while queued), out of time mid-scan, responses flagged partial, and
+  // per-shard hard failures the scatter-gather merge isolated.
+  std::uint64_t queries_rejected = 0;
+  std::uint64_t queries_shed = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t partial_responses = 0;
+  std::uint64_t shard_failures = 0;
   std::uint64_t epoch = 0;  // index version; bumped by every mutation
   // Index lifecycle gauges sampled at Stats() time (summed over shards).
   std::uint64_t num_shards = 1;
@@ -104,6 +113,16 @@ class EngineStatsCollector {
   void RecordUpdate() { updates_->Increment(); }
   /// One list compacted (a background pass may record several).
   void RecordCompaction() { compactions_->Increment(); }
+  /// One submission rejected at admission (queue at max_queue_depth).
+  void RecordRejected() { rejected_->Increment(); }
+  /// One queued query shed unexecuted (deadline expired while queued).
+  void RecordShed() { shed_->Increment(); }
+  /// One query that ran out of deadline mid-scan (partial results).
+  void RecordDeadlineExceeded() { deadline_exceeded_->Increment(); }
+  /// One response flagged partial (deadline and/or shard failure).
+  void RecordPartialResponse() { partial_responses_->Increment(); }
+  /// `n` shards hard-failed and were excluded from one query's merge.
+  void RecordShardFailures(std::uint64_t n) { shard_failures_->Add(n); }
 
   EngineStatsSnapshot Snapshot() const;
   /// Zeroes every registry metric and restarts the QPS window (the uptime
@@ -120,6 +139,11 @@ class EngineStatsCollector {
   obs::Counter* updates_;
   obs::Counter* compactions_;
   obs::Counter* search_errors_;
+  obs::Counter* rejected_;
+  obs::Counter* shed_;
+  obs::Counter* deadline_exceeded_;
+  obs::Counter* partial_responses_;
+  obs::Counter* shard_failures_;
   obs::Counter* codes_estimated_;
   obs::Counter* candidates_reranked_;
   obs::Counter* lists_probed_;

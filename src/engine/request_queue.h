@@ -4,6 +4,10 @@
 // the batch to fill toward max_batch -- trading a small, configurable latency
 // hit for the amortization wins of batch execution (one batched rotation, one
 // worker fan-out, one stats update per batch instead of per query).
+//
+// The queue is the engine's admission-control point: a capacity bound makes
+// Push refuse work once the backlog hits it (bounded memory under overload),
+// and PopBatch sheds queries whose deadline already expired while queued.
 
 #ifndef RABITQ_ENGINE_REQUEST_QUEUE_H_
 #define RABITQ_ENGINE_REQUEST_QUEUE_H_
@@ -43,26 +47,44 @@ struct QueuedQuery {
 
 class RequestQueue {
  public:
-  /// Enqueues a request. Returns false (leaving `req` untouched) after
-  /// Close(), so late producers can fail their promise instead of losing it.
-  bool Push(QueuedQuery&& req) {
+  /// Outcome of a Push: admitted, bounced off the capacity bound, or
+  /// refused because the queue was closed. On kFull/kClosed `req` is left
+  /// untouched, so the producer can fail its promise instead of losing it.
+  enum class PushResult { kAccepted, kFull, kClosed };
+
+  /// `capacity` bounds how many requests may wait at once (the admission
+  /// control of the overload story); 0 means unbounded.
+  explicit RequestQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Enqueues a request, or refuses it (see PushResult).
+  PushResult Push(QueuedQuery&& req) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_) return false;
+      if (closed_) return PushResult::kClosed;
+      if (capacity_ != 0 && queue_.size() >= capacity_) {
+        return PushResult::kFull;
+      }
       queue_.push_back(std::move(req));
     }
     ready_.notify_one();
-    return true;
+    return PushResult::kAccepted;
   }
 
   /// Blocks until a request is available or the queue is closed, then moves
   /// up to `max_batch` requests into `*out` (cleared first), waiting at most
-  /// `linger` after the first request for the batch to fill. Returns false
-  /// only when the queue is closed AND drained -- the scheduler's exit
-  /// condition, which guarantees every accepted request is served.
+  /// `linger` after the first request for the batch to fill. When `shed` is
+  /// non-null, requests whose resolved deadline already expired while they
+  /// waited are moved there instead of into `*out` (they do not count
+  /// toward max_batch): under overload, queue time eats the whole budget
+  /// and executing such a query wastes a batch slot on a guaranteed
+  /// kDeadlineExceeded. Returns false only when the queue is closed AND
+  /// drained -- the scheduler's exit condition, which guarantees every
+  /// accepted request is answered (served or shed).
   bool PopBatch(std::size_t max_batch, std::chrono::microseconds linger,
-                std::vector<QueuedQuery>* out) {
+                std::vector<QueuedQuery>* out,
+                std::vector<QueuedQuery>* shed = nullptr) {
     out->clear();
+    if (shed != nullptr) shed->clear();
     std::unique_lock<std::mutex> lock(mutex_);
     ready_.wait(lock, [this] { return closed_ || !queue_.empty(); });
     if (queue_.empty()) return false;  // closed and drained
@@ -71,10 +93,14 @@ class RequestQueue {
         return closed_ || queue_.size() >= max_batch;
       });
     }
-    const std::size_t take = std::min(max_batch, queue_.size());
-    out->reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
-      out->push_back(std::move(queue_.front()));
+    const auto now = std::chrono::steady_clock::now();
+    while (!queue_.empty() && out->size() < max_batch) {
+      QueuedQuery& front = queue_.front();
+      const bool expired =
+          shed != nullptr &&
+          front.options.deadline != SearchOptions::kNoDeadline &&
+          now >= front.options.deadline;
+      (expired ? shed : out)->push_back(std::move(front));
       queue_.pop_front();
     }
     return true;
@@ -95,6 +121,7 @@ class RequestQueue {
   }
 
  private:
+  const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable ready_;
   std::deque<QueuedQuery> queue_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "linalg/vector_ops.h"
+#include "util/failpoint.h"
 #include "util/prng.h"
 
 namespace rabitq {
@@ -37,7 +38,8 @@ SearchEngine::SearchEngine(ShardedIndex index, const EngineConfig& config)
       config_(config),
       pool_(config.num_threads),
       worker_scratch_(pool_.num_threads()),
-      stats_(&metrics_) {
+      stats_(&metrics_),
+      queue_(config.max_queue_depth) {
   for (int s = 0; s < obs::kNumStages; ++s) {
     stage_hist_[s] = metrics_.GetHistogram(
         std::string("rabitq_stage_") +
@@ -79,7 +81,9 @@ SearchEngine::SearchEngine(ShardedIndex index, const EngineConfig& config)
 SearchEngine::SearchEngine(IvfRabitqIndex index, const EngineConfig& config)
     : SearchEngine(ShardedIndex::FromSingle(std::move(index)), config) {}
 
-SearchEngine::~SearchEngine() {
+SearchEngine::~SearchEngine() { Drain(); }
+
+void SearchEngine::Drain() {
   queue_.Close();  // PopBatch drains what was accepted, then returns false
   if (scheduler_.joinable()) scheduler_.join();
   {
@@ -110,7 +114,8 @@ void SearchEngine::ExecuteBatch(
     const float* const* queries, std::size_t n,
     const IvfSearchParams* const* params, const std::uint64_t* seeds,
     const std::chrono::steady_clock::time_point* submit_times,
-    Status* statuses, std::vector<Neighbor>* results, IvfSearchStats* stats) {
+    Status* statuses, std::vector<Neighbor>* results, IvfSearchStats* stats,
+    ShardMergeInfo* infos) {
   using Clock = std::chrono::steady_clock;
   std::lock_guard<std::mutex> batch_lock(batch_mutex_);
   const Clock::time_point start = Clock::now();
@@ -249,19 +254,19 @@ void SearchEngine::ExecuteBatch(
     if (begin >= end) break;
     futures.push_back(pool_.SubmitTask([&, c, begin, end] {
       for (std::size_t q = begin; q < end; ++q) {
-        Status st;
-        for (std::size_t s = 0; s < S && st.ok(); ++s) {
-          st = cell_status_[q * S + s];
+        // A query that failed validation before the scatter (zero-norm
+        // under cosine) never ran any cell; everything else merges with the
+        // per-shard statuses so a failed or out-of-time shard degrades the
+        // query instead of failing it (see ShardedIndex::MergeShardResults).
+        if (!query_status[q].ok()) {
+          statuses[q] = query_status[q];
+          continue;
         }
-        if (st.ok()) {
-          obs::ScopedSpan merge_span(batch_traces_[q], obs::Stage::kMerge);
-          st = index_.MergeShardResults(gather_buf_.Row(q), *params[q],
-                                        &cell_results_[q * S],
-                                        &cell_stats_[q * S],
-                                        &worker_scratch_[c], &results[q],
-                                        &stats[q]);
-        }
-        statuses[q] = st;
+        obs::ScopedSpan merge_span(batch_traces_[q], obs::Stage::kMerge);
+        statuses[q] = index_.MergeShardResults(
+            gather_buf_.Row(q), *params[q], &cell_results_[q * S],
+            &cell_stats_[q * S], &worker_scratch_[c], &results[q], &stats[q],
+            &cell_status_[q * S], &infos[q]);
       }
     }));
   }
@@ -287,6 +292,13 @@ void SearchEngine::ExecuteBatch(
                   .count()
             : batch_us;
     if (!statuses[i].ok()) ++errors;
+    if (statuses[i].code() == StatusCode::kDeadlineExceeded) {
+      stats_.RecordDeadlineExceeded();
+    }
+    if (infos[i].partial) stats_.RecordPartialResponse();
+    if (infos[i].shards_failed > 0) {
+      stats_.RecordShardFailures(infos[i].shards_failed);
+    }
   }
   stats_.RecordBatch(n, latencies.data(), SumStats(stats, n), errors);
 
@@ -345,15 +357,28 @@ Status SearchEngine::SearchBatch(const SearchRequest* requests,
   const std::size_t n = live.size();
   if (n > 0) {
     std::vector<const float*> query_ptrs(n);
+    std::vector<IvfSearchParams> owned_params(n);
     std::vector<const IvfSearchParams*> param_ptrs(n);
     std::vector<std::uint64_t> seeds(n);
     std::vector<Status> statuses(n);
     std::vector<std::vector<Neighbor>> results(n);
     std::vector<IvfSearchStats> stats(n);
+    std::vector<ShardMergeInfo> infos(n);
+    // Relative timeouts resolve against ONE admission timestamp for the
+    // whole batch -- read lazily, so deadline-free batches never touch the
+    // clock here (part of the bit-determinism contract).
+    std::chrono::steady_clock::time_point now{};
+    bool now_read = false;
     for (std::size_t j = 0; j < n; ++j) {
       const SearchRequest& request = requests[live[j]];
       query_ptrs[j] = request.query;
-      param_ptrs[j] = &request.options;
+      owned_params[j] = request.options;
+      if (owned_params[j].timeout_us != 0 && !now_read) {
+        now = std::chrono::steady_clock::now();
+        now_read = true;
+      }
+      owned_params[j].ResolveDeadline(now);
+      param_ptrs[j] = &owned_params[j];
       // Auto-seed by the request's BATCH POSITION (not its compacted slot)
       // so a request's derived seed is independent of its neighbors'
       // validity.
@@ -362,12 +387,15 @@ Status SearchEngine::SearchBatch(const SearchRequest* requests,
     }
     ExecuteBatch(query_ptrs.data(), n, param_ptrs.data(), seeds.data(),
                  /*submit_times=*/nullptr, statuses.data(), results.data(),
-                 stats.data());
+                 stats.data(), infos.data());
     for (std::size_t j = 0; j < n; ++j) {
       SearchResponse& response = (*responses)[live[j]];
       response.status = std::move(statuses[j]);
       response.neighbors = std::move(results[j]);
       response.stats = stats[j];
+      response.partial = infos[j].partial;
+      response.shards_ok = infos[j].shards_ok;
+      response.shards_failed = infos[j].shards_failed;
     }
   }
   for (const SearchResponse& response : *responses) {
@@ -413,9 +441,32 @@ std::future<SearchResponse> SearchEngine::SubmitAsync(
                     : QuerySeed(config_.seed, next_ticket_.fetch_add(
                                                   1, std::memory_order_relaxed));
   queued.submit_time = std::chrono::steady_clock::now();
-  if (!queue_.Push(std::move(queued))) {
-    queued.promise.set_value(SearchResponse{
-        Status::FailedPrecondition("engine is shutting down"), {}, {}});
+  // A relative timeout becomes an absolute deadline at ADMISSION, so queue
+  // time counts against the budget (that is the point of shedding).
+  queued.options.ResolveDeadline(queued.submit_time);
+  bool injected_full = false;
+  RABITQ_FAILPOINT("engine.queue_push", injected_full = true);
+  const RequestQueue::PushResult pushed =
+      injected_full ? RequestQueue::PushResult::kFull
+                    : queue_.Push(std::move(queued));
+  switch (pushed) {
+    case RequestQueue::PushResult::kAccepted:
+      break;
+    case RequestQueue::PushResult::kFull: {
+      // Push refused without consuming `queued`; fail fast instead of
+      // queueing work the engine is too far behind to serve in time.
+      stats_.RecordRejected();
+      SearchResponse response;
+      response.status = Status::ResourceExhausted("request queue is full");
+      queued.promise.set_value(std::move(response));
+      break;
+    }
+    case RequestQueue::PushResult::kClosed: {
+      SearchResponse response;
+      response.status = Status::FailedPrecondition("engine is shutting down");
+      queued.promise.set_value(std::move(response));
+      break;
+    }
   }
   return future;
 }
@@ -607,6 +658,7 @@ obs::MetricsSnapshot SearchEngine::SnapshotMetrics() const {
 
 void SearchEngine::SchedulerLoop() {
   std::vector<QueuedQuery> batch;
+  std::vector<QueuedQuery> shed;
   std::vector<const float*> query_ptrs;
   std::vector<const IvfSearchParams*> param_ptrs;
   std::vector<std::uint64_t> seeds;
@@ -614,10 +666,22 @@ void SearchEngine::SchedulerLoop() {
   std::vector<Status> statuses;
   std::vector<std::vector<Neighbor>> results;
   std::vector<IvfSearchStats> stats;
+  std::vector<ShardMergeInfo> infos;
   while (queue_.PopBatch(config_.max_batch,
                          std::chrono::microseconds(config_.batch_linger_us),
-                         &batch)) {
+                         &batch, &shed)) {
+    // Shed queries fail without executing: their deadline expired while
+    // they waited, so the kindest answer is an immediate one.
+    for (QueuedQuery& dropped : shed) {
+      stats_.RecordShed();
+      SearchResponse response;
+      response.status =
+          Status::DeadlineExceeded("deadline expired while queued");
+      response.partial = true;
+      dropped.promise.set_value(std::move(response));
+    }
     const std::size_t n = batch.size();
+    if (n == 0) continue;  // everything popped this round was shed
     query_ptrs.resize(n);
     param_ptrs.resize(n);
     seeds.resize(n);
@@ -625,6 +689,7 @@ void SearchEngine::SchedulerLoop() {
     statuses.assign(n, Status::Ok());
     results.assign(n, {});
     stats.assign(n, IvfSearchStats{});
+    infos.assign(n, ShardMergeInfo{});
     for (std::size_t i = 0; i < n; ++i) {
       query_ptrs[i] = batch[i].query.data();
       param_ptrs[i] = &batch[i].options;
@@ -633,10 +698,16 @@ void SearchEngine::SchedulerLoop() {
     }
     ExecuteBatch(query_ptrs.data(), n, param_ptrs.data(), seeds.data(),
                  submit_times.data(), statuses.data(), results.data(),
-                 stats.data());
+                 stats.data(), infos.data());
     for (std::size_t i = 0; i < n; ++i) {
-      batch[i].promise.set_value(SearchResponse{
-          std::move(statuses[i]), std::move(results[i]), stats[i]});
+      SearchResponse response;
+      response.status = std::move(statuses[i]);
+      response.neighbors = std::move(results[i]);
+      response.stats = stats[i];
+      response.partial = infos[i].partial;
+      response.shards_ok = infos[i].shards_ok;
+      response.shards_failed = infos[i].shards_failed;
+      batch[i].promise.set_value(std::move(response));
     }
   }
 }

@@ -66,6 +66,11 @@ struct EngineConfig {
   /// Async scheduler: how long the first request of a batch may wait for
   /// company, in microseconds. 0 disables lingering (greedy batches).
   std::size_t batch_linger_us = 200;
+  /// Bounded admission: SubmitAsync fails fast with kResourceExhausted once
+  /// this many requests are queued, so a flood of producers cannot grow the
+  /// backlog (and its memory) without limit. 0 means unbounded -- the
+  /// pre-robustness behavior.
+  std::size_t max_queue_depth = 16384;
   /// Base of the per-query seed derivation (see QuerySeed).
   std::uint64_t seed = 0x5EEDC0FFEE5EEDULL;
   /// Default search parameters for SubmitAsync overloads without params.
@@ -161,8 +166,19 @@ class SearchEngine {
   /// until the future resolves) ride along. options.seed unset draws the
   /// next ticket from the engine's auto-seed stream; set, it is used
   /// verbatim, making the result reproducible independently of submission
-  /// interleaving.
+  /// interleaving. Overload behavior: with the queue at max_queue_depth the
+  /// future resolves immediately with kResourceExhausted; a request whose
+  /// deadline (options.deadline / options.timeout_us, resolved against the
+  /// submission time) expires while queued is shed unexecuted and resolves
+  /// with kDeadlineExceeded.
   std::future<SearchResponse> SubmitAsync(const SearchRequest& request);
+
+  /// Graceful shutdown: closes admission (subsequent SubmitAsync resolves
+  /// with kFailedPrecondition), serves or sheds every already-accepted
+  /// request, joins the scheduler, and stops the background compactor.
+  /// Idempotent; the destructor calls it. Synchronous entry points
+  /// (SearchBatch / Search) keep working after a drain.
+  void Drain();
 
 #ifndef RABITQ_NO_DEPRECATED
   /// Legacy overload ladder, now thin shims over the request-based core
@@ -246,12 +262,14 @@ class SearchEngine {
   /// `statuses`, `results`, `stats` are arrays of length n. `submit_times`
   /// non-null switches the recorded per-query latency from batch execution
   /// time to submit-to-completion time (the async path, queueing included).
+  /// `infos` (length n) receives each query's scatter-gather degradation
+  /// tallies (shards_ok / shards_failed / partial).
   void ExecuteBatch(const float* const* queries, std::size_t n,
                     const IvfSearchParams* const* params,
                     const std::uint64_t* seeds,
                     const std::chrono::steady_clock::time_point* submit_times,
                     Status* statuses, std::vector<Neighbor>* results,
-                    IvfSearchStats* stats);
+                    IvfSearchStats* stats, ShardMergeInfo* infos);
 
   void SchedulerLoop();
   void CompactorLoop();

@@ -9,6 +9,7 @@
 #include <numeric>
 
 #include "linalg/vector_ops.h"
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 
 namespace rabitq {
@@ -243,10 +244,15 @@ std::vector<std::uint32_t> IvfRabitqIndex::ProbeOrder(
 SearchResponse IvfRabitqIndex::Search(const SearchRequest& request) const {
   SearchResponse response;
   IvfSearchScratch scratch;
-  response.status = SearchWithScratch(
-      request.query, nullptr, request.options,
-      request.options.seed.value_or(0), &scratch, &response.neighbors,
-      &response.stats);
+  SearchOptions options = request.options;
+  options.ResolveDeadline(std::chrono::steady_clock::now());
+  response.status = SearchWithScratch(request.query, nullptr, options,
+                                      options.seed.value_or(0), &scratch,
+                                      &response.neighbors, &response.stats);
+  // A bare index is its own single "shard": a deadline trip degrades to
+  // partial results, any other failure fails the response outright.
+  response.partial = response.status.code() == StatusCode::kDeadlineExceeded;
+  response.shards_ok = response.status.ok() || response.partial ? 1 : 0;
   return response;
 }
 
@@ -309,6 +315,18 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
   const float query_norm_sq =
       metric_ == Metric::kL2 ? 0.0f : SquaredNorm(query, dim());
 
+  // Cooperative cancellation: deadline-free queries (the overwhelmingly
+  // common case) never read the clock or touch `deadline_check`, so their
+  // scan is instruction-for-instruction the pre-deadline scan -- the
+  // bit-identical contract survives the plumbing. Armed queries pay one
+  // clock read per probed list plus one per kDeadlineCheckBlocks fast-scan
+  // blocks (per 256 entries on the un-fused paths).
+  const bool has_deadline = params.deadline != SearchOptions::kNoDeadline;
+  const auto deadline = params.deadline;
+  bool deadline_hit = false;
+  std::uint32_t deadline_check = 0;
+  constexpr std::uint32_t kDeadlineCheckBlocks = 16;
+
   IvfSearchStats local_stats;
   TopKHeap exact_heap(params.k);
   // For the fixed-candidates and no-rerank policies: (estimate, id) pool.
@@ -355,6 +373,12 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
   if (trace != nullptr) scan_start = TraceClock::now();
 
   for (std::size_t p = 0; p < nprobe; ++p) {
+    RABITQ_FAILPOINT("ivf.scan_deadline", deadline_hit = true);
+    if (deadline_hit ||
+        (has_deadline && std::chrono::steady_clock::now() >= deadline)) {
+      deadline_hit = true;
+      break;
+    }
     const std::uint32_t list_id = order[p].second;
     const List& list = lists_[list_id];
     if (list.ids.empty()) continue;
@@ -397,6 +421,12 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
           list.num_dead > 0 ? list.dead.data() : nullptr;
       std::uint32_t sums[kFastScanBlockSize];
       for (std::size_t block = 0; block < packed.num_blocks; ++block) {
+        if (has_deadline &&
+            ++deadline_check % kDeadlineCheckBlocks == 0 &&
+            std::chrono::steady_clock::now() >= deadline) {
+          deadline_hit = true;
+          break;
+        }
         const std::size_t begin = block * kFastScanBlockSize;
         const std::size_t count = std::min(kFastScanBlockSize, n - begin);
         PrefetchBlockData(list.codes, block + 1);
@@ -461,6 +491,7 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
         }
         if (time_rerank) rerank_ns += NanosSince(span_start);
       }
+      if (deadline_hit) break;
       continue;
     }
 
@@ -503,6 +534,11 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
         // like the fused path's per-block mask.
         if (trace != nullptr) span_start = TraceClock::now();
         for (std::size_t i = 0; i < n; ++i) {
+          if (has_deadline && (++deadline_check & 255u) == 0 &&
+              std::chrono::steady_clock::now() >= deadline) {
+            deadline_hit = true;
+            break;
+          }
           if (list.dead[i]) continue;
           if (filtering && !filter.Allows(list.ids[i])) {
             ++local_stats.codes_filtered;
@@ -542,6 +578,7 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
         }
         break;
     }
+    if (deadline_hit) break;
   }
 
   if (params.policy == RerankPolicy::kErrorBound) {
@@ -574,6 +611,12 @@ Status IvfRabitqIndex::SearchWithScratch(const float* query,
     trace->AddNanos(obs::Stage::kRerank, rerank_ns);
   }
   if (stats != nullptr) *stats = local_stats;
+  // The extraction above ran regardless: a deadline trip returns everything
+  // gathered before the stop (possibly fewer than k, possibly empty), and
+  // the caller flags the response partial.
+  if (deadline_hit) {
+    return Status::DeadlineExceeded("query deadline exceeded mid-scan");
+  }
   return Status::Ok();
 }
 

@@ -275,21 +275,26 @@ class IvfRabitqIndex {
 
   /// Serializes the full index (raw vectors, centroids, codes, tombstones,
   /// per-code norms, the metric, bits_per_dim and -- for multi-bit stores --
-  /// the extra code planes and their scale factors) in snapshot format v4
-  /// ("RBQIVF04"). The rotation matrix itself is NOT stored: rotators are
-  /// deterministic in (dim, bits, kind, seed), so Load re-derives it from
-  /// the saved config -- the same trick the paper uses to never materialize
-  /// the codebook.
+  /// the extra code planes and their scale factors) in snapshot format v5
+  /// ("RBQIVF05"): everything after the header is covered by a CRC-32
+  /// footer. The write is crash-safe -- the blob goes to `<path>.tmp` and is
+  /// renamed over `path` only after a clean close, so a crash mid-save
+  /// leaves the previous snapshot intact. The rotation matrix itself is NOT
+  /// stored: rotators are deterministic in (dim, bits, kind, seed), so Load
+  /// re-derives it from the saved config -- the same trick the paper uses
+  /// to never materialize the codebook.
   Status Save(const std::string& path) const;
 
-  /// Restores an index written by Save into `*this`. Reads the current v4
-  /// format plus the legacy v3 ("RBQIVF03", no bits_per_dim / multi-bit
-  /// payload), v2 ("RBQIVF02", additionally no metric/norms) and v1
-  /// ("RBQIVF01", additionally no tombstones) formats; v1-v3 snapshots load
-  /// with bits_per_dim = 1, and v1/v2 as Metric::kL2 -- the only choices
-  /// that existed when they were written. Metric, rotator kind and
-  /// bits_per_dim bytes are validated BEFORE the O(B^3) rotator rebuild so
-  /// corrupt values fail closed cheaply.
+  /// Restores an index written by Save into `*this`. Reads the current v5
+  /// format (body verified against its CRC-32 footer; any mismatch fails
+  /// closed with an IoError) plus the legacy v4 ("RBQIVF04", no checksum),
+  /// v3 ("RBQIVF03", no bits_per_dim / multi-bit payload), v2 ("RBQIVF02",
+  /// additionally no metric/norms) and v1 ("RBQIVF01", additionally no
+  /// tombstones) formats; v1-v3 snapshots load with bits_per_dim = 1, and
+  /// v1/v2 as Metric::kL2 -- the only choices that existed when they were
+  /// written. Metric, rotator kind and bits_per_dim bytes are validated
+  /// BEFORE the O(B^3) rotator rebuild so corrupt values fail closed
+  /// cheaply.
   Status Load(const std::string& path);
 
  private:
@@ -307,6 +312,10 @@ class IvfRabitqIndex {
   /// Appends (id, code-of-vec) to the list of vec's nearest centroid and
   /// refreshes the id mapping; shared tail of Add and Update.
   Status AppendToNearestList(std::uint32_t id, const float* vec);
+
+  /// Writes the snapshot blob itself (header, checksummed body, footer) to
+  /// `path`; Save wraps this with the tmp-write + atomic-rename dance.
+  Status SaveBody(const std::string& path) const;
 
   ChunkedVectorStore data_;   // raw vectors (for re-ranking)
   Metric metric_ = Metric::kL2;

@@ -1,9 +1,9 @@
-// Save/Load for IvfRabitqIndex. Snapshot format v4 ("RBQIVF04") stores the
+// Save/Load for IvfRabitqIndex. Snapshot format v5 ("RBQIVF05") stores the
 // metric (a u32 immediately after the header, so it is validated before any
 // expensive reconstruction), the raw vectors, the coarse centroids, the
 // per-list ids, positional tombstones and code-store arrays (including the
 // per-code ||o_r||^2 the IP/cosine factors need), and the RabitqConfig --
-// now including bits_per_dim (a u32 right after the config seed, validated
+// including bits_per_dim (a u32 right after the config seed, validated
 // up front like the metric). Multi-bit stores additionally persist, per
 // code, the B_d - 1 extra bit planes and the primary multi factors
 // (m_o_o, m_alpha, m_beta, m_code_sum): unlike the derived estimator
@@ -11,13 +11,20 @@
 // rotation is reconstructed deterministically from (dim, bits, kind, seed)
 // at load time, mirroring the paper's observation that the codebook never
 // needs to be materialized.
-// Legacy files still load: v3 ("RBQIVF03", written before multi-bit codes
-// -- no bits_per_dim field or multi payload, so it loads as bits_per_dim =
-// 1, the only width in existence then), v2 ("RBQIVF02", additionally no
-// metric field or per-code norms) and v1 ("RBQIVF01", written before the
-// index became mutable -- additionally no tombstone sections). v1/v2
-// default to Metric::kL2, which fixes the old hardcoded `metric_ = kL2`
-// that would have silently mis-loaded any non-L2 snapshot.
+// v5 adds durability, not payload: every byte after the 12-byte header is
+// covered by a CRC-32 footer, so bit-rot fails closed in Load with a
+// checksum IoError instead of reconstructing garbage that happens to pass
+// the structural bounds. Save is also crash-safe -- the blob is written to
+// `<path>.tmp` and renamed into place only after a clean Close, so a crash
+// or injected write fault mid-save leaves the previous snapshot intact.
+// Legacy files still load: v4 ("RBQIVF04", same layout minus the footer),
+// v3 ("RBQIVF03", written before multi-bit codes -- no bits_per_dim field
+// or multi payload, so it loads as bits_per_dim = 1, the only width in
+// existence then), v2 ("RBQIVF02", additionally no metric field or
+// per-code norms) and v1 ("RBQIVF01", written before the index became
+// mutable -- additionally no tombstone sections). v1/v2 default to
+// Metric::kL2, which fixes the old hardcoded `metric_ = kL2` that would
+// have silently mis-loaded any non-L2 snapshot.
 //
 // The derived estimator factors (f_sq/f_cross/f_inv_oo/f_err) are NOT part
 // of any format: they are a pure function of the stored per-code
@@ -27,9 +34,11 @@
 // index computed at encode time.
 
 #include <algorithm>
+#include <cstdio>
 #include <vector>
 
 #include "index/ivf.h"
+#include "util/failpoint.h"
 #include "util/serialize.h"
 
 namespace rabitq {
@@ -38,23 +47,45 @@ namespace {
 // Readable formats, newest first; Save always writes kMagics[0]. Keeping
 // writer and reader on one table means a format bump cannot desynchronize
 // them.
-constexpr char kMagics[][8] = {{'R', 'B', 'Q', 'I', 'V', 'F', '0', '4'},
+constexpr char kMagics[][8] = {{'R', 'B', 'Q', 'I', 'V', 'F', '0', '5'},
+                               {'R', 'B', 'Q', 'I', 'V', 'F', '0', '4'},
                                {'R', 'B', 'Q', 'I', 'V', 'F', '0', '3'},
                                {'R', 'B', 'Q', 'I', 'V', 'F', '0', '2'},
                                {'R', 'B', 'Q', 'I', 'V', 'F', '0', '1'}};
-constexpr std::uint32_t kVersions[] = {4, 3, 2, 1};
+constexpr std::uint32_t kVersions[] = {5, 4, 3, 2, 1};
 constexpr std::uint32_t kVersionV2 = 2;  // adds tombstones
 constexpr std::uint32_t kVersionV3 = 3;  // adds metric + per-code norms
 constexpr std::uint32_t kVersionV4 = 4;  // adds bits_per_dim + multi planes
+constexpr std::uint32_t kVersionV5 = 5;  // adds the CRC-32 body footer
 static_assert(std::size(kMagics) == std::size(kVersions),
               "every readable magic needs its version");
 }  // namespace
 
 Status IvfRabitqIndex::Save(const std::string& path) const {
   if (lists_.empty()) return Status::FailedPrecondition("index not built");
+  // Crash-safe: the blob lands in `<path>.tmp` and only a fully written,
+  // cleanly closed file is renamed over `path` (the same pattern
+  // serve_demo's --metrics-out exporter uses). A crash or write fault at
+  // any point leaves the previous snapshot untouched.
+  const std::string tmp = path + ".tmp";
+  const Status body = SaveBody(tmp);
+  if (!body.ok()) {
+    std::remove(tmp.c_str());
+    return body;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Status IvfRabitqIndex::SaveBody(const std::string& path) const {
   std::unique_ptr<BinaryWriter> writer;
   RABITQ_RETURN_IF_ERROR(BinaryWriter::Open(path, &writer));
   RABITQ_RETURN_IF_ERROR(WriteHeader(writer.get(), kMagics[0], kVersions[0]));
+  // v5: everything after the header feeds the CRC-32 footer.
+  writer->EnableChecksum();
 
   // v3: the metric comes FIRST so Load can validate it before reading (or
   // reconstructing) anything expensive.
@@ -99,6 +130,8 @@ Status IvfRabitqIndex::Save(const std::string& path) const {
 
   // Per-list ids, tombstones and code arrays.
   for (const List& list : lists_) {
+    RABITQ_FAILPOINT("snapshot.write",
+                     return Status::IoError("injected snapshot write fault"));
     RABITQ_RETURN_IF_ERROR(
         writer->WriteArray(list.ids.data(), list.ids.size()));
     RABITQ_RETURN_IF_ERROR(
@@ -129,15 +162,22 @@ Status IvfRabitqIndex::Save(const std::string& path) const {
       }
     }
   }
+  RABITQ_RETURN_IF_ERROR(writer->WriteChecksumFooter());
   return writer->Close();
 }
 
 Status IvfRabitqIndex::Load(const std::string& path) {
   std::unique_ptr<BinaryReader> reader;
   RABITQ_RETURN_IF_ERROR(BinaryReader::Open(path, &reader));
+  RABITQ_FAILPOINT("snapshot.read",
+                   return Status::IoError("injected snapshot read fault"));
   std::size_t format = 0;
   RABITQ_RETURN_IF_ERROR(ExpectHeaderOneOf(reader.get(), kMagics, kVersions,
                                            std::size(kMagics), &format));
+  // v5 bodies are checksummed; accumulate from the first post-header byte
+  // so the footer check at the end covers everything the loader trusted.
+  const bool has_checksum = kVersions[format] >= kVersionV5;
+  if (has_checksum) reader->EnableChecksum();
   const bool has_tombstones = kVersions[format] >= kVersionV2;
   const bool has_metric = kVersions[format] >= kVersionV3;
   const bool has_norm_sq = kVersions[format] >= kVersionV3;
@@ -345,6 +385,11 @@ Status IvfRabitqIndex::Load(const std::string& path) {
       id_to_pos_[id] = static_cast<std::uint32_t>(p);
       ++live_count_;
     }
+  }
+  // The structural bounds above catch impossible shapes; the footer catches
+  // everything else (flipped payload bits that still parse).
+  if (has_checksum) {
+    RABITQ_RETURN_IF_ERROR(reader->VerifyChecksumFooter());
   }
   return Status::Ok();
 }

@@ -24,6 +24,7 @@
 #ifndef RABITQ_INDEX_SEARCH_TYPES_H_
 #define RABITQ_INDEX_SEARCH_TYPES_H_
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -175,6 +176,39 @@ struct SearchOptions {
   /// Per-query id filter, pushed down into candidate selection (global ids
   /// when searching a ShardedIndex / SearchEngine).
   IdFilter filter;
+
+  /// Sentinel for `deadline`: no deadline.
+  static constexpr std::chrono::steady_clock::time_point kNoDeadline =
+      std::chrono::steady_clock::time_point::max();
+
+  /// Absolute deadline for this query. Resolved from `timeout_us` at
+  /// admission when left at kNoDeadline; once set it rides the options copy
+  /// through engine -> ShardedIndex -> IvfRabitqIndex::SearchWithScratch,
+  /// whose scan loop checks it every few fast-scan blocks. A query that
+  /// trips its deadline stops scanning, returns whatever candidates it has
+  /// (sorted, re-ranked as far as it got) and reports kDeadlineExceeded with
+  /// SearchResponse::partial set. Queries with no deadline skip every check
+  /// and are bit-identical to pre-deadline builds.
+  std::chrono::steady_clock::time_point deadline = kNoDeadline;
+
+  /// Relative spelling of `deadline`: a budget in microseconds from the
+  /// moment the serving layer admits the query (SubmitAsync / SearchBatch /
+  /// Search entry). 0 = no timeout. Ignored when `deadline` is already set.
+  std::uint64_t timeout_us = 0;
+
+  /// True when either deadline form is armed.
+  bool has_deadline() const {
+    return deadline != kNoDeadline || timeout_us != 0;
+  }
+
+  /// Pins `deadline` to an absolute time, deriving it from `timeout_us`
+  /// relative to `now` when only the relative form was given. Idempotent --
+  /// every serving layer calls it on its options copy at entry.
+  void ResolveDeadline(std::chrono::steady_clock::time_point now) {
+    if (deadline == kNoDeadline && timeout_us != 0) {
+      deadline = now + std::chrono::microseconds(timeout_us);
+    }
+  }
 };
 
 /// Legacy spelling of SearchOptions, kept so existing call sites (and the
@@ -225,10 +259,27 @@ struct SearchRequest {
 /// Outcome of one served query: per-query status (a failed query reports
 /// here, not by poisoning its whole batch), neighbors sorted ascending by
 /// (distance, id), and the per-query work counters.
+///
+/// Degraded outcomes carry results instead of failing the query: a deadline
+/// trip or an isolated shard failure still returns the neighbors gathered
+/// from the work that did finish, with `partial` set and the shard tallies
+/// reporting how much of the fan-out contributed. Callers that cannot use
+/// partial answers check `partial`; callers that can, use the neighbors
+/// as-is (status kDeadlineExceeded still reports WHY they are partial).
 struct SearchResponse {
   Status status;
   std::vector<Neighbor> neighbors;
   IvfSearchStats stats;
+
+  /// True when `neighbors` reflects less than the full requested search:
+  /// the query hit its deadline mid-scan, or one or more shards failed and
+  /// were excluded from the merge.
+  bool partial = false;
+  /// Shards whose results made it into the merge (single-index layers count
+  /// as one shard). 0 until a search actually ran.
+  std::uint32_t shards_ok = 0;
+  /// Shards excluded from the merge by a hard failure.
+  std::uint32_t shards_failed = 0;
 
   bool ok() const { return status.ok(); }
 };

@@ -1,6 +1,7 @@
 #include "index/sharded.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <functional>
@@ -9,6 +10,7 @@
 
 #include "cluster/kmeans.h"
 #include "linalg/vector_ops.h"
+#include "util/failpoint.h"
 #include "util/serialize.h"
 
 namespace rabitq {
@@ -234,10 +236,15 @@ std::uint32_t ShardedIndex::local_of(std::uint32_t id) const {
 SearchResponse ShardedIndex::Search(const SearchRequest& request) const {
   SearchResponse response;
   ShardedSearchScratch scratch;
+  SearchOptions options = request.options;
+  options.ResolveDeadline(std::chrono::steady_clock::now());
+  ShardMergeInfo info;
   response.status = SearchWithScratch(
-      request.query, nullptr, request.options,
-      request.options.seed.value_or(0), &scratch, &response.neighbors,
-      &response.stats);
+      request.query, nullptr, options, options.seed.value_or(0), &scratch,
+      &response.neighbors, &response.stats, &info);
+  response.partial = info.partial;
+  response.shards_ok = info.shards_ok;
+  response.shards_failed = info.shards_failed;
   return response;
 }
 
@@ -247,7 +254,8 @@ Status ShardedIndex::SearchWithScratch(const float* query,
                                        std::uint64_t seed,
                                        ShardedSearchScratch* scratch,
                                        std::vector<Neighbor>* out,
-                                       IvfSearchStats* stats) const {
+                                       IvfSearchStats* stats,
+                                       ShardMergeInfo* info) const {
   if (out == nullptr || scratch == nullptr) {
     return Status::InvalidArgument("null output/scratch");
   }
@@ -271,18 +279,28 @@ Status ShardedIndex::SearchWithScratch(const float* query,
   const std::size_t S = shards_.size();
   scratch->shard_results.resize(S);
   scratch->shard_stats.assign(S, IvfSearchStats{});
+  scratch->shard_statuses.assign(S, Status::Ok());
   for (std::size_t s = 0; s < S; ++s) {
-    RABITQ_RETURN_IF_ERROR(SearchShard(s, query, rotated_query, params, seed,
-                                       &scratch->shard_scratch,
-                                       &scratch->shard_results[s],
-                                       &scratch->shard_stats[s]));
+    Status& shard_status = scratch->shard_statuses[s];
+    shard_status = SearchShard(s, query, rotated_query, params, seed,
+                               &scratch->shard_scratch,
+                               &scratch->shard_results[s],
+                               &scratch->shard_stats[s]);
+    if (!shard_status.ok() &&
+        shard_status.code() != StatusCode::kDeadlineExceeded) {
+      // A hard-failed shard may have bailed before writing its output slot;
+      // drop whatever a previous query left there so the merge (which also
+      // skips failed shards) can never see stale neighbors.
+      scratch->shard_results[s].clear();
+    }
   }
   // The per-shard scans above recorded their own spans through
   // shard_scratch.trace (when the caller set one); the gather is the merge
   // stage. The engine's scatter path times its merge chunks the same way.
   obs::ScopedSpan merge_span(scratch->shard_scratch.trace, obs::Stage::kMerge);
   return MergeShardResults(query, params, scratch->shard_results.data(),
-                           scratch->shard_stats.data(), scratch, out, stats);
+                           scratch->shard_stats.data(), scratch, out, stats,
+                           scratch->shard_statuses.data(), info);
 }
 
 Status ShardedIndex::SearchShard(std::size_t shard, const float* query,
@@ -291,6 +309,8 @@ Status ShardedIndex::SearchShard(std::size_t shard, const float* query,
                                  std::uint64_t seed, IvfSearchScratch* scratch,
                                  std::vector<Neighbor>* out,
                                  IvfSearchStats* stats) const {
+  RABITQ_FAILPOINT("sharded.search_shard",
+                   return Status::Internal("injected shard failure"));
   IvfSearchParams shard_params = params;
   if (params.policy == RerankPolicy::kFixedCandidates) {
     // Gather estimates only; the merge selects the globally best
@@ -318,15 +338,44 @@ Status ShardedIndex::MergeShardResults(const float* query,
                                        const IvfSearchStats* shard_stats,
                                        ShardedSearchScratch* scratch,
                                        std::vector<Neighbor>* out,
-                                       IvfSearchStats* stats) const {
+                                       IvfSearchStats* stats,
+                                       const Status* shard_statuses,
+                                       ShardMergeInfo* info) const {
   if (out == nullptr || scratch == nullptr) {
     return Status::InvalidArgument("null output/scratch");
   }
   if (params.k == 0) return Status::InvalidArgument("k must be positive");
   const std::size_t S = shards_.size();
+
+  // Per-shard degradation tallies. A deadline-exceeded shard still counts
+  // as ok (its partial candidates merge below); only hard failures are
+  // excluded outright.
+  ShardMergeInfo local_info;
+  bool any_deadline = false;
+  Status first_failure = Status::Ok();
+  const auto hard_failed = [&](std::size_t s) {
+    return shard_statuses != nullptr && !shard_statuses[s].ok() &&
+           shard_statuses[s].code() != StatusCode::kDeadlineExceeded;
+  };
+  for (std::size_t s = 0; s < S; ++s) {
+    if (hard_failed(s)) {
+      ++local_info.shards_failed;
+      local_info.partial = true;
+      if (first_failure.ok()) first_failure = shard_statuses[s];
+    } else {
+      ++local_info.shards_ok;
+      if (shard_statuses != nullptr &&
+          shard_statuses[s].code() == StatusCode::kDeadlineExceeded) {
+        any_deadline = true;
+        local_info.partial = true;
+      }
+    }
+  }
+
   auto& cands = scratch->cands;
   cands.clear();
   for (std::size_t s = 0; s < S; ++s) {
+    if (hard_failed(s)) continue;
     for (const Neighbor& nb : shard_results[s]) {
       cands.push_back({nb.first, local_to_global_[s][nb.second],
                        shards_[s]->vector(nb.second)});
@@ -344,6 +393,7 @@ Status ShardedIndex::MergeShardResults(const float* query,
   IvfSearchStats agg;
   if (shard_stats != nullptr) {
     for (std::size_t s = 0; s < S; ++s) {
+      if (hard_failed(s)) continue;
       agg.codes_estimated += shard_stats[s].codes_estimated;
       agg.candidates_reranked += shard_stats[s].candidates_reranked;
       agg.lists_probed += shard_stats[s].lists_probed;
@@ -380,6 +430,16 @@ Status ShardedIndex::MergeShardResults(const float* query,
     }
   }
   if (stats != nullptr) *stats = agg;
+  if (info != nullptr) *info = local_info;
+  // Degraded-but-useful beats failed: only an all-shards-down fan-out
+  // surfaces the shard error itself. A deadline anywhere dominates hard
+  // failures -- the caller asked for time bounds and got partial results.
+  if (any_deadline) {
+    return Status::DeadlineExceeded("query deadline exceeded mid-scan");
+  }
+  if (local_info.shards_failed > 0 && local_info.shards_ok == 0) {
+    return first_failure;
+  }
   return Status::Ok();
 }
 
@@ -465,9 +525,13 @@ Status ShardedIndex::Save(const std::string& path) const {
   if (ec) {
     return Status::IoError("cannot create snapshot directory " + path);
   }
-  {
+  // Phase 1: write the manifest and every shard blob under temporary
+  // names. A crash or write fault anywhere in this phase leaves a previous
+  // snapshot in `path` fully intact.
+  const std::string manifest_tmp = ManifestPath(path) + ".tmp";
+  Status status = [&]() -> Status {
     std::unique_ptr<BinaryWriter> writer;
-    RABITQ_RETURN_IF_ERROR(BinaryWriter::Open(ManifestPath(path), &writer));
+    RABITQ_RETURN_IF_ERROR(BinaryWriter::Open(manifest_tmp, &writer));
     RABITQ_RETURN_IF_ERROR(
         WriteHeader(writer.get(), kManifestMagics[0], kManifestVersions[0]));
     RABITQ_RETURN_IF_ERROR(writer->WriteU32(static_cast<std::uint32_t>(metric())));
@@ -477,14 +541,40 @@ Status ShardedIndex::Save(const std::string& path) const {
     for (const auto& map : local_to_global_) {
       RABITQ_RETURN_IF_ERROR(writer->WriteArray(map.data(), map.size()));
     }
-    RABITQ_RETURN_IF_ERROR(writer->Close());
+    return writer->Close();
+  }();
+  if (status.ok()) {
+    std::vector<Status> st;
+    ForEachShardParallel(
+        shards_.size(),
+        [&](std::size_t s) {
+          // IvfRabitqIndex::Save is itself write-then-rename, so each .new
+          // blob only appears once fully written and checksummed.
+          return shards_[s]->Save(ShardBlobPath(path, s) + ".new");
+        },
+        &st);
+    status = FirstError(st);
   }
-  std::vector<Status> st;
-  ForEachShardParallel(
-      shards_.size(),
-      [&](std::size_t s) { return shards_[s]->Save(ShardBlobPath(path, s)); },
-      &st);
-  return FirstError(st);
+  // Phase 2: publish -- blobs first, manifest last. Renaming the manifest
+  // is the commit point; until then a reader's Load sees the old snapshot.
+  for (std::size_t s = 0; s < shards_.size() && status.ok(); ++s) {
+    const std::string blob = ShardBlobPath(path, s);
+    const std::string tmp = blob + ".new";
+    if (std::rename(tmp.c_str(), blob.c_str()) != 0) {
+      status = Status::IoError("cannot rename '" + tmp + "' to '" + blob + "'");
+    }
+  }
+  if (status.ok() &&
+      std::rename(manifest_tmp.c_str(), ManifestPath(path).c_str()) != 0) {
+    status = Status::IoError("cannot publish manifest for " + path);
+  }
+  if (!status.ok()) {
+    std::remove(manifest_tmp.c_str());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      std::remove((ShardBlobPath(path, s) + ".new").c_str());
+    }
+  }
+  return status;
 }
 
 Status ShardedIndex::Load(const std::string& path) {

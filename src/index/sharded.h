@@ -74,6 +74,18 @@ struct ShardedConfig {
   RabitqConfig rabitq;
 };
 
+/// Outcome of the scatter-gather fan-out, filled by MergeShardResults: how
+/// many shards contributed to the merge, how many were excluded by a hard
+/// failure, and whether the merged result is partial (a shard tripped its
+/// deadline mid-scan, or failed outright). The serving layers copy these
+/// into SearchResponse so a caller can tell a complete answer from a
+/// degraded one.
+struct ShardMergeInfo {
+  std::uint32_t shards_ok = 0;
+  std::uint32_t shards_failed = 0;
+  bool partial = false;
+};
+
 /// Reusable workspace for ShardedIndex::SearchWithScratch and
 /// MergeShardResults. Never share one scratch between concurrent callers.
 struct ShardedSearchScratch {
@@ -88,6 +100,7 @@ struct ShardedSearchScratch {
   IvfSearchScratch shard_scratch;
   std::vector<std::vector<Neighbor>> shard_results;
   std::vector<IvfSearchStats> shard_stats;
+  std::vector<Status> shard_statuses;
   std::vector<float> rotated_query;
   std::vector<float> norm_query;  // cosine: unit-normalized query copy
   std::vector<MergeCand> cands;
@@ -164,11 +177,19 @@ class ShardedIndex {
 #endif  // RABITQ_NO_DEPRECATED
 
   /// Search core with caller-owned workspace (see IvfRabitqIndex contract).
+  /// Shard failures are ISOLATED: a shard that fails hard contributes
+  /// nothing to the merge, a shard that trips params.deadline contributes
+  /// its partial candidates; `*info` (optional) reports the tallies. The
+  /// returned status is Ok while at least one shard merged cleanly and no
+  /// deadline tripped, kDeadlineExceeded when any shard ran out of time
+  /// (merged results are still written), and the first shard error only
+  /// when EVERY shard failed hard.
   Status SearchWithScratch(const float* query, const float* rotated_query,
                            const IvfSearchParams& params, std::uint64_t seed,
                            ShardedSearchScratch* scratch,
                            std::vector<Neighbor>* out,
-                           IvfSearchStats* stats = nullptr) const;
+                           IvfSearchStats* stats = nullptr,
+                           ShardMergeInfo* info = nullptr) const;
 
   /// Scatter half: searches ONE shard, returning shard-LOCAL candidates.
   /// kErrorBound runs unchanged (exact per-shard top-k); kFixedCandidates
@@ -190,12 +211,20 @@ class ShardedIndex {
   /// kFixedCandidates this selects the globally best max(k, R) estimates
   /// and re-ranks them exactly. `shard_stats` (optional, num_shards()
   /// entries) is aggregated into `*stats` along with the merge's re-ranks.
+  /// `shard_statuses` (optional, num_shards() entries) enables per-shard
+  /// degradation: a hard-failed shard's results and stats are EXCLUDED from
+  /// the merge, a kDeadlineExceeded shard's partial results are included;
+  /// `*info` reports shards_ok/shards_failed/partial. The returned status
+  /// follows the SearchWithScratch contract above. Null shard_statuses
+  /// means every shard succeeded (the legacy all-or-nothing callers).
   Status MergeShardResults(const float* query, const IvfSearchParams& params,
                            const std::vector<Neighbor>* shard_results,
                            const IvfSearchStats* shard_stats,
                            ShardedSearchScratch* scratch,
                            std::vector<Neighbor>* out,
-                           IvfSearchStats* stats) const;
+                           IvfSearchStats* stats,
+                           const Status* shard_statuses = nullptr,
+                           ShardMergeInfo* info = nullptr) const;
 
   /// Appends one vector: ReserveId + CompleteAdd (single-writer callers).
   Status Add(const float* vec, std::uint32_t* id_out = nullptr);
@@ -220,7 +249,11 @@ class ShardedIndex {
 
   /// Writes a sharded snapshot: `path` becomes a directory holding a
   /// MANIFEST ("RBQSHRD2": metric, shard count, id space, per-shard id
-  /// maps) plus one v4 ("RBQIVF04") blob per shard, written in parallel.
+  /// maps) plus one v5 ("RBQIVF05", CRC-32-footed) blob per shard, written
+  /// in parallel. Crash-safe in two phases: every blob and the manifest are
+  /// fully written to temporary names first, then renamed into place with
+  /// the manifest last -- a crash or write fault during the first phase
+  /// leaves the previous snapshot untouched.
   Status Save(const std::string& path) const;
 
   /// Restores a snapshot written by Save (shard blobs load in parallel).

@@ -1,0 +1,54 @@
+// Table-based IEEE CRC-32 (reflected polynomial 0xEDB88320), the checksum
+// used by zlib/gzip/PNG. Header-only and dependency-free; snapshot blobs
+// append it as a footer so bit-rot fails closed at Load instead of
+// reconstructing garbage.
+
+#ifndef RABITQ_UTIL_CRC32_H_
+#define RABITQ_UTIL_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace rabitq {
+namespace crc32_internal {
+
+inline const std::array<std::uint32_t, 256>& Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace crc32_internal
+
+/// Extends a running CRC-32 over `len` more bytes. Start from 0 and feed
+/// successive chunks through the returned value; the final result equals a
+/// single-shot Crc32 over the concatenation.
+inline std::uint32_t Crc32Update(std::uint32_t crc, const void* data,
+                                 std::size_t len) {
+  const auto& table = crc32_internal::Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc ^= 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a buffer.
+inline std::uint32_t Crc32(const void* data, std::size_t len) {
+  return Crc32Update(0, data, len);
+}
+
+}  // namespace rabitq
+
+#endif  // RABITQ_UTIL_CRC32_H_

@@ -1,0 +1,98 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/prng.h"
+
+namespace rabitq {
+namespace fail {
+namespace {
+
+struct PointState {
+  Mode mode = Mode::kOff;
+  std::uint64_t arg = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t hits = 0;
+};
+
+// One global registry behind a mutex: failpoints exist for tests, not for
+// production throughput, and unconfigured sites exit before taking the lock
+// via the armed-count fast path below.
+std::mutex& RegistryMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unordered_map<std::string, PointState>& Registry() {
+  static std::unordered_map<std::string, PointState> r;
+  return r;
+}
+
+// Fast path: when nothing is armed, Triggered() is a relaxed load + branch,
+// so an RABITQ_FAILPOINTS=ON build with no configured points stays cheap
+// enough to run the full suite.
+std::atomic<int>& ArmedCount() {
+  static std::atomic<int> n{0};
+  return n;
+}
+
+}  // namespace
+
+void Configure(const std::string& name, Mode mode, std::uint64_t arg,
+               std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto [it, inserted] = Registry().try_emplace(name);
+  if (inserted || it->second.mode == Mode::kOff) {
+    if (mode != Mode::kOff) ArmedCount().fetch_add(1);
+  } else if (mode == Mode::kOff) {
+    ArmedCount().fetch_sub(1);
+  }
+  it->second = PointState{mode, arg, seed, 0};
+}
+
+void Clear(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end()) return;
+  if (it->second.mode != Mode::kOff) ArmedCount().fetch_sub(1);
+  Registry().erase(it);
+}
+
+void ClearAll() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry().clear();
+  ArmedCount().store(0);
+}
+
+std::uint64_t HitCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+bool Triggered(const char* name) {
+  if (ArmedCount().load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end()) return false;
+  PointState& p = it->second;
+  const std::uint64_t hit = ++p.hits;
+  switch (p.mode) {
+    case Mode::kOff:
+      return false;
+    case Mode::kAlways:
+      return true;
+    case Mode::kOnce:
+      return hit == (p.arg == 0 ? 1 : p.arg);
+    case Mode::kEveryN:
+      return p.arg != 0 && hit % p.arg == 0;
+    case Mode::kSeededPermille:
+      return MixSeed(p.seed, hit) % 1000 < p.arg;
+  }
+  return false;
+}
+
+}  // namespace fail
+}  // namespace rabitq

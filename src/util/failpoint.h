@@ -1,0 +1,85 @@
+// Deterministic fault-injection points ("failpoints") for robustness tests.
+//
+// A failpoint is a named trigger site compiled into a hot path only when the
+// build sets -DRABITQ_FAILPOINTS (CMake option RABITQ_FAILPOINTS=ON); default
+// builds pay literally nothing — the RABITQ_FAILPOINT macro expands to an
+// empty statement. The registry API below (Configure/Clear/HitCount/...) is
+// always compiled so tests link in every configuration and can GTEST_SKIP
+// when FailpointsCompiledIn() is false.
+//
+// Triggering is deterministic: every evaluation increments the point's hit
+// counter, and the configured mode decides from (hit index, seed) alone —
+// kSeededPermille keys off MixSeed(seed, hit), so a given (seed, traffic
+// pattern) always injects the same faults.
+//
+// Usage at a trigger site:
+//   RABITQ_FAILPOINT("snapshot.write", return Status::IoError("injected"));
+// Usage in a test:
+//   fail::Configure("snapshot.write", fail::Mode::kOnce, /*arg=*/3);
+//   ... exercise ...
+//   fail::ClearAll();
+
+#ifndef RABITQ_UTIL_FAILPOINT_H_
+#define RABITQ_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rabitq {
+namespace fail {
+
+enum class Mode {
+  kOff,            // never triggers (same as unconfigured)
+  kAlways,         // triggers on every hit
+  kOnce,           // triggers only on the arg-th hit (1-based; arg=0 -> first)
+  kEveryN,         // triggers on every arg-th hit (hit % arg == 0)
+  kSeededPermille  // triggers when MixSeed(seed, hit) % 1000 < arg
+};
+
+/// True when trigger sites are compiled into the library (RABITQ_FAILPOINTS).
+constexpr bool FailpointsCompiledIn() {
+#ifdef RABITQ_FAILPOINTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Arms `name` with the given mode. `arg` is the mode's parameter (hit index
+/// for kOnce, period for kEveryN, permille rate for kSeededPermille); `seed`
+/// keys kSeededPermille. Reconfiguring resets the hit counter.
+void Configure(const std::string& name, Mode mode, std::uint64_t arg = 0,
+               std::uint64_t seed = 0);
+
+/// Disarms `name` (hit counting continues at zero cost of triggering).
+void Clear(const std::string& name);
+
+/// Disarms every failpoint and forgets all hit counters.
+void ClearAll();
+
+/// Number of times the trigger site `name` has been evaluated since it was
+/// configured (0 if never configured or never hit).
+std::uint64_t HitCount(const std::string& name);
+
+/// Evaluates the trigger site: bumps the hit counter and returns whether the
+/// configured mode fires on this hit. Unconfigured names never fire (and do
+/// not allocate). Called only from RABITQ_FAILPOINT sites.
+bool Triggered(const char* name);
+
+}  // namespace fail
+}  // namespace rabitq
+
+#ifdef RABITQ_FAILPOINTS
+#define RABITQ_FAILPOINT(name, action)               \
+  do {                                               \
+    if (::rabitq::fail::Triggered(name)) {           \
+      action;                                        \
+    }                                                \
+  } while (0)
+#else
+#define RABITQ_FAILPOINT(name, action) \
+  do {                                 \
+  } while (0)
+#endif
+
+#endif  // RABITQ_UTIL_FAILPOINT_H_

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/crc32.h"
+
 namespace rabitq {
 
 Status BinaryWriter::Open(const std::string& path,
@@ -26,7 +28,18 @@ Status BinaryWriter::WriteBytes(const void* data, std::size_t size) {
     deferred_error_ = Status::IoError("short write");
     return deferred_error_;
   }
+  if (checksum_enabled_) crc_ = Crc32Update(crc_, data, size);
   return Status::Ok();
+}
+
+void BinaryWriter::EnableChecksum() {
+  checksum_enabled_ = true;
+  crc_ = 0;
+}
+
+Status BinaryWriter::WriteChecksumFooter() {
+  checksum_enabled_ = false;
+  return WriteU32(crc_);
 }
 
 Status BinaryWriter::WriteU32(std::uint32_t value) {
@@ -69,6 +82,22 @@ Status BinaryReader::ReadBytes(void* data, std::size_t size) {
   if (size == 0) return Status::Ok();
   if (std::fread(data, 1, size, file_) != size) {
     return Status::IoError("unexpected end of file");
+  }
+  if (checksum_enabled_) crc_ = Crc32Update(crc_, data, size);
+  return Status::Ok();
+}
+
+void BinaryReader::EnableChecksum() {
+  checksum_enabled_ = true;
+  crc_ = 0;
+}
+
+Status BinaryReader::VerifyChecksumFooter() {
+  checksum_enabled_ = false;
+  std::uint32_t stored = 0;
+  RABITQ_RETURN_IF_ERROR(ReadU32(&stored));
+  if (stored != crc_) {
+    return Status::IoError("snapshot checksum mismatch (corrupt file)");
   }
   return Status::Ok();
 }

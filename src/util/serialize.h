@@ -41,11 +41,22 @@ class BinaryWriter {
   /// Flushes and closes; returns the first error encountered, if any.
   Status Close();
 
+  /// Starts accumulating a CRC-32 over every byte written from here on.
+  /// Formats with a checksummed body call this right after the header, so
+  /// the magic/version stay readable even when the body is unverifiable.
+  void EnableChecksum();
+
+  /// Stops accumulation and writes the running CRC-32 as a u32 footer (the
+  /// footer itself is excluded from the checksum).
+  Status WriteChecksumFooter();
+
  private:
   explicit BinaryWriter(std::FILE* file) : file_(file) {}
 
   std::FILE* file_;
   Status deferred_error_;
+  bool checksum_enabled_ = false;
+  std::uint32_t crc_ = 0;
 };
 
 /// Binary reader mirroring BinaryWriter.
@@ -85,10 +96,20 @@ class BinaryReader {
     return ReadBytes(out->data(), static_cast<std::size_t>(count) * sizeof(T));
   }
 
+  /// Mirrors BinaryWriter::EnableChecksum: accumulates a CRC-32 over every
+  /// byte read from here on.
+  void EnableChecksum();
+
+  /// Stops accumulation, reads the u32 footer and compares it against the
+  /// accumulated CRC-32; any mismatch fails closed with an IoError.
+  Status VerifyChecksumFooter();
+
  private:
   explicit BinaryReader(std::FILE* file) : file_(file) {}
 
   std::FILE* file_;
+  bool checksum_enabled_ = false;
+  std::uint32_t crc_ = 0;
 };
 
 /// Writes/checks an 8-byte magic tag plus a u32 version.

@@ -1,0 +1,364 @@
+// Deterministic fault-injection tests (util/failpoint.h). The registry
+// semantics are always compiled, so the mode tests run everywhere; the
+// trigger-site tests need a build with -DRABITQ_FAILPOINTS=ON (CMake option
+// RABITQ_FAILPOINTS) and skip themselves otherwise -- the CI failpoints job
+// is what actually exercises them.
+//
+// Covered sites: torn snapshot writes (the old snapshot must survive, both
+// the single-file blob and the sharded manifest+blob directory), snapshot
+// read faults, a hard per-shard search failure degrading (not failing) the
+// scatter-gather merge, injected admission rejection, and a forced mid-scan
+// deadline stop returning partial results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/search_engine.h"
+#include "index/ivf.h"
+#include "index/sharded.h"
+#include "linalg/vector_ops.h"
+#include "util/failpoint.h"
+#include "util/prng.h"
+
+namespace rabitq {
+namespace {
+
+Matrix ClusteredData(std::size_t n, std::size_t dim, std::size_t clusters,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix centers(clusters, dim);
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    centers.data()[i] = static_cast<float>(rng.Gaussian()) * 8.0f;
+  }
+  Matrix data(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = rng.UniformInt(clusters);
+    for (std::size_t j = 0; j < dim; ++j) {
+      data.At(i, j) = centers.At(c, j) + static_cast<float>(rng.Gaussian());
+    }
+  }
+  return data;
+}
+
+IvfRabitqIndex BuildIndex(const Matrix& data, std::size_t num_lists) {
+  IvfRabitqIndex index;
+  IvfConfig ivf;
+  ivf.num_lists = num_lists;
+  EXPECT_TRUE(index.Build(data, ivf, RabitqConfig{}).ok());
+  return index;
+}
+
+void ExpectSameNeighbors(const std::vector<Neighbor>& a,
+                         const std::vector<Neighbor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].second, b[i].second) << "rank " << i;
+    EXPECT_EQ(a[i].first, b[i].first) << "rank " << i;
+  }
+}
+
+// ------------------------------------------------------------------------
+// Registry semantics: compiled in every build.
+
+TEST(FailpointRegistryTest, ModeSemanticsAreDeterministic) {
+  fail::ClearAll();
+  EXPECT_FALSE(fail::Triggered("fpt.unknown"));
+  EXPECT_EQ(fail::HitCount("fpt.unknown"), 0u);
+
+  // kOnce, default arg: the first hit and only the first hit.
+  fail::Configure("fpt.once", fail::Mode::kOnce);
+  EXPECT_TRUE(fail::Triggered("fpt.once"));
+  EXPECT_FALSE(fail::Triggered("fpt.once"));
+  EXPECT_EQ(fail::HitCount("fpt.once"), 2u);
+
+  // kOnce with arg: exactly the arg-th hit.
+  fail::Configure("fpt.third", fail::Mode::kOnce, 3);
+  EXPECT_FALSE(fail::Triggered("fpt.third"));
+  EXPECT_FALSE(fail::Triggered("fpt.third"));
+  EXPECT_TRUE(fail::Triggered("fpt.third"));
+  EXPECT_FALSE(fail::Triggered("fpt.third"));
+
+  // kEveryN fires on hits N, 2N, 3N, ...
+  fail::Configure("fpt.every", fail::Mode::kEveryN, 2);
+  const std::vector<bool> expected = {false, true, false, true, false, true};
+  std::vector<bool> fired;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    fired.push_back(fail::Triggered("fpt.every"));
+  }
+  EXPECT_EQ(fired, expected);
+
+  // Reconfiguring resets the hit counter.
+  fail::Configure("fpt.every", fail::Mode::kEveryN, 2);
+  EXPECT_FALSE(fail::Triggered("fpt.every"));
+  EXPECT_EQ(fail::HitCount("fpt.every"), 1u);
+
+  // kSeededPermille is a pure function of (seed, hit index): replaying the
+  // same configuration yields the identical injection pattern.
+  fail::Configure("fpt.seeded", fail::Mode::kSeededPermille, 500, 42);
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) first.push_back(fail::Triggered("fpt.seeded"));
+  fail::Configure("fpt.seeded", fail::Mode::kSeededPermille, 500, 42);
+  std::vector<bool> second;
+  for (int i = 0; i < 64; ++i) second.push_back(fail::Triggered("fpt.seeded"));
+  EXPECT_EQ(first, second);
+  // ~500 permille should fire sometimes but not always.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+
+  // Clear disarms a single point; others stay armed.
+  fail::Clear("fpt.every");
+  EXPECT_FALSE(fail::Triggered("fpt.every"));
+  fail::Configure("fpt.always", fail::Mode::kAlways);
+  EXPECT_TRUE(fail::Triggered("fpt.always"));
+
+  fail::ClearAll();
+  EXPECT_FALSE(fail::Triggered("fpt.always"));
+  EXPECT_EQ(fail::HitCount("fpt.once"), 0u);
+}
+
+// ------------------------------------------------------------------------
+// Trigger sites: need RABITQ_FAILPOINTS=ON.
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kDim = 24;
+
+  void SetUp() override {
+    if (!fail::FailpointsCompiledIn()) {
+      GTEST_SKIP() << "build with -DRABITQ_FAILPOINTS=ON to run trigger-site "
+                      "fault-injection tests";
+    }
+    fail::ClearAll();
+    data_ = ClusteredData(800, kDim, 10, 1);
+    other_data_ = ClusteredData(800, kDim, 10, 2);
+    query_ = ClusteredData(4, kDim, 10, 3);
+    params_.k = 10;
+    params_.nprobe = 6;
+    params_.seed = 77;
+  }
+
+  void TearDown() override { fail::ClearAll(); }
+
+  SearchRequest Request(const Matrix& queries, std::size_t qi) const {
+    SearchRequest request;
+    request.query = queries.Row(qi);
+    request.options = params_;
+    return request;
+  }
+
+  Matrix data_;
+  Matrix other_data_;
+  Matrix query_;
+  SearchOptions params_;
+};
+
+// A write fault mid-save must leave the PREVIOUS snapshot untouched and
+// loadable, and must not litter the directory with the temp file.
+TEST_F(FaultInjectionTest, TornSnapshotWritePreservesOldSnapshot) {
+  const std::string path = ::testing::TempDir() + "/fault_single.rbq";
+  std::filesystem::remove(path);
+
+  IvfRabitqIndex original = BuildIndex(data_, 8);
+  ASSERT_TRUE(original.Save(path).ok());
+  const SearchResponse reference = original.Search(Request(query_, 0));
+  ASSERT_TRUE(reference.ok());
+
+  // Overwriting with a DIFFERENT index dies mid-write...
+  IvfRabitqIndex replacement = BuildIndex(other_data_, 8);
+  fail::Configure("snapshot.write", fail::Mode::kAlways);
+  const Status torn = replacement.Save(path);
+  EXPECT_FALSE(torn.ok());
+  EXPECT_NE(torn.message().find("injected"), std::string::npos);
+  fail::Clear("snapshot.write");
+
+  // ...but the rename-into-place never happened: no temp litter, and the
+  // old snapshot still loads bit-identically.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  IvfRabitqIndex reloaded;
+  ASSERT_TRUE(reloaded.Load(path).ok());
+  const SearchResponse after = reloaded.Search(Request(query_, 0));
+  ASSERT_TRUE(after.ok());
+  ExpectSameNeighbors(reference.neighbors, after.neighbors);
+}
+
+// Same contract for the sharded directory snapshot: a blob write fault
+// anywhere in the two-phase save (manifest tmp -> blob .new -> publish)
+// aborts the whole save, cleans up, and leaves the old manifest + blobs
+// serving the old index.
+TEST_F(FaultInjectionTest, TornShardedSavePreservesOldDirectory) {
+  const std::string dir = ::testing::TempDir() + "/fault_sharded";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  ShardedConfig config;
+  config.num_shards = 3;
+  config.ivf.num_lists = 8;
+  ShardedIndex original;
+  ASSERT_TRUE(original.Build(data_, config).ok());
+  ASSERT_TRUE(original.Save(dir).ok());
+  const SearchResponse reference = original.Search(Request(query_, 0));
+  ASSERT_TRUE(reference.ok());
+
+  ShardedIndex replacement;
+  ASSERT_TRUE(replacement.Build(other_data_, config).ok());
+  // kOnce arg=2: the fault lands mid-way through one shard's list loop, a
+  // partially written blob rather than a clean first-byte failure.
+  fail::Configure("snapshot.write", fail::Mode::kOnce, 2);
+  EXPECT_FALSE(replacement.Save(dir).ok());
+  fail::Clear("snapshot.write");
+
+  // No temp litter from either phase survives the cleanup.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+    EXPECT_EQ(name.find(".new"), std::string::npos) << name;
+  }
+
+  ShardedIndex reloaded;
+  ASSERT_TRUE(reloaded.Load(dir).ok());
+  EXPECT_EQ(reloaded.num_shards(), 3u);
+  const SearchResponse after = reloaded.Search(Request(query_, 0));
+  ASSERT_TRUE(after.ok());
+  ExpectSameNeighbors(reference.neighbors, after.neighbors);
+}
+
+// A read fault surfaces as a load error; clearing it recovers.
+TEST_F(FaultInjectionTest, SnapshotReadFaultSurfacesAndRecovers) {
+  const std::string path = ::testing::TempDir() + "/fault_read.rbq";
+  IvfRabitqIndex index = BuildIndex(data_, 8);
+  ASSERT_TRUE(index.Save(path).ok());
+
+  fail::Configure("snapshot.read", fail::Mode::kAlways);
+  IvfRabitqIndex loaded;
+  const Status status = loaded.Load(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("injected"), std::string::npos);
+  fail::Clear("snapshot.read");
+  EXPECT_TRUE(loaded.Load(path).ok());
+}
+
+// One shard hard-failing degrades the scatter-gather merge instead of
+// failing the query: results come from the surviving shards, the response
+// is flagged partial with the shard tallies, and the status stays ok.
+TEST_F(FaultInjectionTest, ShardFailureDegradesScatterGather) {
+  ShardedConfig config;
+  config.num_shards = 3;
+  config.ivf.num_lists = 8;
+  ShardedIndex index;
+  ASSERT_TRUE(index.Build(data_, config).ok());
+
+  const SearchResponse full = index.Search(Request(query_, 0));
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.shards_ok, 3u);
+  EXPECT_EQ(full.shards_failed, 0u);
+  EXPECT_FALSE(full.partial);
+
+  // First SearchShard call (shard 0; the bare index fans out sequentially)
+  // fails; the other two still answer.
+  fail::Configure("sharded.search_shard", fail::Mode::kOnce);
+  const SearchResponse degraded = index.Search(Request(query_, 0));
+  EXPECT_TRUE(degraded.ok()) << degraded.status.message();
+  EXPECT_TRUE(degraded.partial);
+  EXPECT_EQ(degraded.shards_ok, 2u);
+  EXPECT_EQ(degraded.shards_failed, 1u);
+  EXPECT_FALSE(degraded.neighbors.empty());
+  // Round-robin placement (gid % num_shards): none of the failed shard 0's
+  // ids may leak into the degraded answer, and every full-answer neighbor
+  // owned by a surviving shard must still be found by the merge.
+  for (const Neighbor& n : degraded.neighbors) {
+    EXPECT_NE(n.second % 3, 0u) << "id from the failed shard leaked";
+  }
+  for (const Neighbor& ref : full.neighbors) {
+    if (ref.second % 3 == 0) continue;
+    bool found = false;
+    for (const Neighbor& n : degraded.neighbors) {
+      if (n.second == ref.second && n.first == ref.first) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "surviving id " << ref.second << " lost from merge";
+  }
+
+  // All shards failing is a hard error, not a silent empty answer.
+  fail::Configure("sharded.search_shard", fail::Mode::kAlways);
+  const SearchResponse dead = index.Search(Request(query_, 0));
+  EXPECT_FALSE(dead.ok());
+  EXPECT_EQ(dead.shards_ok, 0u);
+  EXPECT_EQ(dead.shards_failed, 3u);
+  EXPECT_TRUE(dead.neighbors.empty());
+}
+
+// The engine counts isolated shard failures and partial responses in its
+// serving stats while still answering the query.
+TEST_F(FaultInjectionTest, EngineCountsIsolatedShardFailure) {
+  ShardedConfig config;
+  config.num_shards = 3;
+  config.ivf.num_lists = 8;
+  ShardedIndex index;
+  ASSERT_TRUE(index.Build(data_, config).ok());
+  SearchEngine engine(std::move(index));
+
+  fail::Configure("sharded.search_shard", fail::Mode::kOnce);
+  const SearchResponse response = engine.Search(Request(query_, 0));
+  EXPECT_TRUE(response.ok()) << response.status.message();
+  EXPECT_TRUE(response.partial);
+  EXPECT_EQ(response.shards_failed, 1u);
+  EXPECT_FALSE(response.neighbors.empty());
+
+  const EngineStatsSnapshot stats = engine.Stats();
+  EXPECT_EQ(stats.shard_failures, 1u);
+  EXPECT_GE(stats.partial_responses, 1u);
+}
+
+// An injected admission failure behaves exactly like a real full queue:
+// immediate kResourceExhausted, counted, and recovery after the fault.
+TEST_F(FaultInjectionTest, QueuePushFaultRejectsSubmission) {
+  SearchEngine engine(BuildIndex(data_, 8));
+
+  fail::Configure("engine.queue_push", fail::Mode::kAlways);
+  const SearchResponse rejected = engine.SubmitAsync(Request(query_, 0)).get();
+  EXPECT_EQ(rejected.status.code(), StatusCode::kResourceExhausted);
+  fail::Clear("engine.queue_push");
+
+  const SearchResponse served = engine.SubmitAsync(Request(query_, 0)).get();
+  EXPECT_TRUE(served.ok()) << served.status.message();
+  EXPECT_FALSE(served.neighbors.empty());
+  EXPECT_EQ(engine.Stats().queries_rejected, 1u);
+}
+
+// Forcing the scan-loop deadline check simulates running out of budget
+// mid-scan without depending on wall-clock timing: the query stops early
+// and reports partial results.
+TEST_F(FaultInjectionTest, ScanDeadlineFaultForcesPartialResults) {
+  IvfRabitqIndex index = BuildIndex(data_, 8);
+  const SearchResponse full = index.Search(Request(query_, 0));
+  ASSERT_TRUE(full.ok());
+
+  // Fires before the first probe: nothing scanned, empty partial answer.
+  fail::Configure("ivf.scan_deadline", fail::Mode::kAlways);
+  const SearchResponse stopped = index.Search(Request(query_, 0));
+  EXPECT_EQ(stopped.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(stopped.partial);
+  EXPECT_TRUE(stopped.neighbors.empty());
+  EXPECT_EQ(stopped.stats.lists_probed, 0u);
+
+  // Fires before the third probe: two lists' worth of partial results.
+  fail::Configure("ivf.scan_deadline", fail::Mode::kOnce, 3);
+  const SearchResponse partway = index.Search(Request(query_, 0));
+  EXPECT_EQ(partway.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(partway.partial);
+  EXPECT_EQ(partway.stats.lists_probed, 2u);
+  EXPECT_LE(partway.neighbors.size(), full.neighbors.size());
+  for (std::size_t i = 1; i < partway.neighbors.size(); ++i) {
+    EXPECT_LE(partway.neighbors[i - 1].first, partway.neighbors[i].first);
+  }
+}
+
+}  // namespace
+}  // namespace rabitq

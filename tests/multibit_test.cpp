@@ -454,8 +454,9 @@ TEST_F(MultibitSearchTest, BatchAndNonBatchAgreeAtPartialProbe) {
   }
 }
 
-// Snapshot v4: bits_per_dim, the extra code planes and the persisted grid
-// factors all round-trip bitwise, and post-load search is bit-identical.
+// Snapshots carry the multi-bit payload: bits_per_dim, the extra code
+// planes and the persisted grid factors all round-trip bitwise (through the
+// current v5 checksummed format), and post-load search is bit-identical.
 TEST_F(MultibitSearchTest, SnapshotV4RoundTripsMultiBitPayload) {
   const IvfRabitqIndex index = BuildSingle(Metric::kInnerProduct, 4);
   const std::string path = ::testing::TempDir() + "/multibit_v4.rbq";
@@ -464,7 +465,7 @@ TEST_F(MultibitSearchTest, SnapshotV4RoundTripsMultiBitPayload) {
     std::ifstream in(path, std::ios::binary);
     char magic[8] = {};
     in.read(magic, 8);
-    EXPECT_EQ(std::string(magic, 8), "RBQIVF04");
+    EXPECT_EQ(std::string(magic, 8), "RBQIVF05");
   }
   IvfRabitqIndex loaded;
   ASSERT_TRUE(loaded.Load(path).ok());

@@ -1,14 +1,15 @@
 // Snapshot format compatibility: the committed v1 golden file (written by
 // the pre-lifecycle code, magic "RBQIVF01"), v2 golden file (written by
-// the pre-metric code, "RBQIVF02") and v3 golden file (written by the
-// pre-multi-bit code, "RBQIVF03", inner-product metric) must keep loading
-// -- v1/v2 as kL2, all three with bits_per_dim = 1 -- and the current v4
-// format ("RBQIVF04", which adds bits_per_dim and the multi-bit payload)
-// must round-trip a mutated index -- tombstones, stale update entries and
-// all -- with bit-identical search results. The metric byte (offset 12) and
-// the rotator-kind byte (offset 40) are fuzzed explicitly: in-range values
-// load with that setting, out-of-range values fail closed before the
-// rotator rebuild.
+// the pre-metric code, "RBQIVF02"), v3 golden file (written by the
+// pre-multi-bit code, "RBQIVF03", inner-product metric) and v4 golden file
+// (written by the pre-checksum code, "RBQIVF04", 2-bit codes) must keep
+// loading -- v1/v2 as kL2, v1-v3 with bits_per_dim = 1 -- and the current
+// v5 format ("RBQIVF05", which appends a CRC-32 footer over the body) must
+// round-trip a mutated index -- tombstones, stale update entries and all --
+// with bit-identical search results. The metric byte (offset 12) and the
+// rotator-kind byte (offset 40) are fuzzed explicitly: in-range values load
+// with that setting, out-of-range values fail closed before the rotator
+// rebuild. Body corruption under v5 is caught by the checksum.
 
 #include <gtest/gtest.h>
 
@@ -20,6 +21,7 @@
 
 #include "index/ivf.h"
 #include "index/sharded.h"
+#include "util/crc32.h"
 #include "util/prng.h"
 
 #ifndef RABITQ_TEST_DATA_DIR
@@ -190,6 +192,58 @@ TEST(SnapshotCompatTest, V3GoldenFileLoadsWithMetricAndMatchesRebuild) {
   std::remove(resaved.c_str());
 }
 
+// The v4 golden file (pre-checksum writer, 2-bit codes, inner product) pins
+// the multi-bit format: it must load with bits_per_dim = 2 and its metric,
+// search bit-identically to an in-test rebuild from the generator recipe,
+// and survive a current-format (v5, checksummed) re-save bit-identically.
+TEST(SnapshotCompatTest, V4GoldenFileLoadsAndSurvivesV5ReSave) {
+  IvfRabitqIndex golden;
+  const std::string path =
+      std::string(RABITQ_TEST_DATA_DIR) + "/golden_v4.rbq";
+  ASSERT_TRUE(golden.Load(path).ok()) << "cannot load v4 golden " << path;
+  EXPECT_EQ(golden.size(), kGoldenN);
+  EXPECT_EQ(golden.dim(), kGoldenDim);
+  EXPECT_EQ(golden.num_lists(), kGoldenLists);
+  EXPECT_EQ(golden.metric(), Metric::kInnerProduct);
+  EXPECT_EQ(golden.encoder().config().bits_per_dim, 2u);
+  EXPECT_EQ(golden.num_tombstones(), 0u);
+
+  // The generator recipe, replayed: same data, same build, 2-bit codes.
+  Rng rng(123);
+  Matrix data(kGoldenN, kGoldenDim);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  IvfRabitqIndex rebuilt;
+  IvfConfig ivf;
+  ivf.num_lists = kGoldenLists;
+  ivf.metric = Metric::kInnerProduct;
+  RabitqConfig rabitq;
+  rabitq.bits_per_dim = 2;
+  ASSERT_TRUE(rebuilt.Build(data, ivf, rabitq).ok());
+
+  IvfSearchParams params;
+  params.k = 10;
+  params.nprobe = 4;
+  const auto want = SearchAll(rebuilt, params);
+  const auto got = SearchAll(golden, params);
+  for (std::size_t q = 0; q < want.size(); ++q) {
+    ExpectSameNeighbors(want[q], got[q]);
+  }
+
+  const std::string resaved = TempPath("golden_v4_as_v5.rbq");
+  ASSERT_TRUE(golden.Save(resaved).ok());
+  IvfRabitqIndex v5;
+  ASSERT_TRUE(v5.Load(resaved).ok());
+  EXPECT_EQ(v5.metric(), Metric::kInnerProduct);
+  EXPECT_EQ(v5.encoder().config().bits_per_dim, 2u);
+  const auto after = SearchAll(v5, params);
+  for (std::size_t q = 0; q < want.size(); ++q) {
+    ExpectSameNeighbors(want[q], after[q]);
+  }
+  std::remove(resaved.c_str());
+}
+
 TEST(SnapshotCompatTest, V1GoldenSurvivesCurrentRoundTripBitIdentically) {
   IvfRabitqIndex v1;
   ASSERT_TRUE(
@@ -330,6 +384,19 @@ void WriteFileBytes(const std::string& path,
   ASSERT_TRUE(out.good()) << path;
 }
 
+// The v5 footer is the CRC-32 of every byte between the 12-byte header
+// (magic + version) and the final 4 footer bytes. Byte-patching fuzzers
+// that test a SPECIFIC validation path must recompute it after patching,
+// or the checksum would mask the corruption under test.
+void FixupChecksum(std::vector<unsigned char>* bytes) {
+  ASSERT_GT(bytes->size(), 16u);
+  const std::size_t crc_off = bytes->size() - 4;
+  const std::uint32_t crc = Crc32(bytes->data() + 12, crc_off - 12);
+  for (std::size_t b = 0; b < 4; ++b) {
+    (*bytes)[crc_off + b] = static_cast<unsigned char>((crc >> (8 * b)) & 0xFFu);
+  }
+}
+
 // A small index with every lifecycle feature in the file: tombstones,
 // stale update entries, appends.
 IvfRabitqIndex BuildMutatedIndex() {
@@ -464,6 +531,7 @@ TEST(SnapshotFuzzTest, V3MetricByteInRangeLoadsOutOfRangeFailsClosed) {
   for (std::uint32_t value = 0; value <= kMaxMetricValue; ++value) {
     std::vector<unsigned char> patched = bytes;
     patched[kMetricOffset] = static_cast<unsigned char>(value);
+    FixupChecksum(&patched);
     WriteFileBytes(mutant, patched);
     IvfRabitqIndex loaded;
     ASSERT_TRUE(loaded.Load(mutant).ok()) << "metric value " << value;
@@ -474,6 +542,7 @@ TEST(SnapshotFuzzTest, V3MetricByteInRangeLoadsOutOfRangeFailsClosed) {
        {kMaxMetricValue + 1, std::uint32_t{17}, std::uint32_t{255}}) {
     std::vector<unsigned char> patched = bytes;
     patched[kMetricOffset] = static_cast<unsigned char>(value);
+    FixupChecksum(&patched);
     WriteFileBytes(mutant, patched);
     IvfRabitqIndex loaded;
     EXPECT_FALSE(loaded.Load(mutant).ok())
@@ -483,6 +552,7 @@ TEST(SnapshotFuzzTest, V3MetricByteInRangeLoadsOutOfRangeFailsClosed) {
   for (std::size_t byte = 1; byte < 4; ++byte) {
     std::vector<unsigned char> patched = bytes;
     patched[kMetricOffset + byte] = 1;
+    FixupChecksum(&patched);
     WriteFileBytes(mutant, patched);
     IvfRabitqIndex loaded;
     EXPECT_FALSE(loaded.Load(mutant).ok())
@@ -512,6 +582,7 @@ TEST(SnapshotFuzzTest, RotatorKindByteInRangeLoadsOutOfRangeFailsClosed) {
        {RotatorKind::kDense, RotatorKind::kFht, RotatorKind::kIdentity}) {
     std::vector<unsigned char> patched = bytes;
     patched[kRotatorOffset] = static_cast<unsigned char>(kind);
+    FixupChecksum(&patched);
     WriteFileBytes(mutant, patched);
     IvfRabitqIndex loaded;
     ASSERT_TRUE(loaded.Load(mutant).ok())
@@ -522,6 +593,7 @@ TEST(SnapshotFuzzTest, RotatorKindByteInRangeLoadsOutOfRangeFailsClosed) {
   for (const unsigned char value : {3, 17, 255}) {
     std::vector<unsigned char> patched = bytes;
     patched[kRotatorOffset] = value;
+    FixupChecksum(&patched);
     WriteFileBytes(mutant, patched);
     IvfRabitqIndex loaded;
     EXPECT_FALSE(loaded.Load(mutant).ok())
@@ -532,10 +604,51 @@ TEST(SnapshotFuzzTest, RotatorKindByteInRangeLoadsOutOfRangeFailsClosed) {
   for (std::size_t byte = 1; byte < 4; ++byte) {
     std::vector<unsigned char> patched = bytes;
     patched[kRotatorOffset + byte] = 1;
+    FixupChecksum(&patched);
     WriteFileBytes(mutant, patched);
     IvfRabitqIndex loaded;
     EXPECT_FALSE(loaded.Load(mutant).ok())
         << "rotator high byte " << byte << " loaded";
+  }
+  std::remove(path.c_str());
+  std::remove(mutant.c_str());
+}
+
+// The v5 CRC-32 footer: corrupting ANY body byte -- including raw vector
+// payload, which no pre-v5 structural check could detect -- fails closed
+// with a checksum error, as does corrupting the footer itself. Loading a
+// patched body requires recomputing the footer (what FixupChecksum, and
+// only FixupChecksum, does for the header fuzzers above).
+TEST(SnapshotFuzzTest, V5ChecksumCatchesBodyCorruption) {
+  const std::string path = TempPath("fuzz_crc.rbq");
+  ASSERT_TRUE(BuildMutatedIndex().Save(path).ok());
+  const std::vector<unsigned char> bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 16u);
+  {
+    // The writer's own footer must agree with the recomputation the fuzzers
+    // rely on -- pins the checksum coverage ([12, size - 4)) itself.
+    std::vector<unsigned char> refooted = bytes;
+    FixupChecksum(&refooted);
+    EXPECT_EQ(refooted, bytes) << "footer does not match recomputed CRC";
+  }
+
+  const std::string mutant = TempPath("fuzz_crc_mutant.rbq");
+  Rng rng(33);
+  for (int i = 0; i < 64; ++i) {
+    std::vector<unsigned char> corrupted = bytes;
+    const std::size_t off = 12 + rng.UniformInt(bytes.size() - 16);
+    corrupted[off] ^= static_cast<unsigned char>(1u << rng.UniformInt(8));
+    WriteFileBytes(mutant, corrupted);
+    IvfRabitqIndex loaded;
+    EXPECT_FALSE(loaded.Load(mutant).ok())
+        << "body flip at " << off << " loaded despite checksum";
+  }
+  for (std::size_t b = 1; b <= 4; ++b) {
+    std::vector<unsigned char> corrupted = bytes;
+    corrupted[bytes.size() - b] ^= 0x01;
+    WriteFileBytes(mutant, corrupted);
+    IvfRabitqIndex loaded;
+    EXPECT_FALSE(loaded.Load(mutant).ok()) << "footer flip loaded";
   }
   std::remove(path.c_str());
   std::remove(mutant.c_str());
