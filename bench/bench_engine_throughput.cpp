@@ -43,6 +43,8 @@
 #include "index/sharded.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "util/prng.h"
 #include "util/timer.h"
 
@@ -590,6 +592,203 @@ int Run(int argc, char** argv) {
                 RecallOf(gt, all, params.k), writers,
                 static_cast<double>(mutations.load()) /
                     std::max(mutation_s, 1e-9));
+  }
+
+  // ---- Wire serving: the same engine behind the TCP server, driven by N
+  // closed-loop blocking clients over localhost (one Client per thread --
+  // the shape the client library is built for). The sweep doubles the
+  // client count to find saturation QPS with client-observed round-trip
+  // p50/p99. The closing point is the overload drill: a second server with
+  // an overload-tuned engine template (shallow admission queue, tiny
+  // batches) takes 2x the saturating client count, each query carrying a
+  // 20 ms budget -- so the answer to overload is fast kResourceExhausted /
+  // kDeadlineExceeded responses and a bounded served p99, not unbounded
+  // queueing.
+  {
+    using server::Client;
+    using server::Server;
+    using server::ServerConfig;
+    using server::WireCollectionSpec;
+
+    WireCollectionSpec spec;
+    spec.dim = static_cast<std::uint32_t>(dim);
+    spec.metric = Metric::kL2;
+    spec.bits_per_dim = 1;
+    spec.num_shards = 1;
+    spec.num_lists = 256;
+
+    struct WirePoint {
+      double wall_s = 0.0;
+      std::size_t served = 0;
+      std::size_t rejected = 0;
+      std::size_t deadline = 0;
+      std::size_t errors = 0;
+      double p50_us = 0.0;
+      double p99_us = 0.0;
+      double qps() const {
+        return static_cast<double>(served) / std::max(wall_s, 1e-9);
+      }
+    };
+
+    auto percentile = [](std::vector<double>* sorted, double p) {
+      if (sorted->empty()) return 0.0;
+      const std::size_t idx =
+          static_cast<std::size_t>(p * static_cast<double>(sorted->size() - 1));
+      return (*sorted)[idx];
+    };
+
+    // Runs `clients` closed-loop threads against the collection "bench" on
+    // `port` for ~`seconds`, each request carrying `timeout_us` (0 = no
+    // deadline). Outcomes are tallied per status code; latency quantiles
+    // cover the SERVED responses only.
+    auto drive = [&](std::uint16_t port, std::size_t clients, double seconds,
+                     std::uint64_t timeout_us) {
+      std::atomic<bool> stop{false};
+      std::vector<WirePoint> tallies(clients);
+      std::vector<std::vector<double>> latencies(clients);
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      WallTimer wall;
+      for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          Client client;
+          if (!client.Connect("127.0.0.1", port).ok()) return;
+          std::size_t i = 0;
+          while (!stop.load(std::memory_order_relaxed)) {
+            const std::size_t qi = (c * 7919 + i) % num_queries;
+            SearchOptions options = params;
+            options.seed = SearchEngine::QuerySeed(kSeedBase, qi);
+            options.timeout_us = timeout_us;
+            WallTimer rt;
+            const SearchResponse response =
+                client.Search("bench", queries.Row(qi), dim, options);
+            const double us = rt.ElapsedSeconds() * 1e6;
+            if (response.status.ok()) {
+              ++tallies[c].served;
+              latencies[c].push_back(us);
+            } else if (response.status.code() ==
+                       StatusCode::kResourceExhausted) {
+              ++tallies[c].rejected;
+              // Well-behaved clients back off after an admission rejection;
+              // without this the rejection fast path turns the closed loop
+              // into a retry storm that starves the queue it is probing.
+              std::this_thread::sleep_for(std::chrono::microseconds(500));
+            } else if (response.status.code() ==
+                       StatusCode::kDeadlineExceeded) {
+              ++tallies[c].deadline;
+            } else {
+              ++tallies[c].errors;
+              if (!client.connected() &&
+                  !client.Connect("127.0.0.1", port).ok()) {
+                break;
+              }
+            }
+            ++i;
+          }
+        });
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+      stop.store(true, std::memory_order_relaxed);
+      for (auto& t : threads) t.join();
+
+      WirePoint point;
+      point.wall_s = wall.ElapsedSeconds();
+      std::vector<double> merged;
+      for (std::size_t c = 0; c < clients; ++c) {
+        point.served += tallies[c].served;
+        point.rejected += tallies[c].rejected;
+        point.deadline += tallies[c].deadline;
+        point.errors += tallies[c].errors;
+        merged.insert(merged.end(), latencies[c].begin(), latencies[c].end());
+      }
+      std::sort(merged.begin(), merged.end());
+      point.p50_us = percentile(&merged, 0.50);
+      point.p99_us = percentile(&merged, 0.99);
+      return point;
+    };
+
+    // Saturation sweep: production-shaped engine template.
+    double saturation_qps = 0.0;
+    std::size_t saturation_clients = 1;
+    {
+      ServerConfig serve_config;
+      serve_config.port = 0;
+      serve_config.collections.engine.num_threads = max_threads;
+      Server wire_server(serve_config);
+      CheckOk(wire_server.Start(), "wire Start");
+      {
+        Client admin;
+        CheckOk(admin.Connect("127.0.0.1", wire_server.port()),
+                "wire Connect");
+        CheckOk(admin.CreateCollection("bench", spec, data), "wire Create");
+      }
+      const std::size_t client_cap = std::max<std::size_t>(8, 2 * max_threads);
+      for (std::size_t clients = 1; clients <= client_cap; clients *= 2) {
+        const WirePoint point = drive(wire_server.port(), clients, 0.6, 0);
+        std::printf(",\n  {\"mode\":\"server\",\"clients\":%zu,"
+                    "\"threads\":%zu,\"qps\":%.1f,\"p50_us\":%.0f,"
+                    "\"p99_us\":%.0f,\"served\":%zu,\"errors\":%zu}",
+                    clients, max_threads, point.qps(), point.p50_us,
+                    point.p99_us, point.served, point.errors);
+        if (point.qps() > saturation_qps) {
+          saturation_qps = point.qps();
+          saturation_clients = clients;
+        }
+      }
+      wire_server.Stop();
+      wire_server.Wait();
+    }
+
+    // Overload drill: 2x the saturating client count against the
+    // overload-tuned template. The shallow queue turns excess concurrency
+    // into immediate kResourceExhausted; the 20 ms budget sheds whatever
+    // still queues too long -- both counted below, with the engine-side
+    // shed/partial tallies read straight off the collection.
+    {
+      ServerConfig overload_config;
+      overload_config.port = 0;
+      overload_config.collections.engine.num_threads = max_threads;
+      overload_config.collections.engine.max_batch = 4;
+      overload_config.collections.engine.batch_linger_us = 0;
+      // Sized so 2x the saturating concurrency cannot all fit: the excess
+      // is the measured rejection rate rather than invisible queueing.
+      overload_config.collections.engine.max_queue_depth =
+          std::max<std::size_t>(2, saturation_clients / 2);
+      Server overload_server(overload_config);
+      CheckOk(overload_server.Start(), "wire overload Start");
+      {
+        Client admin;
+        CheckOk(admin.Connect("127.0.0.1", overload_server.port()),
+                "wire overload Connect");
+        CheckOk(admin.CreateCollection("bench", spec, data),
+                "wire overload Create");
+      }
+      const std::size_t overload_clients =
+          std::min<std::size_t>(2 * saturation_clients, 128);
+      const std::uint64_t kBudgetUs = 20000;
+      const WirePoint point =
+          drive(overload_server.port(), overload_clients, 0.8, kBudgetUs);
+      EngineStatsSnapshot engine_stats;
+      if (const auto collection =
+              overload_server.collections()->Get("bench")) {
+        engine_stats = collection->engine->Stats();
+      }
+      std::printf(
+          ",\n  {\"mode\":\"server_overload\",\"clients\":%zu,"
+          "\"load\":\"2x\",\"saturation_qps\":%.1f,\"timeout_us\":%llu,"
+          "\"goodput_qps\":%.1f,\"p50_us\":%.0f,\"p99_us\":%.0f,"
+          "\"served\":%zu,\"rejected\":%zu,\"deadline_exceeded\":%zu,"
+          "\"shed\":%llu,\"partial\":%llu,\"errors\":%zu}",
+          overload_clients, saturation_qps,
+          static_cast<unsigned long long>(kBudgetUs), point.qps(),
+          point.p50_us, point.p99_us, point.served, point.rejected,
+          point.deadline,
+          static_cast<unsigned long long>(engine_stats.queries_shed),
+          static_cast<unsigned long long>(engine_stats.partial_responses),
+          point.errors);
+      overload_server.Stop();
+      overload_server.Wait();
+    }
   }
 
   std::printf("\n]}\n");

@@ -1,0 +1,211 @@
+// rabitq_server: the standalone network server binary.
+//
+//   rabitq_server [--host H] [--port P] [--root DIR] [--threads N]
+//       Serve collections over the wire until SIGINT/SIGTERM or a client
+//       drain request. Prints "listening on H:P" (with the actual bound
+//       port, so --port 0 is usable by scripts) once ready.
+//
+//   rabitq_server --smoke
+//       Self-contained end-to-end check: in-process server on an ephemeral
+//       port, a client runs the full lifecycle (create / add / search /
+//       stats / snapshot / restore / drain) against it. Exit 0 = pass.
+//
+//   rabitq_server --client-smoke HOST PORT
+//       The same round-trip against an ALREADY RUNNING server (the CI smoke
+//       step pairs this with a backgrounded serve mode), finishing with a
+//       drain -- so the served process exits cleanly afterwards.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+
+namespace {
+
+rabitq::server::Server* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->Stop();
+}
+
+rabitq::Matrix MakeTrainingSet(std::size_t rows, std::size_t dim,
+                               std::uint64_t seed) {
+  rabitq::Matrix data(rows, dim);
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  for (std::size_t i = 0; i < data.size(); ++i) data.data()[i] = dist(rng);
+  return data;
+}
+
+#define SMOKE_CHECK(cond, what)                               \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      std::fprintf(stderr, "smoke FAILED: %s\n", what);       \
+      return 1;                                               \
+    }                                                         \
+  } while (0)
+
+#define SMOKE_OK(expr, what)                                          \
+  do {                                                                \
+    const rabitq::Status smoke_status = (expr);                       \
+    if (!smoke_status.ok()) {                                         \
+      std::fprintf(stderr, "smoke FAILED: %s: %s\n", what,            \
+                   smoke_status.ToString().c_str());                  \
+      return 1;                                                       \
+    }                                                                 \
+  } while (0)
+
+/// The client-side round-trip shared by --smoke and --client-smoke. Ends
+/// with a drain, so the server being exercised shuts down afterwards.
+int RunClientSmoke(const std::string& host, std::uint16_t port,
+                   const std::string& snapshot_check) {
+  using rabitq::server::Client;
+  using rabitq::server::WireCollectionSpec;
+
+  Client client;
+  SMOKE_OK(client.Connect(host, port), "connect");
+  SMOKE_OK(client.Ping(), "ping");
+
+  const std::size_t kDim = 24;
+  WireCollectionSpec spec;
+  spec.dim = kDim;
+  spec.metric = rabitq::Metric::kL2;
+  spec.bits_per_dim = 1;
+  spec.num_shards = 2;
+  spec.num_lists = 16;
+  const rabitq::Matrix train = MakeTrainingSet(512, kDim, 7);
+  SMOKE_OK(client.CreateCollection("smoke", spec, train), "create_collection");
+
+  std::vector<std::string> names;
+  SMOKE_OK(client.ListCollections(&names), "list_collections");
+  SMOKE_CHECK(std::find(names.begin(), names.end(), "smoke") != names.end(),
+              "created collection missing from list");
+
+  std::uint32_t id = 0;
+  SMOKE_OK(client.Add("smoke", train.Row(0), kDim, &id), "add");
+
+  rabitq::SearchOptions options;
+  options.k = 5;
+  options.nprobe = 8;
+  options.seed = 42;
+  const rabitq::SearchResponse response =
+      client.Search("smoke", train.Row(1), kDim, options);
+  SMOKE_OK(response.status, "search");
+  SMOKE_CHECK(!response.neighbors.empty(), "search returned no neighbors");
+  SMOKE_CHECK(response.neighbors.size() <= options.k, "search overdelivered");
+
+  std::vector<rabitq::SearchResponse> batch;
+  SMOKE_OK(client.BatchSearch("smoke", train.Row(0), 4, kDim, options, &batch),
+           "batch_search");
+  SMOKE_CHECK(batch.size() == 4, "batch_search response count");
+
+  SMOKE_OK(client.Delete("smoke", id), "delete");
+
+  std::string stats;
+  SMOKE_OK(client.Stats("", /*format=*/1, &stats), "stats");
+  SMOKE_CHECK(stats.find("rabitq_server_requests_total") != std::string::npos,
+              "server counters missing from stats");
+  SMOKE_CHECK(stats.find("collection=\"smoke\"") != std::string::npos,
+              "per-collection labels missing from stats");
+
+  if (!snapshot_check.empty()) {
+    SMOKE_OK(client.Snapshot("smoke"), "snapshot");
+    SMOKE_OK(client.DropCollection("smoke"), "drop_collection");
+    SMOKE_OK(client.Restore("smoke"), "restore");
+    const rabitq::SearchResponse after =
+        client.Search("smoke", train.Row(1), kDim, options);
+    SMOKE_OK(after.status, "search after restore");
+  }
+
+  SMOKE_OK(client.Drain(), "drain");
+  std::printf("smoke OK\n");
+  return 0;
+}
+
+int RunSelfSmoke() {
+  using rabitq::server::Server;
+  using rabitq::server::ServerConfig;
+
+  const std::string root =
+      "/tmp/rabitq_server_smoke_" + std::to_string(::getpid());
+  ServerConfig config;
+  config.port = 0;  // ephemeral
+  config.collections.root_dir = root;
+  Server server(config);
+  const rabitq::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const int rc = RunClientSmoke("127.0.0.1", server.port(), root);
+  server.Stop();
+  server.Wait();
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7471;
+  std::string root;
+  std::size_t threads = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      return RunSelfSmoke();
+    } else if (arg == "--client-smoke" && i + 2 < argc) {
+      const std::string peer_host = argv[++i];
+      const int peer_port = std::atoi(argv[++i]);
+      return RunClientSmoke(peer_host, static_cast<std::uint16_t>(peer_port),
+                            /*snapshot_check=*/"");
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: rabitq_server [--host H] [--port P] [--root DIR] "
+                   "[--threads N] | --smoke | --client-smoke HOST PORT\n");
+      return 2;
+    }
+  }
+
+  rabitq::server::ServerConfig config;
+  config.host = host;
+  config.port = port;
+  config.collections.root_dir = root;
+  config.collections.engine.num_threads = threads;
+
+  rabitq::server::Server server(config);
+  const rabitq::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "rabitq_server: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::printf("rabitq_server listening on %s:%u%s\n", host.c_str(),
+              static_cast<unsigned>(server.port()),
+              root.empty() ? " (in-memory, no snapshot root)" : "");
+  std::fflush(stdout);
+
+  server.Wait();
+  std::printf("rabitq_server drained, exiting\n");
+  return 0;
+}

@@ -656,6 +656,16 @@ obs::MetricsSnapshot SearchEngine::SnapshotMetrics() const {
   return metrics_.Snapshot();
 }
 
+Status SearchEngine::SaveSnapshot(const std::string& path) const {
+  // Shared locks on every shard (ascending, matching ExecuteBatch's order):
+  // the saved cut is consistent across shards, searches keep flowing, and
+  // writers/compaction commits queue behind the write.
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(sync_.size());
+  for (const auto& sync : sync_) locks.emplace_back(sync->index_mutex);
+  return index_.Save(path);
+}
+
 void SearchEngine::SchedulerLoop() {
   std::vector<QueuedQuery> batch;
   std::vector<QueuedQuery> shed;

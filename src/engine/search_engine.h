@@ -242,6 +242,12 @@ class SearchEngine {
   /// that want to register their own metrics into the same export.
   obs::MetricsRegistry* metrics() { return &metrics_; }
 
+  /// Writes a snapshot of the owned index to `path` (ShardedIndex::Save:
+  /// crash-safe, two-phase, manifest-last). Every shard lock is taken
+  /// SHARED for the write, so the snapshot is a consistent cut: queries
+  /// keep flowing, mutations and compaction commits wait.
+  Status SaveSnapshot(const std::string& path) const;
+
  private:
   /// Per-shard coordination: readers (batches) share index_mutex; mutators
   /// take it exclusively for the index mutation and ALSO hold writer_mutex

@@ -137,6 +137,16 @@ class IdFilter {
     return f;
   }
 
+  // Introspection for serialization (the server's wire codec): bitmap
+  // filters have a wire form, predicate filters do not.
+  bool is_bitmap() const {
+    return kind_ == Kind::kAllow || kind_ == Kind::kDeny;
+  }
+  bool is_deny_bitmap() const { return kind_ == Kind::kDeny; }
+  /// Valid only when is_bitmap(); (num_ids + 63) / 64 words are readable.
+  const std::uint64_t* bitmap_words() const { return bits_; }
+  std::size_t bitmap_num_ids() const { return num_ids_; }
+
  private:
   enum class Kind : std::uint8_t { kNone, kAllow, kDeny, kPredicate };
 

@@ -76,7 +76,28 @@ std::string ExportJson(const MetricsSnapshot& snapshot) {
   return out;
 }
 
-std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
+namespace {
+
+/// Writes `name{labels} ` / `name_suffix{labels,extra} ` with the braces
+/// elided entirely when there is nothing to put inside them -- which is what
+/// keeps the labels == "" rendering byte-identical to the historical
+/// unlabeled format.
+void AppendSeries(std::string* out, const std::string& name,
+                  const char* suffix, const std::string& labels,
+                  const std::string& extra) {
+  out->append(name).append(suffix);
+  if (!labels.empty() || !extra.empty()) {
+    out->append("{").append(labels);
+    if (!labels.empty() && !extra.empty()) out->append(",");
+    out->append(extra).append("}");
+  }
+  out->append(" ");
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const MetricsSnapshot& snapshot,
+                             const std::string& labels) {
   std::string out;
   for (const MetricValue& mv : snapshot.metrics) {
     if (!mv.help.empty()) {
@@ -87,13 +108,13 @@ std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
       case MetricKind::kCounter:
       case MetricKind::kFloatCounter:
         out.append("# TYPE ").append(mv.name).append(" counter\n");
-        out.append(mv.name).append(" ");
+        AppendSeries(&out, mv.name, "", labels, "");
         AppendDouble(&out, mv.value);
         out.append("\n");
         break;
       case MetricKind::kGauge:
         out.append("# TYPE ").append(mv.name).append(" gauge\n");
-        out.append(mv.name).append(" ");
+        AppendSeries(&out, mv.name, "", labels, "");
         AppendDouble(&out, mv.value);
         out.append("\n");
         break;
@@ -107,19 +128,20 @@ std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
         for (int i = 0; i < kNumBuckets; ++i) {
           if (mv.hist.buckets[i] == 0) continue;
           cumulative += mv.hist.buckets[i];
-          out.append(mv.name).append("_bucket{le=\"");
-          AppendDouble(&out, BucketUpper(i));
-          out.append("\"} ");
+          std::string le = "le=\"";
+          AppendDouble(&le, BucketUpper(i));
+          le.append("\"");
+          AppendSeries(&out, mv.name, "_bucket", labels, le);
           AppendU64(&out, cumulative);
           out.append("\n");
         }
-        out.append(mv.name).append("_bucket{le=\"+Inf\"} ");
+        AppendSeries(&out, mv.name, "_bucket", labels, "le=\"+Inf\"");
         AppendU64(&out, mv.hist.count);
         out.append("\n");
-        out.append(mv.name).append("_sum ");
+        AppendSeries(&out, mv.name, "_sum", labels, "");
         AppendDouble(&out, mv.hist.sum);
         out.append("\n");
-        out.append(mv.name).append("_count ");
+        AppendSeries(&out, mv.name, "_count", labels, "");
         AppendU64(&out, mv.hist.count);
         out.append("\n");
         break;
@@ -127,6 +149,10 @@ std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
     }
   }
   return out;
+}
+
+std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
+  return ExportPrometheus(snapshot, std::string());
 }
 
 }  // namespace obs

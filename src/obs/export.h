@@ -26,6 +26,18 @@ std::string ExportJson(const MetricsSnapshot& snapshot);
 /// over the occupied bucket edges plus le="+Inf", name_sum, name_count).
 std::string ExportPrometheus(const MetricsSnapshot& snapshot);
 
+/// Labeled variant: `labels` is a pre-rendered label list WITHOUT braces
+/// (e.g. `collection="images"`), attached to every sample -- plain series
+/// render as `name{collection="images"} v`, histogram buckets as
+/// `name_bucket{collection="images",le="..."}`. The server's multi-tenant
+/// stats endpoint uses it to export one engine registry per collection into
+/// a shared scrape. Label VALUES must not contain `"` or `\` (collection
+/// names are whitelisted to [A-Za-z0-9_-], which guarantees that). An empty
+/// `labels` renders byte-identically to the unlabeled overload, keeping
+/// every existing scrape and CI grep stable.
+std::string ExportPrometheus(const MetricsSnapshot& snapshot,
+                             const std::string& labels);
+
 }  // namespace obs
 }  // namespace rabitq
 

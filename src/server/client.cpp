@@ -1,0 +1,297 @@
+#include "server/client.h"
+
+#include <cstring>
+
+namespace rabitq {
+namespace server {
+
+Status Client::Connect(const std::string& host, std::uint16_t port,
+                       const Options& options) {
+  Close();
+  RABITQ_RETURN_IF_ERROR(ConnectTcp(host, port, &socket_));
+  if (options.io_timeout_ms != 0) {
+    RABITQ_RETURN_IF_ERROR(socket_.SetIoTimeout(options.io_timeout_ms));
+  }
+  return Status::Ok();
+}
+
+Status Client::Call(MsgType type, const std::string& body,
+                    std::vector<std::uint8_t>* storage, WireReader* reader) {
+  if (!socket_.valid()) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  const std::uint64_t request_id = next_request_id_++;
+  std::string frame;
+  EncodeFrame(static_cast<std::uint16_t>(type), request_id, body, &frame);
+  Status status = WriteFull(socket_.fd(), frame.data(), frame.size());
+
+  FrameHeader header;
+  if (status.ok()) {
+    std::uint8_t head[kFrameHeaderSize];
+    status = ReadFull(socket_.fd(), head, sizeof(head));
+    if (status.ok()) status = DecodeFrameHeader(head, &header);
+    if (status.ok()) {
+      storage->resize(kFrameHeaderSize + header.body_len);
+      std::memcpy(storage->data(), head, sizeof(head));
+      if (header.body_len > 0) {
+        status = ReadFull(socket_.fd(), storage->data() + kFrameHeaderSize,
+                          header.body_len);
+      }
+    }
+    if (status.ok()) {
+      std::uint8_t crc_bytes[4];
+      status = ReadFull(socket_.fd(), crc_bytes, sizeof(crc_bytes));
+      if (status.ok()) {
+        std::uint32_t crc = 0;
+        std::memcpy(&crc, crc_bytes, sizeof(crc));
+        status = CheckFrameCrc(storage->data(), storage->size(), crc);
+      }
+    }
+  }
+  if (status.ok() &&
+      header.type != (static_cast<std::uint16_t>(type) | kResponseFlag)) {
+    status = Status::IoError("response type mismatch");
+  }
+  if (status.ok() && header.request_id != request_id) {
+    status = Status::IoError("response request_id mismatch");
+  }
+  if (!status.ok()) {
+    // Fail closed: a connection that tore a frame (or answered out of
+    // protocol) cannot be resynchronized -- drop it.
+    Close();
+    return status;
+  }
+  *reader = WireReader(storage->data() + kFrameHeaderSize, header.body_len);
+  return Status::Ok();
+}
+
+Status Client::CallChecked(MsgType type, const std::string& body,
+                           std::vector<std::uint8_t>* storage,
+                           WireReader* reader) {
+  RABITQ_RETURN_IF_ERROR(Call(type, body, storage, reader));
+  WireStatus wire_status;
+  if (!DecodeStatus(reader, &wire_status)) {
+    Close();
+    return Status::IoError("malformed response status");
+  }
+  return wire_status.ToStatus();
+}
+
+Status Client::Ping() {
+  std::vector<std::uint8_t> storage;
+  WireReader reader(nullptr, 0);
+  return CallChecked(MsgType::kPing, std::string(), &storage, &reader);
+}
+
+Status Client::CreateCollection(const std::string& name,
+                                const WireCollectionSpec& spec,
+                                const Matrix& train) {
+  if (train.cols() != spec.dim) {
+    return Status::InvalidArgument("training matrix dim mismatch");
+  }
+  std::string body;
+  WireWriter w(&body);
+  w.String(name);
+  EncodeCollectionSpec(spec, &w);
+  w.U32(static_cast<std::uint32_t>(train.rows()));
+  w.Floats(train.data(), train.size());
+  std::vector<std::uint8_t> storage;
+  WireReader reader(nullptr, 0);
+  return CallChecked(MsgType::kCreateCollection, body, &storage, &reader);
+}
+
+Status Client::DropCollection(const std::string& name) {
+  std::string body;
+  WireWriter w(&body);
+  w.String(name);
+  std::vector<std::uint8_t> storage;
+  WireReader reader(nullptr, 0);
+  return CallChecked(MsgType::kDropCollection, body, &storage, &reader);
+}
+
+Status Client::Add(const std::string& name, const float* vec, std::size_t dim,
+                   std::uint32_t* id_out) {
+  std::string body;
+  WireWriter w(&body);
+  w.String(name);
+  w.U32(static_cast<std::uint32_t>(dim));
+  w.Floats(vec, dim);
+  std::vector<std::uint8_t> storage;
+  WireReader reader(nullptr, 0);
+  const Status status = CallChecked(MsgType::kAdd, body, &storage, &reader);
+  std::uint32_t id = 0;
+  if (reader.U32(&id) && id_out != nullptr) *id_out = id;
+  return status;
+}
+
+Status Client::Delete(const std::string& name, std::uint32_t id) {
+  std::string body;
+  WireWriter w(&body);
+  w.String(name);
+  w.U32(id);
+  std::vector<std::uint8_t> storage;
+  WireReader reader(nullptr, 0);
+  return CallChecked(MsgType::kDelete, body, &storage, &reader);
+}
+
+Status Client::Update(const std::string& name, std::uint32_t id,
+                      const float* vec, std::size_t dim) {
+  std::string body;
+  WireWriter w(&body);
+  w.String(name);
+  w.U32(id);
+  w.U32(static_cast<std::uint32_t>(dim));
+  w.Floats(vec, dim);
+  std::vector<std::uint8_t> storage;
+  WireReader reader(nullptr, 0);
+  return CallChecked(MsgType::kUpdate, body, &storage, &reader);
+}
+
+SearchResponse Client::Search(const std::string& name, const float* query,
+                              std::size_t dim, const SearchOptions& options) {
+  SearchResponse response;
+  WireSearchOptions wire_options;
+  response.status = WireSearchOptions::FromOptions(options, &wire_options);
+  if (!response.status.ok()) return response;
+
+  std::string body;
+  WireWriter w(&body);
+  w.String(name);
+  EncodeSearchOptions(wire_options, &w);
+  w.U32(static_cast<std::uint32_t>(dim));
+  w.Floats(query, dim);
+
+  std::vector<std::uint8_t> storage;
+  WireReader reader(nullptr, 0);
+  response.status = Call(MsgType::kSearch, body, &storage, &reader);
+  if (!response.status.ok()) return response;
+  WireStatus wire_status;
+  if (!DecodeStatus(&reader, &wire_status)) {
+    Close();
+    response.status = Status::IoError("malformed search response");
+    return response;
+  }
+  response.status = wire_status.ToStatus();
+  // A request-level rejection (NotFound, dim mismatch) is a bare status;
+  // engine outcomes -- including degraded ones like kDeadlineExceeded with
+  // partial neighbors -- carry the full response shape.
+  if (!response.status.ok() && reader.AtEnd()) return response;
+  if (!DecodeSearchResponseTail(&reader, &response) || !reader.AtEnd()) {
+    Close();
+    response = SearchResponse();
+    response.status = Status::IoError("malformed search response");
+  }
+  return response;
+}
+
+Status Client::BatchSearch(const std::string& name, const float* queries,
+                           std::size_t num, std::size_t dim,
+                           const SearchOptions& options,
+                           std::vector<SearchResponse>* responses) {
+  responses->clear();
+  WireSearchOptions wire_options;
+  RABITQ_RETURN_IF_ERROR(
+      WireSearchOptions::FromOptions(options, &wire_options));
+
+  std::string body;
+  WireWriter w(&body);
+  w.String(name);
+  EncodeSearchOptions(wire_options, &w);
+  w.U32(static_cast<std::uint32_t>(num));
+  w.U32(static_cast<std::uint32_t>(dim));
+  w.Floats(queries, num * dim);
+
+  std::vector<std::uint8_t> storage;
+  WireReader reader(nullptr, 0);
+  RABITQ_RETURN_IF_ERROR(Call(MsgType::kBatchSearch, body, &storage, &reader));
+  WireStatus wire_status;
+  if (!DecodeStatus(&reader, &wire_status)) {
+    Close();
+    return Status::IoError("malformed batch_search response");
+  }
+  const Status first_error = wire_status.ToStatus();
+  // A request-level rejection (NotFound, dim mismatch, malformed) carries
+  // no per-query payload; a PER-QUERY first error still does.
+  if (!first_error.ok() && reader.AtEnd()) return first_error;
+
+  std::uint32_t count = 0;
+  if (!reader.U32(&count)) {
+    Close();
+    return Status::IoError("malformed batch_search response");
+  }
+  responses->resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!DecodeSearchResponse(&reader, &(*responses)[i])) {
+      Close();
+      responses->clear();
+      return Status::IoError("malformed batch_search response");
+    }
+  }
+  return first_error;
+}
+
+Status Client::Snapshot(const std::string& name) {
+  std::string body;
+  WireWriter w(&body);
+  w.String(name);
+  std::vector<std::uint8_t> storage;
+  WireReader reader(nullptr, 0);
+  return CallChecked(MsgType::kSnapshot, body, &storage, &reader);
+}
+
+Status Client::Restore(const std::string& name) {
+  std::string body;
+  WireWriter w(&body);
+  w.String(name);
+  std::vector<std::uint8_t> storage;
+  WireReader reader(nullptr, 0);
+  return CallChecked(MsgType::kRestore, body, &storage, &reader);
+}
+
+Status Client::Stats(const std::string& name, std::uint8_t format,
+                     std::string* payload) {
+  std::string body;
+  WireWriter w(&body);
+  w.String(name);
+  w.U8(format);
+  std::vector<std::uint8_t> storage;
+  WireReader reader(nullptr, 0);
+  RABITQ_RETURN_IF_ERROR(CallChecked(MsgType::kStats, body, &storage, &reader));
+  if (!reader.String(payload) || !reader.AtEnd()) {
+    Close();
+    return Status::IoError("malformed stats response");
+  }
+  return Status::Ok();
+}
+
+Status Client::ListCollections(std::vector<std::string>* names) {
+  names->clear();
+  std::vector<std::uint8_t> storage;
+  WireReader reader(nullptr, 0);
+  RABITQ_RETURN_IF_ERROR(
+      CallChecked(MsgType::kListCollections, std::string(), &storage, &reader));
+  std::uint32_t count = 0;
+  if (!reader.U32(&count)) {
+    Close();
+    return Status::IoError("malformed list_collections response");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!reader.String(&name)) {
+      Close();
+      names->clear();
+      return Status::IoError("malformed list_collections response");
+    }
+    names->push_back(std::move(name));
+  }
+  return Status::Ok();
+}
+
+Status Client::Drain() {
+  std::vector<std::uint8_t> storage;
+  WireReader reader(nullptr, 0);
+  return CallChecked(MsgType::kDrain, std::string(), &storage, &reader);
+}
+
+}  // namespace server
+}  // namespace rabitq

@@ -1,0 +1,165 @@
+#include "server/net.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rabitq {
+namespace server {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Status Socket::SetIoTimeout(std::uint64_t timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("socket not open");
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IoError(Errno("setsockopt(SO_RCVTIMEO/SO_SNDTIMEO)"));
+  }
+  return Status::Ok();
+}
+
+Status ReadFull(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0) return Status::NotFound("connection closed");
+      return Status::IoError("connection closed mid-read (torn frame)");
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError(Errno("recv"));
+  }
+  return Status::Ok();
+}
+
+Status WriteFull(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t put = 0;
+  while (put < n) {
+    const ssize_t r = ::send(fd, p + put, n - put, MSG_NOSIGNAL);
+    if (r > 0) {
+      put += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return Status::IoError(Errno("send"));
+  }
+  return Status::Ok();
+}
+
+Status ConnectTcp(const std::string& host, std::uint16_t port, Socket* out) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::IoError("getaddrinfo(" + host + "): " + gai_strerror(rc));
+  }
+  Status status = Status::IoError("no addresses for " + host);
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      status = Status::IoError(Errno("socket"));
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      *out = Socket(fd);
+      status = Status::Ok();
+      break;
+    }
+    status = Status::IoError(Errno("connect(" + host + ":" + port_str + ")"));
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  return status;
+}
+
+Status Listener::Listen(const std::string& host, std::uint16_t port,
+                        int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError(Errno("socket"));
+  Socket sock(fd);
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("listen host must be an IPv4 literal: " +
+                                   host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::IoError(Errno("bind(" + host + ":" + std::to_string(port) +
+                                 ")"));
+  }
+  if (::listen(fd, backlog) != 0) return Status::IoError(Errno("listen"));
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return Status::IoError(Errno("getsockname"));
+  }
+  port_ = ntohs(bound.sin_port);
+  socket_ = std::move(sock);
+  return Status::Ok();
+}
+
+Status Listener::Accept(Socket* out) {
+  if (!socket_.valid()) return Status::FailedPrecondition("listener closed");
+  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR) return Status::ResourceExhausted("accept interrupted");
+    return Status::IoError(Errno("accept"));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out = Socket(fd);
+  return Status::Ok();
+}
+
+}  // namespace server
+}  // namespace rabitq

@@ -1,0 +1,90 @@
+// Minimal POSIX TCP layer under the server and client: RAII fds, full-buffer
+// read/write loops, and a listener that can bind port 0 for tests (the bound
+// port is read back, so integration tests never race over a fixed port).
+// Linux-only by design -- the rest of the repo already assumes it (epoll-free
+// though: the server is thread-per-connection, sized for the closed-loop
+// client counts the bench drives, not for c10k).
+
+#ifndef RABITQ_SERVER_NET_H_
+#define RABITQ_SERVER_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace rabitq {
+namespace server {
+
+/// Owning fd wrapper; move-only. Closing is idempotent.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+  /// shutdown(SHUT_RD): unblocks a reader parked in recv() without closing
+  /// the fd under it -- how Stop() interrupts connection threads while any
+  /// in-flight response still flushes.
+  void ShutdownRead();
+  /// shutdown(SHUT_RDWR).
+  void ShutdownBoth();
+
+  /// Arms SO_RCVTIMEO / SO_SNDTIMEO so a dead or glacial peer cannot pin a
+  /// connection thread forever. 0 = no timeout.
+  Status SetIoTimeout(std::uint64_t timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Reads exactly `n` bytes. EOF mid-buffer or an error (including a tripped
+/// SO_RCVTIMEO) is an IoError. A clean EOF before the FIRST byte returns
+/// NotFound so callers can tell "peer hung up between requests" from a torn
+/// read.
+Status ReadFull(int fd, void* buf, std::size_t n);
+
+/// Writes exactly `n` bytes (loops over short writes, EINTR-safe; SIGPIPE is
+/// suppressed per-call via MSG_NOSIGNAL).
+Status WriteFull(int fd, const void* buf, std::size_t n);
+
+/// Blocking TCP connect to host:port (numeric or resolvable host).
+Status ConnectTcp(const std::string& host, std::uint16_t port, Socket* out);
+
+/// Listening socket. Bind port 0 to let the kernel pick; port() reports the
+/// actual bound port either way.
+class Listener {
+ public:
+  Status Listen(const std::string& host, std::uint16_t port, int backlog);
+  Status Accept(Socket* out);
+  std::uint16_t port() const { return port_; }
+  bool valid() const { return socket_.valid(); }
+  /// Unblocks a thread parked in Accept (it returns an error afterwards).
+  void Shutdown() { socket_.ShutdownBoth(); }
+  void Close() { socket_.Close(); }
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace server
+}  // namespace rabitq
+
+#endif  // RABITQ_SERVER_NET_H_
