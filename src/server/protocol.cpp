@@ -86,7 +86,8 @@ bool WireReader::String(std::string* s) {
 }
 
 bool WireReader::Floats(std::vector<float>* v, std::size_t n) {
-  if (!ok_ || len_ - pos_ < n * sizeof(float)) {
+  // Bound n first: n * sizeof(float) wraps for attacker-sized counts.
+  if (!ok_ || n > (len_ - pos_) / sizeof(float)) {
     ok_ = false;
     return false;
   }
@@ -97,7 +98,7 @@ bool WireReader::Floats(std::vector<float>* v, std::size_t n) {
 }
 
 bool WireReader::U64s(std::vector<std::uint64_t>* v, std::size_t n) {
-  if (!ok_ || len_ - pos_ < n * sizeof(std::uint64_t)) {
+  if (!ok_ || n > (len_ - pos_) / sizeof(std::uint64_t)) {
     ok_ = false;
     return false;
   }
@@ -218,8 +219,14 @@ bool DecodeSearchOptions(WireReader* r, WireSearchOptions* o) {
   if (o->filter_kind != 0) {
     std::uint32_t words = 0;
     if (!r->U64(&o->filter_num_ids) || !r->U32(&words)) return false;
-    // The bitmap must cover exactly the id range it claims.
-    if (words != (o->filter_num_ids + 63) / 64) return false;
+    // The bitmap must cover exactly the id range it claims. An empty range
+    // is meaningless for an active filter, and the word count is computed
+    // without `num_ids + 63` (which wraps for num_ids near 2^64 and would
+    // let words==0 pass, leaving ToOptions a null bitmap with a huge range).
+    if (o->filter_num_ids == 0) return false;
+    const std::uint64_t expect_words =
+        o->filter_num_ids / 64 + (o->filter_num_ids % 64 != 0 ? 1 : 0);
+    if (words != expect_words) return false;
     if (!r->U64s(&o->filter_words, words)) return false;
   }
   return true;

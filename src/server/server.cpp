@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <cstring>
+#include <exception>
 #include <utility>
 
 #include "obs/export.h"
@@ -22,6 +23,10 @@ std::string MalformedBody(const char* what) {
   return StatusBody(Status::InvalidArgument(std::string("malformed ") + what +
                                             " request body"));
 }
+
+/// A connection's reusable frame buffer is shrunk back below this after any
+/// larger frame, so one big create does not pin 256 MiB per idle connection.
+constexpr std::size_t kFrameBufferRetain = 1u << 20;  // 1 MiB
 
 }  // namespace
 
@@ -145,13 +150,40 @@ void Server::AcceptLoop() {
   }
 }
 
+bool Server::ReserveFrameBytes(std::size_t n) {
+  if (n == 0) return true;
+  std::size_t used = frame_bytes_in_use_.load(std::memory_order_relaxed);
+  while (true) {
+    if (n > config_.frame_memory_budget ||
+        used > config_.frame_memory_budget - n) {
+      return false;
+    }
+    if (frame_bytes_in_use_.compare_exchange_weak(used, used + n,
+                                                  std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+void Server::ReleaseFrameBytes(std::size_t n) {
+  if (n != 0) frame_bytes_in_use_.fetch_sub(n, std::memory_order_relaxed);
+}
+
 Status Server::ReadFrame(int fd, FrameHeader* header,
-                         std::vector<std::uint8_t>* buf) {
+                         std::vector<std::uint8_t>* buf,
+                         std::size_t* reserved) {
+  *reserved = 0;
   RABITQ_FAILPOINT("server.conn_read",
                    return Status::IoError("injected read fault"));
   std::uint8_t head[kFrameHeaderSize];
   RABITQ_RETURN_IF_ERROR(ReadFull(fd, head, sizeof(head)));
   RABITQ_RETURN_IF_ERROR(DecodeFrameHeader(head, header));
+  // Admit the claimed body against the global budget BEFORE buffering it --
+  // the claim is attacker-controlled until the CRC at the end checks out.
+  if (!ReserveFrameBytes(header->body_len)) {
+    return Status::ResourceExhausted("frame memory budget exhausted");
+  }
+  *reserved = header->body_len;
   buf->resize(kFrameHeaderSize + header->body_len);
   std::memcpy(buf->data(), head, sizeof(head));
   if (header->body_len > 0) {
@@ -179,12 +211,34 @@ Status Server::WriteFrame(int fd, std::uint16_t type, std::uint64_t request_id,
 }
 
 void Server::ConnectionLoop(Connection* conn) {
+  try {
+    ServeConnection(conn);
+  } catch (const std::exception&) {
+    // A throwing handler or a failed allocation (bad_alloc on a huge but
+    // well-framed body) costs this connection, never the process.
+    frame_errors_->Increment();
+  }
+  {
+    // Close under conn_mutex_ so Stop()'s ShutdownRead pass never races the
+    // fd being closed (and possibly reused) underneath it.
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn->socket.Close();
+  }
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  gauge_active_connections_->Set(
+      static_cast<double>(active_connections_.load()));
+  conn->done.store(true, std::memory_order_release);
+}
+
+void Server::ServeConnection(Connection* conn) {
   const int fd = conn->socket.fd();
   FrameHeader header;
   std::vector<std::uint8_t> buf;
   while (!stopping()) {
-    const Status read_status = ReadFrame(fd, &header, &buf);
+    std::size_t reserved = 0;
+    const Status read_status = ReadFrame(fd, &header, &buf, &reserved);
     if (!read_status.ok()) {
+      ReleaseFrameBytes(reserved);
       // NotFound = peer closed cleanly between frames; anything else is a
       // framing error and the connection fails closed.
       if (read_status.code() != StatusCode::kNotFound && !stopping()) {
@@ -193,6 +247,7 @@ void Server::ConnectionLoop(Connection* conn) {
       break;
     }
     if ((header.type & kResponseFlag) != 0) {
+      ReleaseFrameBytes(reserved);
       frame_errors_->Increment();
       break;
     }
@@ -201,6 +256,13 @@ void Server::ConnectionLoop(Connection* conn) {
     const std::string body =
         Dispatch(header.type, buf.data() + kFrameHeaderSize, header.body_len,
                  &drain_after_reply);
+    // The request body is consumed; return its budget charge and drop an
+    // outsized buffer instead of pinning its capacity until the peer leaves.
+    ReleaseFrameBytes(reserved);
+    if (buf.capacity() > kFrameBufferRetain) {
+      buf.clear();
+      buf.shrink_to_fit();
+    }
     const Status write_status = WriteFrame(
         fd, static_cast<std::uint16_t>(header.type | kResponseFlag),
         header.request_id, body);
@@ -215,11 +277,6 @@ void Server::ConnectionLoop(Connection* conn) {
       break;
     }
   }
-  conn->socket.Close();
-  active_connections_.fetch_sub(1, std::memory_order_relaxed);
-  gauge_active_connections_->Set(
-      static_cast<double>(active_connections_.load()));
-  conn->done.store(true, std::memory_order_release);
 }
 
 std::string Server::Dispatch(std::uint16_t type, const std::uint8_t* body,
@@ -290,10 +347,15 @@ std::string Server::HandleCreate(WireReader* r) {
     return MalformedBody("create_collection");
   }
   // The training floats are the remainder of the body; refuse before
-  // allocating if the frame cannot hold what the prefix claims.
-  const std::uint64_t want =
-      static_cast<std::uint64_t>(rows) * spec.dim * sizeof(float);
-  if (r->remaining() != want) return MalformedBody("create_collection");
+  // allocating if the frame cannot hold what the prefix claims. The cell
+  // count is bounded first: rows * dim * 4 wraps uint64 for crafted sizes
+  // (rows = dim = 2^31 multiplies out to 0), which would slip an empty
+  // remainder past an equality check and drive a ~2^64-byte allocation.
+  const std::uint64_t cells = static_cast<std::uint64_t>(rows) * spec.dim;
+  if (cells > kMaxFrameBody / sizeof(float) ||
+      r->remaining() != cells * sizeof(float)) {
+    return MalformedBody("create_collection");
+  }
   Matrix train(rows, spec.dim);
   std::vector<float> flat;
   if (!r->Floats(&flat, static_cast<std::size_t>(rows) * spec.dim) ||
@@ -405,9 +467,13 @@ std::string Server::HandleBatchSearch(WireReader* r) {
       !r->U32(&num) || !r->U32(&dim)) {
     return MalformedBody("batch_search");
   }
-  const std::uint64_t want =
-      static_cast<std::uint64_t>(num) * dim * sizeof(float);
-  if (r->remaining() != want) return MalformedBody("batch_search");
+  // Same overflow-safe shape as HandleCreate: bound num * dim before the
+  // byte-size multiply can wrap.
+  const std::uint64_t cells = static_cast<std::uint64_t>(num) * dim;
+  if (cells > kMaxFrameBody / sizeof(float) ||
+      r->remaining() != cells * sizeof(float)) {
+    return MalformedBody("batch_search");
+  }
   std::vector<float> queries;
   if (!r->Floats(&queries, static_cast<std::size_t>(num) * dim) ||
       !r->AtEnd()) {

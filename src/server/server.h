@@ -59,6 +59,12 @@ struct ServerConfig {
   /// Accepted connections beyond this are closed immediately (counted in
   /// rabitq_server_connections_rejected_total).
   std::size_t max_connections = 256;
+  /// Global cap on frame bodies buffered at once across ALL connections.
+  /// Without it, max_connections peers each claiming kMaxFrameBody could
+  /// demand max_connections * 256 MiB before a single CRC is checked. A
+  /// connection whose claimed body does not fit the budget is dropped
+  /// (framing error), same as any other frame the server refuses to read.
+  std::size_t frame_memory_budget = 512u << 20;  // 512 MiB
   CollectionManager::Config collections;
 };
 
@@ -99,14 +105,27 @@ class Server {
   };
 
   void AcceptLoop();
+  /// Thread body: ServeConnection inside a try/catch (a throwing handler or
+  /// allocation drops THIS connection, never the process), then cleanup.
   void ConnectionLoop(Connection* conn);
+  /// The request/response loop for one connection.
+  void ServeConnection(Connection* conn);
   /// Joins finished connection threads (called from the accept loop so the
   /// list does not grow with connection churn).
   void ReapConnections();
 
+  /// Charges `n` bytes against frame_memory_budget; false when it does not
+  /// fit. Every successful reservation is paired with ReleaseFrameBytes.
+  bool ReserveFrameBytes(std::size_t n);
+  void ReleaseFrameBytes(std::size_t n);
+
   /// Reads one full frame (header + body + CRC), validating as it goes.
-  /// NotFound = clean close between frames; any other error = drop.
-  Status ReadFrame(int fd, FrameHeader* header, std::vector<std::uint8_t>* buf);
+  /// NotFound = clean close between frames; any other error = drop. The
+  /// body is admitted against frame_memory_budget before it is buffered;
+  /// `*reserved` reports the charge the caller must ReleaseFrameBytes once
+  /// the body is consumed (set even when the read fails after admission).
+  Status ReadFrame(int fd, FrameHeader* header, std::vector<std::uint8_t>* buf,
+                   std::size_t* reserved);
   Status WriteFrame(int fd, std::uint16_t type, std::uint64_t request_id,
                     const std::string& body);
 
@@ -138,6 +157,7 @@ class Server {
   std::mutex conn_mutex_;
   std::list<std::unique_ptr<Connection>> connections_;
   std::atomic<std::size_t> active_connections_{0};
+  std::atomic<std::size_t> frame_bytes_in_use_{0};
 
   // Server-level telemetry (the engines keep their own registries; the
   // stats endpoint stitches them together per collection).

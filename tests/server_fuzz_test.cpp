@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -83,6 +84,25 @@ class ServerFuzzTest : public ::testing::Test {
     if (!CheckFrameCrc(frame.data(), frame.size(), crc).ok()) return false;
     body->assign(frame.begin() + kFrameHeaderSize, frame.end());
     return true;
+  }
+
+  /// Sends one well-framed request and expects a first-class error status
+  /// back on a connection that stays open.
+  void ExpectErrorResponse(MsgType type, const std::string& body,
+                           const char* what) {
+    Socket socket;
+    ASSERT_TRUE(ConnectTcp("127.0.0.1", port(), &socket).ok());
+    std::string frame;
+    EncodeFrame(static_cast<std::uint16_t>(type), 21, body, &frame);
+    ASSERT_TRUE(WriteFull(socket.fd(), frame.data(), frame.size()).ok());
+    FrameHeader header;
+    std::vector<std::uint8_t> response;
+    ASSERT_TRUE(ReadResponseFrame(socket.fd(), &header, &response))
+        << what << " dropped the connection (or crashed the server)";
+    WireReader r(response.data(), response.size());
+    WireStatus status;
+    ASSERT_TRUE(DecodeStatus(&r, &status)) << what;
+    EXPECT_FALSE(status.ok()) << what;
   }
 
   /// The all-clear after a fuzzing pass: a real client still round-trips.
@@ -237,6 +257,83 @@ TEST_F(ServerFuzzTest, MalformedBodiesGetInvalidArgumentWithoutDropping) {
   WireReader pr(response.data(), response.size());
   ASSERT_TRUE(DecodeStatus(&pr, &status));
   EXPECT_TRUE(status.ok());
+}
+
+// Integer-overflow probes: size arithmetic on attacker-controlled counts
+// must be overflow-safe, not just bounds-checked. Each case below is a
+// frame that previously multiplied or added its way past a check.
+
+TEST_F(ServerFuzzTest, CreateWithOverflowingSizeClaimIsRejected) {
+  // rows = dim = 2^31: rows * dim * sizeof(float) wraps uint64 to 0, which
+  // an equality check against an empty remainder would wave through -- and
+  // the handler would then attempt a ~2^62-float allocation.
+  std::string body;
+  WireWriter w(&body);
+  w.String("c");
+  WireCollectionSpec spec;
+  spec.dim = 1u << 31;
+  EncodeCollectionSpec(spec, &w);
+  w.U32(1u << 31);  // rows
+  ExpectErrorResponse(MsgType::kCreateCollection, body,
+                      "create with wrapping rows*dim");
+  ExpectServerStillServes();
+}
+
+TEST_F(ServerFuzzTest, BatchSearchWithOverflowingSizeClaimIsRejected) {
+  std::string body;
+  WireWriter w(&body);
+  w.String("c");
+  EncodeSearchOptions(WireSearchOptions{}, &w);
+  w.U32(1u << 31);  // num
+  w.U32(1u << 31);  // dim
+  ExpectErrorResponse(MsgType::kBatchSearch, body,
+                      "batch_search with wrapping num*dim");
+  ExpectServerStillServes();
+}
+
+TEST_F(ServerFuzzTest, SearchWithOverflowingFilterRangeIsRejected) {
+  // filter_num_ids near 2^64 makes (num_ids + 63) / 64 wrap to 0, so a
+  // zero-word bitmap used to satisfy the coverage check and hand the engine
+  // a null bitmap claiming to span every id.
+  std::string body;
+  WireWriter w(&body);
+  w.String("c");
+  WireSearchOptions options;
+  options.filter_kind = 1;
+  options.filter_num_ids = std::numeric_limits<std::uint64_t>::max();
+  EncodeSearchOptions(options, &w);
+  w.U32(0);  // dim (never reached; the options decode must fail first)
+  ExpectErrorResponse(MsgType::kSearch, body,
+                      "search with wrapping filter_num_ids");
+  ExpectServerStillServes();
+}
+
+TEST(ServerFrameBudgetTest, ClaimsPastTheFrameMemoryBudgetAreDropped) {
+  // A tiny budget: any frame claiming a body larger than it is refused
+  // BEFORE the body is buffered (the connection drops, the server lives),
+  // while small frames keep round-tripping.
+  ServerConfig config;
+  config.port = 0;
+  config.io_timeout_ms = 100;
+  config.frame_memory_budget = 1024;
+  Server server(config);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::string frame;
+  EncodeFrame(static_cast<std::uint16_t>(MsgType::kStats), 3,
+              std::string(64 * 1024, 'x'), &frame);
+  Socket socket;
+  ASSERT_TRUE(ConnectTcp("127.0.0.1", server.port(), &socket).ok());
+  (void)WriteFull(socket.fd(), frame.data(), frame.size());
+  std::uint8_t byte = 0;
+  EXPECT_FALSE(ReadFull(socket.fd(), &byte, 1).ok())
+      << "server buffered a body past its frame memory budget";
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+  server.Stop();
+  server.Wait();
 }
 
 // WireReader itself must never read out of bounds on adversarial payload
